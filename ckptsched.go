@@ -1,0 +1,109 @@
+// Package ckptsched computes efficient checkpoint schedules for
+// opportunistic jobs running in cycle-harvesting cluster environments
+// such as Condor, reproducing the system of Nurmi, Brevik and Wolski,
+// "Minimizing the Network Overhead of Checkpointing in
+// Cycle-harvesting Cluster Environments" (IEEE CLUSTER 2005).
+//
+// The library fits a statistical model — exponential, Weibull, or
+// 2-/3-phase hyperexponential — to a resource's historical
+// availability durations, parameterizes a three-state Markov model of
+// the recovery/compute/checkpoint cycle in which failures may strike
+// during checkpoints and recoveries, and numerically minimizes the
+// expected overhead ratio Γ(T)/T to produce an optimal (and, for
+// non-memoryless models, aperiodic) checkpoint schedule.
+//
+// # Quick start
+//
+//	history := []float64{ /* availability durations, seconds */ }
+//	s, err := ckptsched.Fit(ckptsched.ModelHyperexp2, history)
+//	if err != nil { ... }
+//	costs, _ := ckptsched.NewCosts(110, -1, -1) // C=110s, R=L default to C
+//	T, err := s.Topt(telapsed, costs)           // next work interval
+//
+// The deeper machinery — distributions, fitting, the Markov model,
+// trace-driven simulation, the simulated Condor pool, and the
+// checkpoint-manager network protocol — lives in the internal/
+// packages and is exercised by the cmd/ tools and examples/.
+package ckptsched
+
+import (
+	"github.com/cycleharvest/ckptsched/internal/core"
+	"github.com/cycleharvest/ckptsched/internal/dist"
+	"github.com/cycleharvest/ckptsched/internal/fit"
+	"github.com/cycleharvest/ckptsched/internal/markov"
+)
+
+// Model identifies one of the four availability-model families the
+// paper compares.
+type Model = fit.Model
+
+// The four model families.
+const (
+	ModelExponential = fit.ModelExponential
+	ModelWeibull     = fit.ModelWeibull
+	ModelHyperexp2   = fit.ModelHyperexp2
+	ModelHyperexp3   = fit.ModelHyperexp3
+)
+
+// Models lists all four families in the paper's column order.
+var Models = fit.Models
+
+// ParseModel converts a model name ("exponential", "weibull",
+// "hyperexp2", "hyperexp3", plus short aliases) to a Model.
+func ParseModel(s string) (Model, error) { return fit.ParseModel(s) }
+
+// Distribution is a continuous nonnegative lifetime distribution; see
+// the internal/dist package for the concrete families.
+type Distribution = dist.Distribution
+
+// Costs holds the checkpoint (C), recovery (R) and checkpoint-latency
+// (L) overheads of one interval, in seconds.
+type Costs = markov.Costs
+
+// NewCosts builds Costs; r < 0 defaults the recovery cost to c (the
+// paper's convention) and l < 0 defaults the latency to c (sequential
+// checkpointing).
+func NewCosts(c, r, l float64) (Costs, error) { return markov.NewCosts(c, r, l) }
+
+// Scheduler computes checkpoint intervals and schedules for one
+// resource.
+type Scheduler = core.Scheduler
+
+// Schedule is an aperiodic sequence of optimal work intervals.
+type Schedule = markov.Schedule
+
+// ScheduleOptions tunes Scheduler.Schedule.
+type ScheduleOptions = markov.ScheduleOptions
+
+// Fit estimates the given model family from a resource's availability
+// history (durations in seconds) and returns a Scheduler for it.
+func Fit(m Model, history []float64) (*Scheduler, error) {
+	return core.FitScheduler(m, history)
+}
+
+// New wraps an explicit availability distribution in a Scheduler.
+func New(d Distribution) (*Scheduler, error) { return core.NewScheduler(d) }
+
+// Topt is the paper's §3.5 portable routine: it evaluates and
+// optimizes Γ/T for the chosen model family and flat parameter vector
+// at resource age telapsed with checkpoint cost c and recovery cost r,
+// returning the optimal work interval and its expected efficiency.
+//
+// Parameter layout: exponential [λ]; weibull [shape, scale];
+// hyperexpK [p₁…p_K, λ₁…λ_K].
+func Topt(m Model, params []float64, telapsed, c, r float64) (topt, efficiency float64, err error) {
+	return core.Routine(m, params, telapsed, c, r)
+}
+
+// Exponential returns the exponential distribution with rate lambda.
+func Exponential(lambda float64) Distribution { return dist.NewExponential(lambda) }
+
+// Weibull returns the Weibull distribution with the given shape and
+// scale.
+func Weibull(shape, scale float64) Distribution { return dist.NewWeibull(shape, scale) }
+
+// Hyperexponential returns the k-phase hyperexponential with mixing
+// weights p (normalized internally) and rates lambda.
+func Hyperexponential(p, lambda []float64) Distribution {
+	return dist.NewHyperexponential(p, lambda)
+}

@@ -1,0 +1,72 @@
+package ckptsched_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	ckptsched "github.com/cycleharvest/ckptsched"
+)
+
+func TestFacadeFitAndSchedule(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	w := ckptsched.Weibull(0.43, 3409)
+	history := make([]float64, 25)
+	for i := range history {
+		history[i] = w.(interface {
+			Rand(*rand.Rand) float64
+		}).Rand(rng)
+	}
+	for _, m := range ckptsched.Models {
+		s, err := ckptsched.Fit(m, history)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		costs, err := ckptsched.NewCosts(110, -1, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		T, err := s.Topt(0, costs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if T <= 0 {
+			t.Errorf("%v: T_opt = %g", m, T)
+		}
+		sched, err := s.Schedule(0, costs, ckptsched.ScheduleOptions{Horizon: 7200})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sched.Len() == 0 {
+			t.Errorf("%v: empty schedule", m)
+		}
+	}
+}
+
+func TestFacadeToptRoutine(t *testing.T) {
+	T, eff, err := ckptsched.Topt(ckptsched.ModelWeibull, []float64{0.43, 3409}, 500, 110, 110)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if T <= 0 || eff <= 0 || eff >= 1 {
+		t.Errorf("T=%g eff=%g", T, eff)
+	}
+}
+
+func TestFacadeParseModel(t *testing.T) {
+	m, err := ckptsched.ParseModel("hyperexp2")
+	if err != nil || m != ckptsched.ModelHyperexp2 {
+		t.Errorf("ParseModel = %v, %v", m, err)
+	}
+}
+
+func TestFacadeDistributionConstructors(t *testing.T) {
+	e := ckptsched.Exponential(0.01)
+	if got := e.Mean(); math.Abs(got-100) > 1e-9 {
+		t.Errorf("exp mean = %g", got)
+	}
+	h := ckptsched.Hyperexponential([]float64{1, 1}, []float64{0.1, 0.01})
+	if got := h.Mean(); math.Abs(got-55) > 1e-9 {
+		t.Errorf("hyperexp mean = %g", got)
+	}
+}

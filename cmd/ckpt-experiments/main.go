@@ -1,0 +1,195 @@
+// Command ckpt-experiments regenerates the paper's evaluation: every
+// table and figure of "Minimizing the Network Overhead of
+// Checkpointing in Cycle-harvesting Cluster Environments" (CLUSTER
+// 2005), over a simulated Condor pool.
+//
+// Usage:
+//
+//	ckpt-experiments [-run all|table1|table2|table3|table4|table5|figure3|figure4|validate] \
+//	    [-machines 80] [-months 18] [-samples 85] [-seed 2005]
+//
+// Results print to stdout in the paper's layouts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/cycleharvest/ckptsched/internal/ckptnet"
+	"github.com/cycleharvest/ckptsched/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment to run: all, table1, table2, table3, table4, table5, figure3, figure4, validate, censoring, sensitivity")
+	machines := flag.Int("machines", 80, "synthetic pool size")
+	months := flag.Float64("months", 18, "monitor campaign length (30-day months)")
+	samples := flag.Int("samples", 85, "live-experiment samples per model")
+	seed := flag.Int64("seed", 2005, "workload seed")
+	csvDir := flag.String("csv", "", "also write figure series as CSV files into this directory")
+	concurrency := flag.Int("concurrency", 1, "concurrent live-experiment test processes (paper total times suggest ~4)")
+	flag.Parse()
+
+	if err := runExperiments(*run, *machines, *months, *samples, *seed, *csvDir, *concurrency); err != nil {
+		fmt.Fprintln(os.Stderr, "ckpt-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func runExperiments(which string, machines int, months float64, samples int, seed int64, csvDir string, concurrency int) error {
+	which = strings.ToLower(which)
+	want := func(names ...string) bool {
+		if which == "all" {
+			return true
+		}
+		for _, n := range names {
+			if which == n {
+				return true
+			}
+		}
+		return false
+	}
+
+	needWorkload := want("table1", "table3", "figure3", "figure4", "table4", "table5", "validate")
+	var w *experiments.Workload
+	if needWorkload {
+		start := time.Now()
+		fmt.Printf("# building workload: %d machines, %.3g-month campaign (seed %d)\n", machines, months, seed)
+		var err error
+		w, err = experiments.NewWorkload(experiments.WorkloadConfig{
+			Machines: machines,
+			Months:   months,
+			Seed:     seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("# %d machines passed the record filter (%.1fs)\n\n", len(w.Data), time.Since(start).Seconds())
+	}
+
+	if want("table1", "table3", "figure3", "figure4") {
+		start := time.Now()
+		sweep, err := experiments.RunSweep(w, experiments.PaperCTimes, experiments.PaperCheckpointMB)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("# sweep complete (%.1fs)\n\n", time.Since(start).Seconds())
+		if want("figure3") {
+			fmt.Println(experiments.RenderFigure("Figure 3: mean machine utilization vs checkpoint duration",
+				sweep.CTimes, sweep.Figure3(), 3))
+			if err := writeCSV(csvDir, "figure3.csv",
+				experiments.FigureCSV(sweep.CTimes, sweep.Figure3())); err != nil {
+				return err
+			}
+		}
+		if want("table1") {
+			t1, err := sweep.Table1()
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderTable(t1, 3))
+		}
+		if want("figure4") {
+			fmt.Println(experiments.RenderFigure("Figure 4: mean network load (MB, 500 MB checkpoints) vs checkpoint duration",
+				sweep.CTimes, sweep.Figure4(), 0))
+			if err := writeCSV(csvDir, "figure4.csv",
+				experiments.FigureCSV(sweep.CTimes, sweep.Figure4())); err != nil {
+				return err
+			}
+		}
+		if want("table3") {
+			t3, err := sweep.Table3()
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderTable(t3, 0))
+		}
+	}
+
+	if want("table2") {
+		res, err := experiments.RunTable2(experiments.Table2Config{Seed: seed})
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderTable2(res))
+	}
+
+	if want("table4", "validate") {
+		t4, camp, err := experiments.RunLiveTable("Table 4: checkpoint manager on the campus network",
+			experiments.LiveCampaignConfig{
+				Workload:        w,
+				Link:            ckptnet.CampusLink(),
+				SamplesPerModel: samples,
+				Concurrency:     concurrency,
+				Seed:            seed + 4,
+			})
+		if err != nil {
+			return err
+		}
+		if want("table4") {
+			fmt.Println(experiments.RenderLiveTable(t4))
+		}
+		if want("validate") {
+			v, err := experiments.RunValidation(w, camp)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderValidation(v))
+		}
+	}
+
+	if want("sensitivity") {
+		res, err := experiments.RunSensitivity(experiments.SensitivityConfig{Seed: seed})
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderSensitivity(res))
+	}
+
+	if want("censoring") {
+		res, err := experiments.RunCensoring(experiments.CensoringConfig{
+			Machines: machines / 2,
+			Seed:     seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderCensoring(res))
+	}
+
+	if want("table5") {
+		t5, _, err := experiments.RunLiveTable("Table 5: checkpoint manager across the wide area",
+			experiments.LiveCampaignConfig{
+				Workload:        w,
+				Link:            ckptnet.WideAreaLink(),
+				SamplesPerModel: samples / 2, // the paper's WAN table has ~half the samples
+				Concurrency:     concurrency,
+				Seed:            seed + 5,
+			})
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderLiveTable(t5))
+	}
+	return nil
+}
+
+// writeCSV writes content into dir/name, creating dir; empty dir means
+// CSV export is off.
+func writeCSV(dir, name, content string) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("# wrote %s\n\n", path)
+	return nil
+}

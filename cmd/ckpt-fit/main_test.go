@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/cycleharvest/ckptsched/internal/dist"
+	"github.com/cycleharvest/ckptsched/internal/trace"
+)
+
+func writeTraceFile(t *testing.T, censorSome bool) string {
+	t.Helper()
+	tr, err := trace.Generate(trace.GenerateOptions{
+		Machine: "m1",
+		N:       120,
+		Avail:   dist.NewWeibull(0.5, 2000),
+		Seed:    3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if censorSome {
+		for i := range tr.Records {
+			if i%10 == 0 {
+				tr.Records[i].Censored = true
+			}
+		}
+	}
+	set := trace.NewSet()
+	for _, r := range tr.Records {
+		set.Add(tr.Machine, r)
+	}
+	path := filepath.Join(t.TempDir(), "traces.csv")
+	if err := trace.SaveCSV(path, set); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunFit(t *testing.T) {
+	path := writeTraceFile(t, false)
+	if err := run(path, "m1", 0, false); err != nil {
+		t.Fatal(err)
+	}
+	// Pooled + training prefix.
+	if err := run(path, "", 25, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFitCensored(t *testing.T) {
+	path := writeTraceFile(t, true)
+	if err := run(path, "m1", 0, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFitErrors(t *testing.T) {
+	if err := run("", "", 0, false); err == nil {
+		t.Error("missing -trace should error")
+	}
+	path := writeTraceFile(t, false)
+	if err := run(path, "nope", 0, false); err == nil {
+		t.Error("unknown machine should error")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.csv")
+	if err := os.WriteFile(empty, []byte("machine,start_unix,duration_s,censored\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(empty, "", 0, false); err == nil {
+		t.Error("empty trace should error")
+	}
+}

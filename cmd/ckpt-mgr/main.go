@@ -1,0 +1,144 @@
+// Command ckpt-mgr runs the checkpoint manager: a TCP server that
+// assigns availability models to connecting test processes, serves
+// recovery images, receives checkpoints, and logs every session
+// (§5.2 of the paper).
+//
+// Usage:
+//
+//	ckpt-mgr -addr 127.0.0.1:7419 -model hyperexp2 -params 0.6,0.4,0.01,0.0001 [-mb 500]
+//	ckpt-mgr -addr :7419 -trace traces.csv -model weibull
+//
+// With -trace, parameters are fitted per connecting job: the job ID is
+// expected to be "<machine>/<n>" and the machine's recorded history is
+// used (pooled history when the machine is unknown). The manager runs
+// until interrupted, then prints per-session summaries.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	ckptsched "github.com/cycleharvest/ckptsched"
+	"github.com/cycleharvest/ckptsched/internal/ckptnet"
+	"github.com/cycleharvest/ckptsched/internal/core"
+	"github.com/cycleharvest/ckptsched/internal/fit"
+	"github.com/cycleharvest/ckptsched/internal/trace"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7419", "listen address")
+	model := flag.String("model", "weibull", "model family to assign")
+	params := flag.String("params", "", "explicit comma-separated parameters (omit to fit from -trace)")
+	tracePath := flag.String("trace", "", "trace CSV to fit per-machine parameters from")
+	mb := flag.Float64("mb", 500, "checkpoint image size, MB")
+	out := flag.String("out", "", "write session logs (JSON lines) here on shutdown")
+	flag.Parse()
+
+	if err := run(*addr, *model, *params, *tracePath, *mb, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "ckpt-mgr:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, modelName, params, tracePath string, mb float64, out string) error {
+	m, err := ckptsched.ParseModel(modelName)
+	if err != nil {
+		return err
+	}
+	bytes := int64(mb * ckptnet.MB)
+
+	var assigner ckptnet.Assigner
+	switch {
+	case params != "":
+		vals, err := parseFloats(params)
+		if err != nil {
+			return err
+		}
+		if _, err := core.DistFromParams(m, vals); err != nil {
+			return err
+		}
+		assigner = ckptnet.StaticAssigner(m, vals, bytes)
+	case tracePath != "":
+		set, err := trace.LoadCSV(tracePath)
+		if err != nil {
+			return err
+		}
+		var pooled []float64
+		for _, name := range set.Machines() {
+			pooled = append(pooled, set.Traces[name].Durations()...)
+		}
+		assigner = ckptnet.AssignerFunc(func(h ckptnet.Hello) (ckptnet.Assign, error) {
+			data := pooled
+			machine, _, _ := strings.Cut(h.JobID, "/")
+			if tr, ok := set.Traces[machine]; ok && tr.Len() >= trace.DefaultTrainingSize {
+				data = tr.Durations()
+			}
+			d, err := fit.Fit(m, data)
+			if err != nil {
+				return ckptnet.Assign{}, err
+			}
+			_, fitted, err := core.ParamsOf(d)
+			if err != nil {
+				return ckptnet.Assign{}, err
+			}
+			return ckptnet.Assign{Model: m, Params: fitted, CheckpointBytes: bytes, HeartbeatSec: 10}, nil
+		})
+	default:
+		return fmt.Errorf("need -params or -trace")
+	}
+
+	mgr, err := ckptnet.NewManager(assigner)
+	if err != nil {
+		return err
+	}
+	bound, err := mgr.Listen(addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("checkpoint manager listening on %s (model %v, %g MB images); Ctrl-C to stop\n", bound, m, mb)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	if err := mgr.Close(); err != nil {
+		return err
+	}
+
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		if err := ckptnet.WriteSessions(f, mgr.Sessions()); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d session logs to %s (post-process with ckpt-report)\n", len(mgr.Sessions()), out)
+	}
+
+	fmt.Printf("\n%d sessions:\n", len(mgr.Sessions()))
+	for _, s := range mgr.Sessions() {
+		sum := s.Summarize()
+		fmt.Printf("  %-24s model=%-10v recoveries=%d checkpoints=%d interrupted=%d heartbeats=%d bytes=%d\n",
+			s.JobID, s.Model, sum.Recoveries, sum.Checkpoints, sum.Interrupted, sum.Heartbeats, sum.BytesMoved)
+	}
+	return nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		if _, err := fmt.Sscanf(strings.TrimSpace(p), "%g", &out[i]); err != nil {
+			return nil, fmt.Errorf("bad parameter %q: %w", p, err)
+		}
+	}
+	return out, nil
+}

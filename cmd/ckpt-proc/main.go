@@ -1,0 +1,68 @@
+// Command ckpt-proc runs one instrumented test process against a
+// checkpoint manager (§5.2): it times the initial recovery transfer,
+// computes T_opt from the measured cost and the manager-assigned
+// model, spins while heart-beating, checkpoints, and repeats.
+//
+// Usage:
+//
+//	ckpt-proc -addr 127.0.0.1:7419 -job desktop0001/1 [-telapsed 0] \
+//	    [-scale 1] [-intervals 0] [-lifetime 0]
+//
+// -scale compresses virtual time (0.001 → a 10 s heartbeat every
+// 10 ms). -intervals stops voluntarily after N checkpoints; -lifetime
+// kills the process after that many wall seconds, emulating an
+// eviction.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/cycleharvest/ckptsched/internal/ckptnet"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7419", "manager address")
+	job := flag.String("job", "proc/1", "job identifier (machine/n)")
+	telapsed := flag.Float64("telapsed", 0, "resource age at start, seconds")
+	scale := flag.Float64("scale", 1, "wall seconds per virtual second")
+	intervals := flag.Int("intervals", 0, "stop after N committed checkpoints (0 = run until killed)")
+	lifetime := flag.Float64("lifetime", 0, "kill the process after this many wall seconds (0 = never)")
+	flag.Parse()
+
+	ctx := context.Background()
+	if *lifetime > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(*lifetime*float64(time.Second)))
+		defer cancel()
+	}
+	rep, err := ckptnet.RunProcess(ctx, ckptnet.ProcessConfig{
+		Addr:         *addr,
+		JobID:        *job,
+		TElapsed:     *telapsed,
+		TimeScale:    *scale,
+		MaxIntervals: *intervals,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ckpt-proc:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("assigned model:   %v %v\n", rep.Assign.Model, rep.Assign.Params)
+	fmt.Printf("recovery:         %.2f virtual s\n", rep.RecoverySec)
+	for i, t := range rep.Topts {
+		fmt.Printf("interval %-3d      T_opt=%.1f s", i, t)
+		if i < len(rep.CheckpointSecs) {
+			fmt.Printf("  checkpoint=%.2f s", rep.CheckpointSecs[i])
+		}
+		fmt.Println()
+	}
+	fmt.Printf("work performed:   %.1f virtual s over %d heartbeats\n", rep.WorkSec, rep.Heartbeats)
+	if rep.Evicted {
+		fmt.Println("ended by:         eviction")
+	} else {
+		fmt.Println("ended by:         voluntary completion")
+	}
+}

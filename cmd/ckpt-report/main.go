@@ -1,0 +1,100 @@
+// Command ckpt-report post-processes checkpoint-manager session logs
+// (JSON lines written by the manager) into the paper's per-model
+// aggregates: overhead ratio, work time, and network volume — "the
+// manager keeps a log file for each test process from which the
+// overhead ratio can be calculated post facto" (§5.2).
+//
+// Usage:
+//
+//	ckpt-report -log sessions.jsonl [-persession]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/cycleharvest/ckptsched/internal/ckptnet"
+	"github.com/cycleharvest/ckptsched/internal/fit"
+)
+
+func main() {
+	path := flag.String("log", "", "JSON-lines session log")
+	perSession := flag.Bool("persession", false, "print one row per session")
+	flag.Parse()
+
+	if err := run(*path, *perSession); err != nil {
+		fmt.Fprintln(os.Stderr, "ckpt-report:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, perSession bool) error {
+	if path == "" {
+		return fmt.Errorf("missing -log")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sessions, err := ckptnet.ReadSessions(f)
+	if err != nil {
+		return err
+	}
+	if len(sessions) == 0 {
+		return fmt.Errorf("no sessions in %s", path)
+	}
+
+	if perSession {
+		fmt.Printf("%-24s %-12s %10s %10s %10s %8s %8s\n",
+			"job", "model", "wall s", "work s", "ratio", "ckpts", "MB")
+		for _, s := range sessions {
+			sum := s.Summarize()
+			wall := s.WallSeconds()
+			ratio := 0.0
+			if wall > 0 {
+				ratio = sum.LastHeartbeat / wall
+			}
+			fmt.Printf("%-24s %-12s %10.1f %10.1f %10.3f %8d %8.1f\n",
+				s.JobID, s.Model, wall, sum.LastHeartbeat, ratio,
+				sum.Checkpoints, float64(sum.BytesMoved)/ckptnet.MB)
+		}
+		fmt.Println()
+	}
+
+	type agg struct {
+		wall, work float64
+		bytes      int64
+		ckpts, n   int
+	}
+	byModel := make(map[fit.Model]*agg)
+	for _, s := range sessions {
+		a, ok := byModel[s.Model]
+		if !ok {
+			a = &agg{}
+			byModel[s.Model] = a
+		}
+		sum := s.Summarize()
+		a.wall += s.WallSeconds()
+		a.work += sum.LastHeartbeat
+		a.bytes += sum.BytesMoved
+		a.ckpts += sum.Checkpoints
+		a.n++
+	}
+	fmt.Printf("%-12s %8s %12s %12s %10s %10s\n",
+		"model", "sessions", "wall s", "work s", "ratio", "MB")
+	for _, m := range fit.Models {
+		a, ok := byModel[m]
+		if !ok {
+			continue
+		}
+		ratio := 0.0
+		if a.wall > 0 {
+			ratio = a.work / a.wall
+		}
+		fmt.Printf("%-12s %8d %12.1f %12.1f %10.3f %10.1f\n",
+			m, a.n, a.wall, a.work, ratio, float64(a.bytes)/ckptnet.MB)
+	}
+	return nil
+}

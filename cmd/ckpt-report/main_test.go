@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/cycleharvest/ckptsched/internal/ckptnet"
+	"github.com/cycleharvest/ckptsched/internal/fit"
+)
+
+func writeTestLog(t *testing.T) string {
+	t.Helper()
+	a := &ckptnet.SessionLog{
+		JobID:           "m1/1",
+		Model:           fit.ModelHyperexp2,
+		Params:          []float64{0.5, 0.5, 0.01, 0.001},
+		CheckpointBytes: 10 * ckptnet.MB,
+	}
+	a.Add(ckptnet.EvConnected, 0)
+	a.Add(ckptnet.EvRecoveryDone, 0)
+	a.Add(ckptnet.EvTopt, 500)
+	a.Add(ckptnet.EvHeartbeat, 490)
+	a.Add(ckptnet.EvCheckpointDone, 0)
+	a.Add(ckptnet.EvDisconnected, 0)
+	b := &ckptnet.SessionLog{JobID: "m2/2", Model: fit.ModelExponential, Params: []float64{0.001}}
+	b.Add(ckptnet.EvConnected, 0)
+	b.Add(ckptnet.EvRecoveryInterrupted, 1024)
+	b.Add(ckptnet.EvDisconnected, 0)
+
+	path := filepath.Join(t.TempDir(), "sessions.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ckptnet.WriteSessions(f, []*ckptnet.SessionLog{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunReport(t *testing.T) {
+	path := writeTestLog(t)
+	if err := run(path, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunReportErrors(t *testing.T) {
+	if err := run("", false); err == nil {
+		t.Error("missing -log should error")
+	}
+	if err := run(filepath.Join(t.TempDir(), "missing.jsonl"), false); err == nil {
+		t.Error("missing file should error")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(empty, false); err == nil {
+		t.Error("empty log should error")
+	}
+}

@@ -1,0 +1,116 @@
+// Command ckpt-sched prints an optimal checkpoint schedule.
+//
+// Two input modes:
+//
+//	ckpt-sched -model weibull -params 0.43,3409 -c 110 [-r 110] [-telapsed 0] [-horizon 86400]
+//	ckpt-sched -trace traces.csv -machine desktop0001 -fit hyperexp2 -c 110
+//
+// The first uses explicit distribution parameters (the paper's §3.5
+// portable-routine interface); the second fits the named model family
+// to a machine's recorded availability history first.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	ckptsched "github.com/cycleharvest/ckptsched"
+	"github.com/cycleharvest/ckptsched/internal/core"
+	"github.com/cycleharvest/ckptsched/internal/trace"
+)
+
+func main() {
+	model := flag.String("model", "", "model family with explicit -params")
+	params := flag.String("params", "", "comma-separated parameters (exp: λ; weibull: shape,scale; hyperexpK: p1..pK,λ1..λK)")
+	tracePath := flag.String("trace", "", "trace CSV to fit from")
+	machine := flag.String("machine", "", "machine in -trace to fit")
+	fitModel := flag.String("fit", "weibull", "family to fit when using -trace")
+	c := flag.Float64("c", 110, "checkpoint cost, seconds")
+	r := flag.Float64("r", -1, "recovery cost, seconds (-1 = same as -c)")
+	telapsed := flag.Float64("telapsed", 0, "seconds the resource has already been available")
+	horizon := flag.Float64("horizon", 24*3600, "plan this far into the resource's future, seconds")
+	flag.Parse()
+
+	if err := run(*model, *params, *tracePath, *machine, *fitModel, *c, *r, *telapsed, *horizon); err != nil {
+		fmt.Fprintln(os.Stderr, "ckpt-sched:", err)
+		os.Exit(1)
+	}
+}
+
+func run(model, params, tracePath, machine, fitModel string, c, r, telapsed, horizon float64) error {
+	var s *ckptsched.Scheduler
+	switch {
+	case model != "":
+		m, err := ckptsched.ParseModel(model)
+		if err != nil {
+			return err
+		}
+		vals, err := parseFloats(params)
+		if err != nil {
+			return err
+		}
+		d, err := core.DistFromParams(m, vals)
+		if err != nil {
+			return err
+		}
+		s, err = ckptsched.New(d)
+		if err != nil {
+			return err
+		}
+	case tracePath != "":
+		set, err := trace.LoadCSV(tracePath)
+		if err != nil {
+			return err
+		}
+		tr, ok := set.Traces[machine]
+		if !ok {
+			return fmt.Errorf("machine %q not found (have %v)", machine, set.Machines())
+		}
+		m, err := ckptsched.ParseModel(fitModel)
+		if err != nil {
+			return err
+		}
+		s, err = ckptsched.Fit(m, tr.Durations())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("fitted %v to %d observations: %v\n\n", m, tr.Len(), s.Dist)
+	default:
+		return fmt.Errorf("need either -model/-params or -trace/-machine")
+	}
+
+	costs, err := ckptsched.NewCosts(c, r, -1)
+	if err != nil {
+		return err
+	}
+	sched, err := s.Schedule(telapsed, costs, ckptsched.ScheduleOptions{Horizon: telapsed + horizon})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("checkpoint schedule (C=%g s, R=%g s, T_elapsed=%g s):\n\n", costs.C, costs.R, telapsed)
+	fmt.Printf("%-4s %14s %14s %14s\n", "#", "age (s)", "T_opt (s)", "efficiency")
+	for i := range sched.Intervals {
+		fmt.Printf("%-4d %14.1f %14.1f %14.3f\n",
+			i, sched.Ages[i], sched.Intervals[i], 1/sched.Ratios[i])
+	}
+	return nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	if s == "" {
+		return nil, fmt.Errorf("missing -params")
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad parameter %q: %w", p, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

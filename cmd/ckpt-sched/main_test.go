@@ -1,0 +1,73 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/cycleharvest/ckptsched/internal/dist"
+	"github.com/cycleharvest/ckptsched/internal/trace"
+)
+
+func writeTraces(t *testing.T) string {
+	t.Helper()
+	tr, err := trace.Generate(trace.GenerateOptions{
+		Machine: "m1", N: 60, Avail: dist.NewWeibull(0.5, 2000), Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := trace.NewSet()
+	for _, r := range tr.Records {
+		set.Add(tr.Machine, r)
+	}
+	path := filepath.Join(t.TempDir(), "traces.csv")
+	if err := trace.SaveCSV(path, set); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSchedExplicitParams(t *testing.T) {
+	if err := run("weibull", "0.43,3409", "", "", "", 110, -1, 600, 7200); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSchedFromTrace(t *testing.T) {
+	path := writeTraces(t)
+	if err := run("", "", path, "m1", "hyperexp2", 110, 110, 0, 3600); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSchedErrors(t *testing.T) {
+	if err := run("", "", "", "", "", 110, -1, 0, 3600); err == nil {
+		t.Error("no input mode should error")
+	}
+	if err := run("weibull", "", "", "", "", 110, -1, 0, 3600); err == nil {
+		t.Error("missing params should error")
+	}
+	if err := run("weibull", "a,b", "", "", "", 110, -1, 0, 3600); err == nil {
+		t.Error("bad params should error")
+	}
+	if err := run("bogus", "1", "", "", "", 110, -1, 0, 3600); err == nil {
+		t.Error("bad model should error")
+	}
+	path := writeTraces(t)
+	if err := run("", "", path, "nope", "weibull", 110, -1, 0, 3600); err == nil {
+		t.Error("unknown machine should error")
+	}
+}
+
+func TestParseFloats(t *testing.T) {
+	got, err := parseFloats(" 1, 2.5 ,3 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[1] != 2.5 {
+		t.Errorf("parseFloats = %v", got)
+	}
+	if _, err := parseFloats(""); err == nil {
+		t.Error("empty should error")
+	}
+}

@@ -1,0 +1,89 @@
+// Command ckpt-sim replays availability traces through the
+// discrete-event checkpoint simulator and reports per-machine and
+// aggregate efficiency and network load for each availability model.
+//
+// Usage:
+//
+//	ckpt-sim -trace traces.csv -c 500 [-size 500] [-train 25] [-min 60] [-permachine]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/cycleharvest/ckptsched/internal/fit"
+	"github.com/cycleharvest/ckptsched/internal/markov"
+	"github.com/cycleharvest/ckptsched/internal/sim"
+	"github.com/cycleharvest/ckptsched/internal/stats"
+	"github.com/cycleharvest/ckptsched/internal/trace"
+)
+
+func main() {
+	path := flag.String("trace", "", "trace CSV file")
+	c := flag.Float64("c", 500, "checkpoint/recovery cost, seconds")
+	size := flag.Float64("size", 500, "checkpoint image size, MB")
+	train := flag.Int("train", trace.DefaultTrainingSize, "training-prefix length")
+	minRec := flag.Int("min", 60, "minimum records per machine")
+	perMachine := flag.Bool("permachine", false, "print per-machine rows")
+	flag.Parse()
+
+	if err := run(*path, *c, *size, *train, *minRec, *perMachine); err != nil {
+		fmt.Fprintln(os.Stderr, "ckpt-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, c, size float64, train, minRec int, perMachine bool) error {
+	if path == "" {
+		return fmt.Errorf("missing -trace")
+	}
+	set, err := trace.LoadCSV(path)
+	if err != nil {
+		return err
+	}
+	traces := set.WithAtLeast(minRec)
+	if len(traces) == 0 {
+		return fmt.Errorf("no machine has >= %d records", minRec)
+	}
+	cfg := sim.Config{
+		Costs:        markov.Costs{C: c, R: c, L: c},
+		CheckpointMB: size,
+	}
+	fmt.Printf("simulating %d machines, C=R=%g s, %g MB checkpoints\n\n", len(traces), c, size)
+
+	for _, model := range fit.Models {
+		var effs, mbs []float64
+		if perMachine {
+			fmt.Printf("--- %v ---\n", model)
+		}
+		for _, tr := range traces {
+			tdata, test, err := tr.Split(train)
+			if err != nil {
+				return err
+			}
+			run, err := sim.RunModel(tdata, test, model, cfg)
+			if err != nil {
+				return fmt.Errorf("%s under %v: %w", tr.Machine, model, err)
+			}
+			effs = append(effs, run.Result.Efficiency())
+			mbs = append(mbs, run.Result.MBTransferred)
+			if perMachine {
+				fmt.Printf("  %-16s eff=%.3f MB=%.0f commits=%d failures=%d\n",
+					tr.Machine, run.Result.Efficiency(), run.Result.MBTransferred,
+					run.Result.Commits, run.Result.FailedIntervals+run.Result.FailedCheckpoints)
+			}
+		}
+		effCI, err := stats.MeanCI(effs, 0.95)
+		if err != nil {
+			return err
+		}
+		mbCI, err := stats.MeanCI(mbs, 0.95)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s efficiency %.3f ± %.3f   bandwidth %.0f ± %.0f MB\n",
+			model, effCI.Mean, effCI.HalfWidth, mbCI.Mean, mbCI.HalfWidth)
+	}
+	return nil
+}

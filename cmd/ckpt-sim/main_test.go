@@ -1,0 +1,51 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/cycleharvest/ckptsched/internal/dist"
+	"github.com/cycleharvest/ckptsched/internal/trace"
+)
+
+func writeSimTraces(t *testing.T) string {
+	t.Helper()
+	set := trace.NewSet()
+	for _, machine := range []string{"m1", "m2"} {
+		tr, err := trace.Generate(trace.GenerateOptions{
+			Machine: machine, N: 80, Avail: dist.NewWeibull(0.5, 2500),
+			Seed: int64(len(machine)) + 11,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range tr.Records {
+			set.Add(machine, r)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "traces.csv")
+	if err := trace.SaveCSV(path, set); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSim(t *testing.T) {
+	path := writeSimTraces(t)
+	if err := run(path, 110, 500, 25, 50, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, 500, 500, 25, 50, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSimErrors(t *testing.T) {
+	if err := run("", 110, 500, 25, 50, false); err == nil {
+		t.Error("missing trace should error")
+	}
+	path := writeSimTraces(t)
+	if err := run(path, 110, 500, 25, 1000, false); err == nil {
+		t.Error("impossible record filter should error")
+	}
+}

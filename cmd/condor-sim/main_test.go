@@ -1,0 +1,43 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/cycleharvest/ckptsched/internal/trace"
+)
+
+func TestRunCondorSim(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "traces.csv")
+	if err := run(8, 0, 1, 7, out, true); err != nil {
+		t.Fatal(err)
+	}
+	set, err := trace.LoadCSV(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Traces) == 0 {
+		t.Fatal("no traces written")
+	}
+	censored := 0
+	for _, name := range set.Machines() {
+		_, flags := set.Traces[name].Observations()
+		for _, c := range flags {
+			if c {
+				censored++
+			}
+		}
+	}
+	if censored == 0 {
+		t.Error("censored flag requested but no censored records written")
+	}
+}
+
+func TestRunCondorSimErrors(t *testing.T) {
+	if err := run(0, 0, 1, 7, filepath.Join(t.TempDir(), "x.csv"), false); err == nil {
+		t.Error("zero machines should error")
+	}
+	if err := run(3, 0, 1, 7, "/nonexistent-dir/x.csv", false); err == nil {
+		t.Error("unwritable output should error")
+	}
+}

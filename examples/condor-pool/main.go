@@ -1,0 +1,84 @@
+// Condor-pool: synthesize a cycle-harvesting pool, measure it with
+// occupancy monitors (§4 of the paper), fit all four availability
+// models to one machine, and compare the checkpoint schedules and
+// network loads the models produce on that machine's held-out trace.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/cycleharvest/ckptsched/internal/condor"
+	"github.com/cycleharvest/ckptsched/internal/fit"
+	"github.com/cycleharvest/ckptsched/internal/markov"
+	"github.com/cycleharvest/ckptsched/internal/sim"
+	"github.com/cycleharvest/ckptsched/internal/trace"
+)
+
+func main() {
+	// A 40-machine desktop pool, monitored for six virtual months.
+	machines, err := condor.SyntheticPool(condor.SyntheticPoolConfig{Machines: 40, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pool, err := condor.NewPool(machines, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	history, err := condor.CollectTraces(pool, condor.MonitorConfig{
+		Monitors: 40,
+		Duration: condor.MonthsSeconds(6),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("monitored %d machines; pool saw %d evictions\n\n", len(history.Traces), pool.Evictions)
+
+	// Pick the best-observed machine and split its trace the way the
+	// paper does: first 25 observations train, the rest evaluate.
+	var best *trace.Trace
+	for _, tr := range history.WithAtLeast(60) {
+		if best == nil || tr.Len() > best.Len() {
+			best = tr
+		}
+	}
+	if best == nil {
+		log.Fatal("no machine observed often enough")
+	}
+	train, test, err := best.Split(25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("machine %s: %d observations (25 train / %d test)\n\n", best.Machine, best.Len(), len(test))
+
+	// Goodness of fit of the four families on the training prefix.
+	fits, err := fit.All(train)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("model fits on the training prefix:")
+	for _, f := range fits {
+		fmt.Printf("  %-12s AIC=%8.1f  KS=%.3f  %v\n", f.Model, f.AIC, f.KS, f.Dist)
+	}
+	fmt.Println()
+
+	// Replay the held-out trace under each model's schedule with the
+	// paper's parameters: C = R = 110 s (campus network), 500 MB
+	// images.
+	cfg := sim.Config{
+		Costs:        markov.Costs{C: 110, R: 110, L: 110},
+		CheckpointMB: 500,
+	}
+	fmt.Println("held-out replay (C=R=110 s, 500 MB checkpoints):")
+	fmt.Printf("  %-12s %10s %12s %9s %9s\n", "model", "efficiency", "network MB", "commits", "failures")
+	for _, m := range fit.Models {
+		run, err := sim.RunModel(train, test, m, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := run.Result
+		fmt.Printf("  %-12s %10.3f %12.0f %9d %9d\n",
+			m, r.Efficiency(), r.MBTransferred, r.Commits,
+			r.FailedIntervals+r.FailedCheckpoints+r.FailedRecoveries)
+	}
+}

@@ -1,0 +1,82 @@
+// Model-selection: why the choice of availability distribution
+// matters. Fits all four families to traces of three different
+// characters — memoryless, heavy-tailed, and bimodal desktop-style —
+// and shows how goodness of fit translates into scheduling behavior
+// (the fitted model's mean residual life drives interval growth).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"github.com/cycleharvest/ckptsched/internal/dist"
+	"github.com/cycleharvest/ckptsched/internal/fit"
+	"github.com/cycleharvest/ckptsched/internal/markov"
+	"github.com/cycleharvest/ckptsched/internal/stats"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(3))
+	scenarios := []struct {
+		name  string
+		truth dist.Distribution
+	}{
+		{"memoryless server", dist.NewExponential(1.0 / 7200)},
+		{"heavy-tailed desktop", dist.NewWeibull(0.43, 3409)},
+		{"bimodal desktop", dist.NewMixture(
+			[]float64{0.6, 0.4},
+			[]dist.Distribution{
+				dist.NewExponential(1.0 / 240),
+				dist.NewWeibull(0.7, 4*3600),
+			})},
+	}
+
+	for _, sc := range scenarios {
+		sample := make([]float64, 500)
+		for i := range sample {
+			sample[i] = sc.truth.Rand(rng)
+		}
+		fits, err := fit.All(sample)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The lognormal is a fifth comparator from the broader
+		// availability-modeling literature (not one of the paper's
+		// tabulated four).
+		if ln, err := fit.LogNormal(sample); err == nil {
+			ll := fit.LogLikelihood(ln, sample)
+			fits = append(fits, fit.Fitted{
+				Dist:   ln, // rows below print the distribution's own name
+				LogLik: ll,
+				AIC:    fit.AIC(ll, fit.NumParams(ln)),
+				KS:     fit.KS(ln, sample),
+			})
+		}
+		fmt.Printf("=== %s (true law: %s) ===\n", sc.name, sc.truth.Name())
+		fmt.Printf("%-12s %10s %8s %8s %14s %14s\n",
+			"model", "AIC", "KS", "fit ok?", "T_opt @ age 0", "T_opt @ age 2h")
+		crit := stats.KSCriticalValue(len(sample), 0.05)
+		for _, f := range fits {
+			ok := "yes"
+			if f.KS > crit {
+				ok = "no" // KS test rejects at the 5% level
+			}
+			m := markov.Model{Avail: f.Dist, Costs: markov.Costs{C: 110, R: 110, L: 110}}
+			t0, _, err := m.Topt(0, markov.OptimizeOptions{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			t2h, _, err := m.Topt(7200, markov.OptimizeOptions{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-12s %10.1f %8.3f %8s %14.0f %14.0f\n", f.Dist.Name(), f.AIC, f.KS, ok, t0, t2h)
+		}
+		best, err := fit.BestByAIC(fits)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("AIC winner: %s — memoryless models keep T_opt flat; heavy-tailed fits stretch it with age\n\n", best.Dist.Name())
+	}
+}

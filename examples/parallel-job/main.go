@@ -1,0 +1,81 @@
+// Parallel-job: the paper's future-work scenario (§5.2) — a parallel
+// application with one process per desktop machine, all checkpointing
+// through the same shared link. Concurrent checkpoints collide and
+// stretch each other (processor-sharing), so a model that checkpoints
+// more often than necessary hurts not just the network but the whole
+// job. Compares an exponential-based schedule against a heavy-tailed
+// one on the same volatile machines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/cycleharvest/ckptsched/internal/dist"
+	"github.com/cycleharvest/ckptsched/internal/parallel"
+)
+
+func main() {
+	// Machines follow the paper's measured heavy-tailed law; the
+	// exponential schedule is what an MLE exponential fit would
+	// converge to on the same data (matching means).
+	avail := dist.NewWeibull(0.43, 3409)
+	expFit := dist.NewExponential(1 / avail.Mean())
+
+	base := parallel.Config{
+		Workers:      16,
+		Avail:        avail,
+		LinkMBps:     5,   // one campus-class link shared by everyone
+		CheckpointMB: 500, // the paper's image size
+		Duration:     72 * 3600,
+		Seed:         42,
+	}
+
+	fmt.Printf("parallel job: %d processes, %g MB checkpoints over a shared %g MB/s link\n",
+		base.Workers, base.CheckpointMB, base.LinkMBps)
+	fmt.Printf("solo transfer time: %.0f s\n\n", base.CheckpointMB/base.LinkMBps)
+	fmt.Printf("%-22s %10s %10s %12s %10s %12s %8s\n",
+		"schedule model", "efficiency", "commits", "network MB", "stretch", "collisions", "maxconc")
+
+	for _, sc := range []struct {
+		name string
+		d    dist.Distribution
+	}{
+		{"exponential", expFit},
+		{"weibull (true law)", avail},
+	} {
+		cfg := base
+		cfg.ScheduleDist = sc.d
+		res, err := parallel.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %10.3f %10d %12.0f %9.2fx %12d %8d\n",
+			sc.name, res.Efficiency, res.Commits, res.MBMoved,
+			res.CollisionStretch(), res.Collisions, res.MaxConcurrent)
+	}
+
+	fmt.Println("\nThe heavy-tailed schedule checkpoints less often: less data crosses")
+	fmt.Println("the shared link, transfers collide less, and each checkpoint stays")
+	fmt.Println("closer to its solo duration — the interaction the paper flags as the")
+	fmt.Println("reason network-parsimonious models matter for parallel jobs.")
+
+	// Coordination policies on top of the correct model: token-passing
+	// removes collisions entirely (at a queueing cost); per-interval
+	// jitter desynchronizes the herd with no coordination channel.
+	fmt.Printf("\n%-22s %10s %10s %10s %12s\n",
+		"stagger policy", "efficiency", "stretch", "collisions", "queue wait s")
+	for _, pol := range []parallel.StaggerPolicy{
+		parallel.StaggerNone, parallel.StaggerToken, parallel.StaggerJitter,
+	} {
+		cfg := base
+		cfg.ScheduleDist = avail
+		cfg.Stagger = pol
+		res, err := parallel.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %10.3f %9.2fx %10d %12.0f\n",
+			pol, res.Efficiency, res.CollisionStretch(), res.Collisions, res.QueueWaitSec)
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/cycleharvest/ckptsched
+
+go 1.22

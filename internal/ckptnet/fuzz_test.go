@@ -1,0 +1,57 @@
+package ckptnet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrame hardens the wire-frame parser against malformed input:
+// whatever bytes arrive, ReadFrame must return (not hang, not panic)
+// and never allocate an oversized buffer.
+func FuzzReadFrame(f *testing.F) {
+	// Seeds: a valid hello frame, a truncated one, garbage.
+	var valid bytes.Buffer
+	if err := WriteFrame(&valid, MsgHello, Hello{JobID: "seed"}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:3])
+	f.Add([]byte("GET / HTTP/1.1\r\n\r\n"))
+	f.Add([]byte{1, 0xFF, 0xFF, 0xFF, 0xFF, 0, 0})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var h Hello
+		_, _ = ReadFrame(bytes.NewReader(data), &h)
+		// Also exercise the discard path.
+		_, _ = ReadFrame(bytes.NewReader(data), nil)
+	})
+}
+
+// FuzzFrameRoundTrip checks that every Hello survives a write/read
+// cycle byte-exactly.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add("job-1", 0.0)
+	f.Add("", 1e9)
+	f.Add("desktop0001/7", -3.5)
+	f.Fuzz(func(t *testing.T, jobID string, telapsed float64) {
+		var buf bytes.Buffer
+		in := Hello{JobID: jobID, TElapsed: telapsed}
+		if err := WriteFrame(&buf, MsgHello, in); err != nil {
+			t.Skip() // e.g. invalid UTF-8 in jobID may fail to marshal
+		}
+		var out Hello
+		typ, err := ReadFrame(&buf, &out)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if typ != MsgHello || out.JobID != in.JobID {
+			t.Fatalf("round trip mangled frame: %+v vs %+v", out, in)
+		}
+		// NaN never equals itself; compare bit-for-bit semantics only
+		// for ordinary values.
+		if out.TElapsed != in.TElapsed && in.TElapsed == in.TElapsed {
+			t.Fatalf("t_elapsed mangled: %g vs %g", out.TElapsed, in.TElapsed)
+		}
+	})
+}

@@ -1,0 +1,140 @@
+package ckptnet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/cycleharvest/ckptsched/internal/fit"
+)
+
+// EventKind classifies a session-log event.
+type EventKind int
+
+// Session-log event kinds, in the order a healthy session produces
+// them.
+const (
+	EvConnected EventKind = iota
+	EvRecoveryDone
+	EvRecoveryInterrupted
+	EvTopt
+	EvHeartbeat
+	EvCheckpointDone
+	EvCheckpointInterrupted
+	EvDisconnected
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvConnected:
+		return "connected"
+	case EvRecoveryDone:
+		return "recovery-done"
+	case EvRecoveryInterrupted:
+		return "recovery-interrupted"
+	case EvTopt:
+		return "topt"
+	case EvHeartbeat:
+		return "heartbeat"
+	case EvCheckpointDone:
+		return "checkpoint-done"
+	case EvCheckpointInterrupted:
+		return "checkpoint-interrupted"
+	case EvDisconnected:
+		return "disconnected"
+	}
+	return fmt.Sprintf("event(%d)", int(k))
+}
+
+// LogEvent is one manager-side observation about a session.
+type LogEvent struct {
+	// Wall is the manager's wall-clock timestamp.
+	Wall time.Time
+	// Kind classifies the event.
+	Kind EventKind
+	// Value is kind-dependent: seconds for transfers and heartbeats,
+	// the computed T_opt for EvTopt, bytes moved for interrupted
+	// transfers.
+	Value float64
+}
+
+// SessionLog is the manager's per-process record — the paper's "log
+// file for each test process from which the overhead ratio can be
+// calculated post facto".
+type SessionLog struct {
+	mu sync.Mutex
+
+	// JobID identifies the test process.
+	JobID string
+	// Model and Params echo the assignment.
+	Model  fit.Model
+	Params []float64
+	// CheckpointBytes is the per-transfer image size.
+	CheckpointBytes int64
+	// Events is the chronological event list.
+	Events []LogEvent
+}
+
+// Add appends an event stamped with the current wall time.
+func (l *SessionLog) Add(kind EventKind, value float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.Events = append(l.Events, LogEvent{Wall: time.Now(), Kind: kind, Value: value})
+}
+
+// LastEvent returns the most recent event, or ok=false for an empty
+// log. Use this (or Summarize) rather than reading Events directly
+// while the session may still be live.
+func (l *SessionLog) LastEvent() (ev LogEvent, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.Events) == 0 {
+		return LogEvent{}, false
+	}
+	return l.Events[len(l.Events)-1], true
+}
+
+// Summary condenses a session log into the quantities the paper's
+// tables aggregate.
+type Summary struct {
+	// Recoveries and Checkpoints count completed transfers;
+	// Interrupted counts transfers cut off by eviction.
+	Recoveries, Checkpoints, Interrupted int
+	// Heartbeats counts heartbeat messages received.
+	Heartbeats int
+	// ToptReports counts per-interval schedule recomputations.
+	ToptReports int
+	// BytesMoved is the total network volume, including the partial
+	// bytes of interrupted transfers.
+	BytesMoved int64
+	// LastHeartbeat is the final cumulative-runtime report, seconds.
+	LastHeartbeat float64
+}
+
+// Summarize computes the Summary of the log.
+func (l *SessionLog) Summarize() Summary {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var s Summary
+	for _, e := range l.Events {
+		switch e.Kind {
+		case EvRecoveryDone:
+			s.Recoveries++
+			s.BytesMoved += l.CheckpointBytes
+		case EvCheckpointDone:
+			s.Checkpoints++
+			s.BytesMoved += l.CheckpointBytes
+		case EvRecoveryInterrupted, EvCheckpointInterrupted:
+			s.Interrupted++
+			s.BytesMoved += int64(e.Value)
+		case EvHeartbeat:
+			s.Heartbeats++
+			if e.Value > s.LastHeartbeat {
+				s.LastHeartbeat = e.Value
+			}
+		case EvTopt:
+			s.ToptReports++
+		}
+	}
+	return s
+}

@@ -1,0 +1,107 @@
+package ckptnet
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/cycleharvest/ckptsched/internal/fit"
+)
+
+// sessionDTO is the JSON-lines wire form of a SessionLog (the type
+// itself carries a mutex and stays unexported from encoding).
+type sessionDTO struct {
+	JobID           string     `json:"job_id"`
+	Model           string     `json:"model"`
+	Params          []float64  `json:"params"`
+	CheckpointBytes int64      `json:"checkpoint_bytes"`
+	Events          []eventDTO `json:"events"`
+}
+
+type eventDTO struct {
+	Wall  time.Time `json:"wall"`
+	Kind  string    `json:"kind"`
+	Value float64   `json:"value"`
+}
+
+// kindValues inverts EventKind.String for parsing.
+var kindValues = func() map[string]EventKind {
+	m := make(map[string]EventKind)
+	for k := EvConnected; k <= EvDisconnected; k++ {
+		m[k.String()] = k
+	}
+	return m
+}()
+
+// WriteSessions writes session logs as JSON lines (one session per
+// line), the manager's durable log format.
+func WriteSessions(w io.Writer, sessions []*SessionLog) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, s := range sessions {
+		s.mu.Lock()
+		dto := sessionDTO{
+			JobID:           s.JobID,
+			Model:           s.Model.String(),
+			Params:          s.Params,
+			CheckpointBytes: s.CheckpointBytes,
+		}
+		for _, e := range s.Events {
+			dto.Events = append(dto.Events, eventDTO{Wall: e.Wall, Kind: e.Kind.String(), Value: e.Value})
+		}
+		s.mu.Unlock()
+		if err := enc.Encode(dto); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSessions parses a JSON-lines session log written by
+// WriteSessions.
+func ReadSessions(r io.Reader) ([]*SessionLog, error) {
+	dec := json.NewDecoder(r)
+	var out []*SessionLog
+	for {
+		var dto sessionDTO
+		if err := dec.Decode(&dto); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("ckptnet: session log: %w", err)
+		}
+		model, err := fit.ParseModel(dto.Model)
+		if err != nil {
+			return nil, fmt.Errorf("ckptnet: session %q: %w", dto.JobID, err)
+		}
+		s := &SessionLog{
+			JobID:           dto.JobID,
+			Model:           model,
+			Params:          dto.Params,
+			CheckpointBytes: dto.CheckpointBytes,
+		}
+		for _, e := range dto.Events {
+			kind, ok := kindValues[e.Kind]
+			if !ok {
+				return nil, fmt.Errorf("ckptnet: session %q: unknown event kind %q", dto.JobID, e.Kind)
+			}
+			s.Events = append(s.Events, LogEvent{Wall: e.Wall, Kind: kind, Value: e.Value})
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// WallSeconds returns the wall-clock span of the session from first to
+// last event (0 for fewer than two events).
+func (l *SessionLog) WallSeconds() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.Events) < 2 {
+		return 0
+	}
+	return l.Events[len(l.Events)-1].Wall.Sub(l.Events[0].Wall).Seconds()
+}

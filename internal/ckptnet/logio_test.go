@@ -1,0 +1,87 @@
+package ckptnet
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/cycleharvest/ckptsched/internal/fit"
+)
+
+func TestSessionLogRoundTrip(t *testing.T) {
+	a := &SessionLog{
+		JobID:           "desktop0001/1",
+		Model:           fit.ModelHyperexp2,
+		Params:          []float64{0.6, 0.4, 0.01, 0.0001},
+		CheckpointBytes: 500 * MB,
+	}
+	a.Add(EvConnected, 300)
+	a.Add(EvRecoveryDone, 0)
+	a.Add(EvTopt, 1234)
+	a.Add(EvHeartbeat, 10)
+	a.Add(EvCheckpointDone, 0)
+	a.Add(EvCheckpointInterrupted, 4096)
+	a.Add(EvDisconnected, 0)
+	b := &SessionLog{JobID: "desktop0002/2", Model: fit.ModelExponential, Params: []float64{0.001}}
+	b.Add(EvConnected, 0)
+
+	var buf bytes.Buffer
+	if err := WriteSessions(&buf, []*SessionLog{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSessions(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("sessions = %d", len(got))
+	}
+	ga := got[0]
+	if ga.JobID != a.JobID || ga.Model != a.Model || ga.CheckpointBytes != a.CheckpointBytes {
+		t.Errorf("metadata lost: %+v", ga)
+	}
+	if len(ga.Params) != 4 || ga.Params[2] != 0.01 {
+		t.Errorf("params lost: %v", ga.Params)
+	}
+	if len(ga.Events) != 7 || ga.Events[2].Kind != EvTopt || ga.Events[2].Value != 1234 {
+		t.Errorf("events lost: %+v", ga.Events)
+	}
+	// Summaries agree across the round trip.
+	if a.Summarize() != ga.Summarize() {
+		t.Errorf("summary changed: %+v vs %+v", a.Summarize(), ga.Summarize())
+	}
+}
+
+func TestReadSessionsErrors(t *testing.T) {
+	if _, err := ReadSessions(strings.NewReader("{not json")); err == nil {
+		t.Error("bad json should error")
+	}
+	if _, err := ReadSessions(strings.NewReader(`{"job_id":"x","model":"bogus"}` + "\n")); err == nil {
+		t.Error("unknown model should error")
+	}
+	if _, err := ReadSessions(strings.NewReader(
+		`{"job_id":"x","model":"weibull","events":[{"kind":"nope"}]}` + "\n")); err == nil {
+		t.Error("unknown event kind should error")
+	}
+	// Empty input yields no sessions, no error.
+	got, err := ReadSessions(strings.NewReader(""))
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty input: %v, %d sessions", err, len(got))
+	}
+}
+
+func TestWallSeconds(t *testing.T) {
+	s := &SessionLog{}
+	if s.WallSeconds() != 0 {
+		t.Error("empty log should have zero wall time")
+	}
+	t0 := time.Now()
+	s.Events = []LogEvent{
+		{Wall: t0, Kind: EvConnected},
+		{Wall: t0.Add(90 * time.Second), Kind: EvDisconnected},
+	}
+	if got := s.WallSeconds(); got != 90 {
+		t.Errorf("wall = %g, want 90", got)
+	}
+}

@@ -1,0 +1,205 @@
+package ckptnet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"github.com/cycleharvest/ckptsched/internal/fit"
+)
+
+// Assigner decides which availability model a connecting test process
+// should use — the manager-side policy. The paper's manager rotates
+// among the four families and parameterizes each from the 18-month
+// trace archive of the host the process landed on.
+type Assigner interface {
+	Assign(h Hello) (Assign, error)
+}
+
+// AssignerFunc adapts a function to the Assigner interface.
+type AssignerFunc func(h Hello) (Assign, error)
+
+// Assign implements Assigner.
+func (f AssignerFunc) Assign(h Hello) (Assign, error) { return f(h) }
+
+// StaticAssigner always assigns the same model and parameters.
+func StaticAssigner(m fit.Model, params []float64, bytes int64) Assigner {
+	return AssignerFunc(func(Hello) (Assign, error) {
+		return Assign{Model: m, Params: params, CheckpointBytes: bytes, HeartbeatSec: 10}, nil
+	})
+}
+
+// Manager is the checkpoint manager: a TCP server that serves recovery
+// images, receives checkpoints, and logs every session event.
+type Manager struct {
+	assigner Assigner
+
+	mu       sync.Mutex
+	listener net.Listener
+	sessions []*SessionLog
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// NewManager creates a manager with the given assignment policy.
+func NewManager(a Assigner) (*Manager, error) {
+	if a == nil {
+		return nil, errors.New("ckptnet: nil assigner")
+	}
+	return &Manager{assigner: a}, nil
+}
+
+// Listen starts accepting test-process connections on addr (e.g.
+// "127.0.0.1:0") and returns the bound address.
+func (m *Manager) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	m.listener = ln
+	m.mu.Unlock()
+	m.wg.Add(1)
+	go m.acceptLoop(ln)
+	return ln.Addr(), nil
+}
+
+func (m *Manager) acceptLoop(ln net.Listener) {
+	defer m.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			defer conn.Close()
+			m.serve(conn)
+		}()
+	}
+}
+
+// Close stops the listener and waits for in-flight sessions.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	ln := m.listener
+	m.closed = true
+	m.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	m.wg.Wait()
+	return err
+}
+
+// Sessions returns the logs of all sessions seen so far (live and
+// finished).
+func (m *Manager) Sessions() []*SessionLog {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*SessionLog, len(m.sessions))
+	copy(out, m.sessions)
+	return out
+}
+
+// serve runs the manager side of one session. Any I/O error is
+// interpreted as the process being evicted (the paper's
+// terminate-on-eviction semantics make a dropped connection the normal
+// end of a session).
+func (m *Manager) serve(conn net.Conn) {
+	var hello Hello
+	t, err := ReadFrame(conn, &hello)
+	if err != nil || t != MsgHello {
+		return
+	}
+	assign, err := m.assigner.Assign(hello)
+	if err != nil {
+		return
+	}
+	if assign.HeartbeatSec <= 0 {
+		assign.HeartbeatSec = 10
+	}
+
+	log := &SessionLog{
+		JobID:           hello.JobID,
+		Model:           assign.Model,
+		Params:          assign.Params,
+		CheckpointBytes: assign.CheckpointBytes,
+	}
+	m.mu.Lock()
+	m.sessions = append(m.sessions, log)
+	m.mu.Unlock()
+	log.Add(EvConnected, hello.TElapsed)
+	defer log.Add(EvDisconnected, 0)
+
+	if err := WriteFrame(conn, MsgAssign, assign); err != nil {
+		return
+	}
+
+	// Initial recovery: stream the image to the process. A write
+	// error means the process was evicted mid-recovery; TCP cannot
+	// tell us precisely how many bytes arrived, so the manager records
+	// the attempt with an unknown (zero) byte count and relies on
+	// its own timing elsewhere.
+	if err := WriteFrame(conn, MsgRecoveryBegin, DataBegin{Bytes: assign.CheckpointBytes}); err != nil {
+		return
+	}
+	if err := WriteData(conn, assign.CheckpointBytes); err != nil {
+		log.Add(EvRecoveryInterrupted, 0)
+		return
+	}
+	log.Add(EvRecoveryDone, 0)
+
+	// Event loop: heartbeats, T_opt reports, checkpoints — until the
+	// connection drops (eviction).
+	for {
+		var raw struct {
+			Topt      float64 `json:"topt"`
+			MeasuredC float64 `json:"measured_c"`
+			Age       float64 `json:"age"`
+			Elapsed   float64 `json:"elapsed"`
+			Bytes     int64   `json:"bytes"`
+		}
+		t, err := ReadFrame(conn, &raw)
+		if err != nil {
+			return
+		}
+		switch t {
+		case MsgTopt:
+			log.Add(EvTopt, raw.Topt)
+		case MsgHeartbeat:
+			log.Add(EvHeartbeat, raw.Elapsed)
+		case MsgCheckpointBegin:
+			got, err := ReadData(conn, raw.Bytes)
+			if err != nil {
+				if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+					log.Add(EvCheckpointInterrupted, float64(got))
+					return
+				}
+				return
+			}
+			log.Add(EvCheckpointDone, 0)
+			if err := WriteFrame(conn, MsgCheckpointAck, struct{}{}); err != nil {
+				return
+			}
+		default:
+			// Protocol violation; drop the session.
+			return
+		}
+	}
+}
+
+// String describes the manager for logs.
+func (m *Manager) String() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	addr := "unbound"
+	if m.listener != nil {
+		addr = m.listener.Addr().String()
+	}
+	return fmt.Sprintf("ckptnet.Manager(%s, %d sessions)", addr, len(m.sessions))
+}

@@ -1,0 +1,184 @@
+package ckptnet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/cycleharvest/ckptsched/internal/core"
+)
+
+// ProcessConfig configures one instrumented test process (§5.2).
+type ProcessConfig struct {
+	// Addr is the checkpoint manager's TCP address.
+	Addr string
+	// JobID identifies this process in the manager's logs.
+	JobID string
+	// TElapsed is the hosting resource's age (seconds since it became
+	// available) at process start, if known.
+	TElapsed float64
+	// TimeScale compresses virtual time for testing: wall seconds =
+	// virtual seconds × TimeScale. 1 runs in real time; 1e-3 runs a
+	// 10-second heartbeat every 10 ms. Transfer durations measured on
+	// the wire are divided by TimeScale to recover virtual seconds.
+	TimeScale float64
+	// MaxIntervals stops the process voluntarily after this many
+	// committed checkpoints (0 = run until the context is canceled,
+	// the live terminate-on-eviction behavior).
+	MaxIntervals int
+}
+
+// ProcessReport summarizes a test process run from the client side.
+type ProcessReport struct {
+	// Model and Params echo the manager's assignment.
+	Assign Assign
+	// RecoverySec is the measured initial transfer time (virtual
+	// seconds).
+	RecoverySec float64
+	// CheckpointSecs are the measured checkpoint transfer times
+	// (virtual seconds), one per committed checkpoint.
+	CheckpointSecs []float64
+	// Topts are the successive computed work intervals (virtual
+	// seconds).
+	Topts []float64
+	// WorkSec is the total virtual time spent spinning (computing).
+	WorkSec float64
+	// Heartbeats counts heartbeat messages sent.
+	Heartbeats int
+	// Evicted reports whether the run ended by cancellation/disconnect
+	// rather than by reaching MaxIntervals.
+	Evicted bool
+}
+
+// RunProcess connects to the checkpoint manager and executes the
+// instrumented recovery–compute–checkpoint cycle: time the recovery
+// transfer, compute T_opt from the measured cost, spin while
+// heart-beating every HeartbeatSec, checkpoint, re-measure, recompute,
+// repeat. Cancel ctx to emulate an eviction (the connection drops
+// mid-whatever, exactly as Condor's Vanilla universe kills a process).
+func RunProcess(ctx context.Context, cfg ProcessConfig) (*ProcessReport, error) {
+	if cfg.TimeScale <= 0 {
+		cfg.TimeScale = 1
+	}
+	conn, err := net.Dial("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("ckptnet: dial manager: %w", err)
+	}
+	defer conn.Close()
+	// Eviction: tear the connection down when the context ends so
+	// blocked I/O aborts immediately.
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+
+	rep := &ProcessReport{}
+	if err := WriteFrame(conn, MsgHello, Hello{JobID: cfg.JobID, TElapsed: cfg.TElapsed}); err != nil {
+		return rep, evictErr(ctx, rep, err)
+	}
+	if t, err := ReadFrame(conn, &rep.Assign); err != nil || t != MsgAssign {
+		if err == nil {
+			err = ErrUnexpectedFrame
+		}
+		return rep, evictErr(ctx, rep, err)
+	}
+	hb := rep.Assign.HeartbeatSec
+	if hb <= 0 {
+		hb = 10
+	}
+
+	// Initial recovery, timed.
+	var begin DataBegin
+	if t, err := ReadFrame(conn, &begin); err != nil || t != MsgRecoveryBegin {
+		if err == nil {
+			err = ErrUnexpectedFrame
+		}
+		return rep, evictErr(ctx, rep, err)
+	}
+	start := time.Now()
+	if _, err := ReadData(conn, begin.Bytes); err != nil {
+		return rep, evictErr(ctx, rep, err)
+	}
+	rep.RecoverySec = time.Since(start).Seconds() / cfg.TimeScale
+	age := cfg.TElapsed + rep.RecoverySec
+	measuredC := rep.RecoverySec
+
+	for {
+		topt, eff, err := core.Routine(rep.Assign.Model, rep.Assign.Params, age, measuredC, measuredC)
+		if err != nil {
+			return rep, fmt.Errorf("ckptnet: computing T_opt: %w", err)
+		}
+		rep.Topts = append(rep.Topts, topt)
+		if err := WriteFrame(conn, MsgTopt, ToptReport{
+			Topt: topt, MeasuredC: measuredC, Age: age, Efficiency: eff,
+		}); err != nil {
+			return rep, evictErr(ctx, rep, err)
+		}
+
+		// Emulate computation: spin for topt virtual seconds, sending
+		// a heartbeat every hb virtual seconds.
+		if err := rep.spin(ctx, conn, topt, hb, cfg.TimeScale); err != nil {
+			return rep, evictErr(ctx, rep, err)
+		}
+
+		// Checkpoint, timed to first ack.
+		start = time.Now()
+		if err := WriteFrame(conn, MsgCheckpointBegin, DataBegin{Bytes: rep.Assign.CheckpointBytes}); err != nil {
+			return rep, evictErr(ctx, rep, err)
+		}
+		if err := WriteData(conn, rep.Assign.CheckpointBytes); err != nil {
+			return rep, evictErr(ctx, rep, err)
+		}
+		if t, err := ReadFrame(conn, nil); err != nil || t != MsgCheckpointAck {
+			if err == nil {
+				err = ErrUnexpectedFrame
+			}
+			return rep, evictErr(ctx, rep, err)
+		}
+		measuredC = time.Since(start).Seconds() / cfg.TimeScale
+		rep.CheckpointSecs = append(rep.CheckpointSecs, measuredC)
+		age += topt + measuredC
+
+		if cfg.MaxIntervals > 0 && len(rep.CheckpointSecs) >= cfg.MaxIntervals {
+			return rep, nil
+		}
+	}
+}
+
+// spin emulates computation and heartbeats for topt virtual seconds.
+func (rep *ProcessReport) spin(ctx context.Context, conn net.Conn, topt, hb, scale float64) error {
+	remaining := topt
+	for remaining > 0 {
+		step := hb
+		if step > remaining {
+			step = remaining
+		}
+		wall := time.Duration(step * scale * float64(time.Second))
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(wall):
+		}
+		remaining -= step
+		rep.WorkSec += step
+		if err := WriteFrame(conn, MsgHeartbeat, Heartbeat{Elapsed: rep.WorkSec}); err != nil {
+			return err
+		}
+		rep.Heartbeats++
+	}
+	return nil
+}
+
+// evictErr converts I/O failures caused by eviction (context
+// cancellation) into a clean evicted report.
+func evictErr(ctx context.Context, rep *ProcessReport, err error) error {
+	if ctx.Err() != nil {
+		rep.Evicted = true
+		return nil
+	}
+	if errors.Is(err, net.ErrClosed) {
+		rep.Evicted = true
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,159 @@
+package ckptnet
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/cycleharvest/ckptsched/internal/fit"
+)
+
+// MsgType tags a protocol frame.
+type MsgType byte
+
+// Protocol frame types. Control frames carry a JSON payload; the
+// recovery and checkpoint frames are followed by exactly Bytes raw
+// data bytes on the wire.
+const (
+	MsgHello           MsgType = 1 // process → manager: introduce job
+	MsgAssign          MsgType = 2 // manager → process: model + parameters
+	MsgRecoveryBegin   MsgType = 3 // manager → process: raw data follows
+	MsgTopt            MsgType = 4 // process → manager: interval report
+	MsgHeartbeat       MsgType = 5 // process → manager: cumulative runtime
+	MsgCheckpointBegin MsgType = 6 // process → manager: raw data follows
+	MsgCheckpointAck   MsgType = 7 // manager → process: checkpoint stored
+)
+
+// maxFrame bounds control-frame payloads (data streams are unbounded
+// and framed by their announced byte counts instead).
+const maxFrame = 1 << 20
+
+// Hello introduces a test process to the manager.
+type Hello struct {
+	JobID string `json:"job_id"`
+	// TElapsed is how long the hosting resource had been available
+	// when the process started, in seconds (0 when unknown).
+	TElapsed float64 `json:"t_elapsed"`
+}
+
+// Assign tells the process which availability model to schedule with
+// (the manager fits models centrally from its trace archive).
+type Assign struct {
+	Model  fit.Model `json:"model"`
+	Params []float64 `json:"params"`
+	// CheckpointBytes is the image size to transfer each way.
+	CheckpointBytes int64 `json:"checkpoint_bytes"`
+	// HeartbeatSec is the heartbeat period (the paper uses 10 s).
+	HeartbeatSec float64 `json:"heartbeat_sec"`
+}
+
+// DataBegin announces a raw transfer of Bytes bytes immediately
+// following the frame (used by MsgRecoveryBegin and
+// MsgCheckpointBegin).
+type DataBegin struct {
+	Bytes int64 `json:"bytes"`
+}
+
+// ToptReport is the process's per-interval log record: the interval it
+// computed, the transfer time it measured, and the resource age used.
+type ToptReport struct {
+	Topt       float64 `json:"topt"`
+	MeasuredC  float64 `json:"measured_c"`
+	Age        float64 `json:"age"`
+	Efficiency float64 `json:"efficiency"`
+}
+
+// Heartbeat carries the cumulative seconds since the process began.
+type Heartbeat struct {
+	Elapsed float64 `json:"elapsed"`
+}
+
+// WriteFrame writes one control frame.
+func WriteFrame(w io.Writer, t MsgType, payload any) error {
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("ckptnet: marshal %d: %w", t, err)
+	}
+	if len(body) > maxFrame {
+		return fmt.Errorf("ckptnet: frame too large: %d", len(body))
+	}
+	var hdr [5]byte
+	hdr[0] = byte(t)
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// ReadFrame reads one control frame and unmarshals its payload into
+// out (pass nil to discard).
+func ReadFrame(r io.Reader, out any) (MsgType, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > maxFrame {
+		return 0, fmt.Errorf("ckptnet: oversized frame %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, err
+	}
+	t := MsgType(hdr[0])
+	if out != nil {
+		if err := json.Unmarshal(body, out); err != nil {
+			return t, fmt.Errorf("ckptnet: unmarshal frame %d: %w", t, err)
+		}
+	}
+	return t, nil
+}
+
+// ErrUnexpectedFrame is returned when a peer violates the protocol
+// state machine.
+var ErrUnexpectedFrame = errors.New("ckptnet: unexpected frame")
+
+// chunkSize is the unit in which raw data streams are written.
+const chunkSize = 64 << 10
+
+// WriteData streams n pseudo-payload bytes to w. The content is
+// irrelevant (the paper transfers memory images; we transfer zeroed
+// buffers), only the byte count matters to timing.
+func WriteData(w io.Writer, n int64) error {
+	buf := make([]byte, chunkSize)
+	for n > 0 {
+		c := int64(len(buf))
+		if c > n {
+			c = n
+		}
+		if _, err := w.Write(buf[:c]); err != nil {
+			return err
+		}
+		n -= c
+	}
+	return nil
+}
+
+// ReadData consumes exactly n raw bytes from r, returning the number
+// actually read (short on error — the partial-transfer measurement the
+// manager records when a process is evicted mid-checkpoint).
+func ReadData(r io.Reader, n int64) (int64, error) {
+	buf := make([]byte, chunkSize)
+	var got int64
+	for got < n {
+		c := int64(len(buf))
+		if c > n-got {
+			c = n - got
+		}
+		k, err := io.ReadFull(r, buf[:c])
+		got += int64(k)
+		if err != nil {
+			return got, err
+		}
+	}
+	return got, nil
+}

@@ -1,0 +1,121 @@
+// Package condor is a discrete-event simulation of a Condor-style
+// cycle-harvesting pool: desktop machines alternate between
+// owner-busy and harvestable-idle periods, a matchmaker assigns queued
+// Vanilla-universe jobs (terminate-on-eviction, §4 of the paper) to
+// idle machines, and an occupancy monitor — the paper's measurement
+// sensor — records how long each job held each machine.
+//
+// The package substitutes for the live University of Wisconsin Condor
+// pool the paper measured for 18 months: everything downstream
+// consumes only the per-machine sequences of availability durations
+// the monitor produces, plus the (machine, T_elapsed, eviction-time)
+// allocations the live-experiment harness draws.
+package condor
+
+import "container/heap"
+
+// Event is a scheduled callback in virtual time. Cancel prevents a
+// pending event from firing.
+type Event struct {
+	at       float64
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int
+}
+
+// At returns the virtual time the event fires.
+func (e *Event) At() float64 { return e.at }
+
+// Cancel prevents the event from firing. Canceling an already-fired
+// or already-canceled event is a no-op.
+func (e *Event) Cancel() { e.canceled = true }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq // FIFO among simultaneous events
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Clock is a virtual-time event loop. The zero value is ready to use
+// at time 0.
+type Clock struct {
+	now    float64
+	seq    uint64
+	events eventHeap
+}
+
+// Now returns the current virtual time in seconds.
+func (c *Clock) Now() float64 { return c.now }
+
+// Schedule registers fn to run after delay seconds (clamped to now for
+// negative delays) and returns a cancellable handle.
+func (c *Clock) Schedule(delay float64, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	e := &Event{at: c.now + delay, seq: c.seq, fn: fn}
+	c.seq++
+	heap.Push(&c.events, e)
+	return e
+}
+
+// Step fires the next pending event, returning false when none
+// remain.
+func (c *Clock) Step() bool {
+	for c.events.Len() > 0 {
+		e := heap.Pop(&c.events).(*Event)
+		if e.canceled {
+			continue
+		}
+		c.now = e.at
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil fires events in order until virtual time would pass t (the
+// clock ends at exactly t) or no events remain.
+func (c *Clock) RunUntil(t float64) {
+	for c.events.Len() > 0 {
+		// Peek.
+		next := c.events[0]
+		if next.canceled {
+			heap.Pop(&c.events)
+			continue
+		}
+		if next.at > t {
+			break
+		}
+		c.Step()
+	}
+	if c.now < t {
+		c.now = t
+	}
+}
+
+// Pending returns the number of scheduled (possibly canceled) events.
+func (c *Clock) Pending() int { return c.events.Len() }

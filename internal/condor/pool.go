@@ -1,0 +1,332 @@
+package condor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/cycleharvest/ckptsched/internal/dist"
+)
+
+// Machine describes one desktop workstation contributed to the pool.
+type Machine struct {
+	// Name uniquely identifies the machine.
+	Name string
+	// MemoryMB is installed memory; jobs state a minimum (the paper's
+	// test application needs 512 MB machines for its 500 MB images).
+	MemoryMB int
+	// Arch is the instruction-set label used in matchmaking.
+	Arch string
+	// Idle is the distribution of harvestable idle-period durations —
+	// the availability law the paper models.
+	Idle dist.Distribution
+	// Busy is the distribution of owner-active periods between idle
+	// periods.
+	Busy dist.Distribution
+	// InitiallyBusy starts the machine in an owner-active period.
+	InitiallyBusy bool
+	// DiurnalAmplitude, when positive, modulates idle durations by
+	// time of day: periods beginning during working hours (09:00-17:00
+	// on virtual weekdays, with virtual time 0 taken as Monday 00:00)
+	// are scaled by 1/(1+A) and periods beginning at night or on
+	// weekends by (1+A). Real desktop pools show exactly this
+	// nonstationarity; it makes the recorded traces violate the
+	// i.i.d. assumption the fitters make, the way measured data does.
+	DiurnalAmplitude float64
+}
+
+// workingHours reports whether virtual time t falls in 09:00-17:00 on
+// a weekday, with t = 0 anchored to Monday 00:00.
+func workingHours(t float64) bool {
+	const day = 24 * 3600
+	weekSec := math.Mod(t, 7*day)
+	if weekSec < 0 {
+		weekSec += 7 * day
+	}
+	if weekSec >= 5*day {
+		return false // Saturday or Sunday
+	}
+	hour := math.Mod(weekSec, day) / 3600
+	return hour >= 9 && hour < 17
+}
+
+// diurnalFactor scales an idle duration drawn at virtual time t.
+func diurnalFactor(t, amplitude float64) float64 {
+	if amplitude <= 0 {
+		return 1
+	}
+	if workingHours(t) {
+		return 1 / (1 + amplitude)
+	}
+	return 1 + amplitude
+}
+
+// JobState is the lifecycle of a submitted job.
+type JobState int
+
+// Job lifecycle states.
+const (
+	JobNew JobState = iota // created but never submitted
+	JobQueued
+	JobRunning
+	JobEvicted   // terminated by owner reclamation (Vanilla universe)
+	JobCompleted // finished voluntarily
+	JobRemoved   // withdrawn by the submitter
+)
+
+func (s JobState) String() string {
+	switch s {
+	case JobNew:
+		return "new"
+	case JobQueued:
+		return "queued"
+	case JobRunning:
+		return "running"
+	case JobEvicted:
+		return "evicted"
+	case JobCompleted:
+		return "completed"
+	case JobRemoved:
+		return "removed"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Alloc describes a job placement, passed to the job's OnStart hook.
+type Alloc struct {
+	// Machine is the hosting machine's specification.
+	Machine Machine
+	// Start is the virtual time the job began executing.
+	Start float64
+	// TElapsed is how long the machine had already been idle when the
+	// job started — the paper's T_elapsed input to the first T_opt.
+	TElapsed float64
+}
+
+// Job is a Vanilla-universe (terminate-on-eviction) job. Hooks are
+// invoked from the pool's event loop; they may schedule clock events
+// but must not block and must not call pool methods synchronously
+// (defer pool calls with Clock().Schedule(0, …) to avoid reentering
+// the matchmaker).
+type Job struct {
+	// Name identifies the job in logs.
+	Name string
+	// RequiresMB is the minimum machine memory (0 = any).
+	RequiresMB int
+	// RequiresArch restricts matchmaking to one architecture ("" =
+	// any).
+	RequiresArch string
+	// Requeue resubmits the job automatically after eviction — how
+	// the paper keeps its occupancy monitors permanently in the queue.
+	Requeue bool
+	// OnStart fires when the job begins executing on a machine.
+	OnStart func(a Alloc)
+	// OnEvict fires when the owner reclaims the machine; the job's
+	// process is terminated at this instant.
+	OnEvict func(at float64)
+	// OnComplete fires when the job finishes voluntarily via
+	// Pool.Complete.
+	OnComplete func(at float64)
+
+	state   JobState
+	machine *machineState
+}
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() JobState { return j.state }
+
+type machineState struct {
+	spec      Machine
+	idle      bool
+	idleSince float64
+	running   *Job
+	reclaim   *Event
+}
+
+// Pool is the matchmaker and event loop that binds machines and jobs.
+type Pool struct {
+	clock    *Clock
+	rng      *rand.Rand
+	machines []*machineState
+	queue    []*Job
+
+	// Evictions counts owner reclamations that terminated a job.
+	Evictions int
+	// Starts counts job placements.
+	Starts int
+}
+
+// NewPool builds a pool over the given machines. Machine idle/busy
+// processes are driven by rng (deterministic for a fixed seed).
+func NewPool(machines []Machine, seed int64) (*Pool, error) {
+	if len(machines) == 0 {
+		return nil, errors.New("condor: pool needs at least one machine")
+	}
+	p := &Pool{clock: &Clock{}, rng: rand.New(rand.NewSource(seed))}
+	seen := make(map[string]bool, len(machines))
+	for _, m := range machines {
+		if m.Name == "" {
+			return nil, errors.New("condor: machine with empty name")
+		}
+		if seen[m.Name] {
+			return nil, fmt.Errorf("condor: duplicate machine %q", m.Name)
+		}
+		seen[m.Name] = true
+		if m.Idle == nil || m.Busy == nil {
+			return nil, fmt.Errorf("condor: machine %q needs idle and busy distributions", m.Name)
+		}
+		ms := &machineState{spec: m}
+		p.machines = append(p.machines, ms)
+		if m.InitiallyBusy {
+			p.scheduleBusy(ms, m.Busy.Rand(p.rng))
+		} else {
+			p.becomeIdle(ms)
+		}
+	}
+	return p, nil
+}
+
+// Clock exposes the pool's virtual clock so jobs can schedule their
+// own events (heartbeats, transfer completions).
+func (p *Pool) Clock() *Clock { return p.clock }
+
+// Machines returns the machine specifications.
+func (p *Pool) Machines() []Machine {
+	out := make([]Machine, len(p.machines))
+	for i, ms := range p.machines {
+		out[i] = ms.spec
+	}
+	return out
+}
+
+// Submit queues a job and attempts to place it immediately.
+func (p *Pool) Submit(j *Job) error {
+	if j == nil {
+		return errors.New("condor: nil job")
+	}
+	if j.state == JobRunning || j.state == JobQueued {
+		return fmt.Errorf("condor: job %q already submitted", j.Name)
+	}
+	j.state = JobQueued
+	p.queue = append(p.queue, j)
+	p.match()
+	return nil
+}
+
+// Remove withdraws a queued job. Running jobs cannot be removed (use
+// Complete).
+func (p *Pool) Remove(j *Job) error {
+	for i, q := range p.queue {
+		if q == j {
+			p.queue = append(p.queue[:i], p.queue[i+1:]...)
+			j.state = JobRemoved
+			return nil
+		}
+	}
+	return fmt.Errorf("condor: job %q not queued", j.Name)
+}
+
+// Complete marks a running job as voluntarily finished, freeing its
+// machine for the next queued job.
+func (p *Pool) Complete(j *Job) error {
+	if j.state != JobRunning || j.machine == nil {
+		return fmt.Errorf("condor: job %q is not running", j.Name)
+	}
+	ms := j.machine
+	ms.running = nil
+	j.machine = nil
+	j.state = JobCompleted
+	if j.OnComplete != nil {
+		j.OnComplete(p.clock.Now())
+	}
+	p.match()
+	return nil
+}
+
+// QueueLen returns the number of jobs waiting for a machine.
+func (p *Pool) QueueLen() int { return len(p.queue) }
+
+// RunUntil advances the pool's virtual time to t.
+func (p *Pool) RunUntil(t float64) { p.clock.RunUntil(t) }
+
+// matches reports whether machine m satisfies job j's requirements —
+// the ClassAd-lite predicate.
+func matches(m Machine, j *Job) bool {
+	if j.RequiresMB > 0 && m.MemoryMB < j.RequiresMB {
+		return false
+	}
+	if j.RequiresArch != "" && m.Arch != j.RequiresArch {
+		return false
+	}
+	return true
+}
+
+// match places queued jobs on unoccupied idle machines (FIFO over the
+// queue, first matching machine in declaration order).
+func (p *Pool) match() {
+	remaining := p.queue[:0]
+	for _, j := range p.queue {
+		placed := false
+		for _, ms := range p.machines {
+			if ms.idle && ms.running == nil && matches(ms.spec, j) {
+				p.place(j, ms)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			remaining = append(remaining, j)
+		}
+	}
+	p.queue = remaining
+}
+
+func (p *Pool) place(j *Job, ms *machineState) {
+	ms.running = j
+	j.machine = ms
+	j.state = JobRunning
+	p.Starts++
+	if j.OnStart != nil {
+		j.OnStart(Alloc{
+			Machine:  ms.spec,
+			Start:    p.clock.Now(),
+			TElapsed: p.clock.Now() - ms.idleSince,
+		})
+	}
+}
+
+// becomeIdle transitions a machine into a fresh idle period and draws
+// its duration (diurnally modulated when the machine asks for it).
+func (p *Pool) becomeIdle(ms *machineState) {
+	ms.idle = true
+	ms.idleSince = p.clock.Now()
+	d := ms.spec.Idle.Rand(p.rng) * diurnalFactor(p.clock.Now(), ms.spec.DiurnalAmplitude)
+	ms.reclaim = p.clock.Schedule(d, func() { p.reclaimMachine(ms) })
+	p.match()
+}
+
+// scheduleBusy keeps the machine owner-active for d seconds.
+func (p *Pool) scheduleBusy(ms *machineState, d float64) {
+	ms.idle = false
+	p.clock.Schedule(d, func() { p.becomeIdle(ms) })
+}
+
+// reclaimMachine is the owner touching the keyboard: any guest job is
+// terminated (Vanilla universe) and the machine goes busy.
+func (p *Pool) reclaimMachine(ms *machineState) {
+	if j := ms.running; j != nil {
+		ms.running = nil
+		j.machine = nil
+		j.state = JobEvicted
+		p.Evictions++
+		if j.OnEvict != nil {
+			j.OnEvict(p.clock.Now())
+		}
+		if j.Requeue {
+			j.state = JobQueued
+			p.queue = append(p.queue, j)
+		}
+	}
+	p.scheduleBusy(ms, ms.spec.Busy.Rand(p.rng))
+}

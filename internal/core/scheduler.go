@@ -1,0 +1,194 @@
+// Package core is the paper's primary contribution assembled into a
+// public API: it fits an availability model to a resource's observed
+// occupancy history, parameterizes the three-state Markov model for an
+// application placed on that resource, and produces optimal checkpoint
+// intervals and aperiodic schedules.
+//
+// The package also provides Routine, a direct transliteration of the
+// paper's "small, portable routine which implements the evaluation and
+// optimization of Γ/T to find T_opt, taking as input the distribution
+// model chosen, the distribution parameters, the value of T_elapsed …
+// and values for C and R" (§3.5).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/cycleharvest/ckptsched/internal/dist"
+	"github.com/cycleharvest/ckptsched/internal/fit"
+	"github.com/cycleharvest/ckptsched/internal/markov"
+)
+
+// Scheduler computes checkpoint schedules for one resource whose
+// availability follows a fitted (or supplied) distribution.
+type Scheduler struct {
+	// Dist is the availability distribution in effect.
+	Dist dist.Distribution
+	// Model records which family Dist belongs to when the scheduler
+	// was built by fitting; it is ModelExponential-valued garbage for
+	// NewScheduler-constructed instances, so consult Fitted.
+	Model fit.Model
+	// Fitted reports whether Dist came from Fit (true) or was supplied
+	// directly (false).
+	Fitted bool
+	// Optimize tunes every T_opt search made through this scheduler.
+	Optimize markov.OptimizeOptions
+}
+
+// NewScheduler wraps an explicit availability distribution.
+func NewScheduler(d dist.Distribution) (*Scheduler, error) {
+	if d == nil {
+		return nil, errors.New("core: nil distribution")
+	}
+	return &Scheduler{Dist: d}, nil
+}
+
+// FitScheduler fits the given model family to a resource's
+// availability history (durations in seconds) and returns a scheduler
+// using the fitted distribution. This is the path the paper's system
+// takes when an application is assigned to a resource.
+func FitScheduler(m fit.Model, history []float64) (*Scheduler, error) {
+	d, err := fit.Fit(m, history)
+	if err != nil {
+		return nil, fmt.Errorf("core: fitting %v: %w", m, err)
+	}
+	return &Scheduler{Dist: d, Model: m, Fitted: true}, nil
+}
+
+// model builds the Markov model for the given overhead costs.
+func (s *Scheduler) model(costs markov.Costs) markov.Model {
+	return markov.Model{Avail: s.Dist, Costs: costs}
+}
+
+// Topt returns the optimal work interval for a resource that has been
+// available for telapsed seconds, under the given overhead costs.
+func (s *Scheduler) Topt(telapsed float64, costs markov.Costs) (float64, error) {
+	T, _, err := s.model(costs).Topt(telapsed, s.Optimize)
+	return T, err
+}
+
+// ExpectedEfficiency returns the model-predicted fraction of time
+// spent on useful work when checkpointing at the optimal interval,
+// 1/(Γ/T) evaluated at T_opt (§5.1).
+func (s *Scheduler) ExpectedEfficiency(telapsed float64, costs markov.Costs) (float64, error) {
+	_, ratio, err := s.model(costs).Topt(telapsed, s.Optimize)
+	if err != nil {
+		return 0, err
+	}
+	return 1 / ratio, nil
+}
+
+// ExpectedNetworkRate returns the model-predicted long-run network
+// load, in megabytes per second of wall-clock time, when checkpointing
+// optimally with images of sizeMB megabytes: the analytic counterpart
+// of the paper's Figure 4/Table 3 measurements.
+func (s *Scheduler) ExpectedNetworkRate(telapsed float64, costs markov.Costs, sizeMB float64) (float64, error) {
+	m := s.model(costs)
+	T, _, err := m.Topt(telapsed, s.Optimize)
+	if err != nil {
+		return 0, err
+	}
+	return m.ExpectedBandwidthRate(T, telapsed) * sizeMB, nil
+}
+
+// Schedule computes the aperiodic schedule of T_opt values from the
+// resource's current age onward. For memoryless models the schedule
+// contains a single interval that repeats.
+func (s *Scheduler) Schedule(telapsed float64, costs markov.Costs, opts markov.ScheduleOptions) (*markov.Schedule, error) {
+	opts.Optimize = s.Optimize
+	return s.model(costs).BuildSchedule(telapsed, opts)
+}
+
+// DistFromParams reconstructs a distribution from a family name and a
+// flat parameter vector, the wire format the paper's checkpoint
+// manager sends to test processes:
+//
+//	exponential: [λ]
+//	weibull:     [shape, scale]
+//	hyperexpK:   [p₁ … p_K, λ₁ … λ_K]
+func DistFromParams(model fit.Model, params []float64) (dist.Distribution, error) {
+	switch model {
+	case fit.ModelExponential:
+		if len(params) != 1 {
+			return nil, fmt.Errorf("core: exponential needs 1 parameter, got %d", len(params))
+		}
+		return safeDist(func() dist.Distribution { return dist.NewExponential(params[0]) })
+	case fit.ModelWeibull:
+		if len(params) != 2 {
+			return nil, fmt.Errorf("core: weibull needs 2 parameters, got %d", len(params))
+		}
+		return safeDist(func() dist.Distribution { return dist.NewWeibull(params[0], params[1]) })
+	case fit.ModelHyperexp2, fit.ModelHyperexp3:
+		k := 2
+		if model == fit.ModelHyperexp3 {
+			k = 3
+		}
+		if len(params) != 2*k {
+			return nil, fmt.Errorf("core: hyperexp%d needs %d parameters, got %d", k, 2*k, len(params))
+		}
+		return safeDist(func() dist.Distribution {
+			return dist.NewHyperexponential(params[:k], params[k:])
+		})
+	}
+	return nil, fmt.Errorf("core: unknown model %v", model)
+}
+
+// ParamsOf flattens a distribution into the wire parameter vector
+// DistFromParams accepts.
+func ParamsOf(d dist.Distribution) (fit.Model, []float64, error) {
+	switch v := d.(type) {
+	case dist.Exponential:
+		return fit.ModelExponential, []float64{v.Lambda}, nil
+	case dist.Weibull:
+		return fit.ModelWeibull, []float64{v.Shape, v.Scale}, nil
+	case dist.Hyperexponential:
+		var m fit.Model
+		switch v.Phases() {
+		case 2:
+			m = fit.ModelHyperexp2
+		case 3:
+			m = fit.ModelHyperexp3
+		default:
+			return 0, nil, fmt.Errorf("core: unsupported hyperexponential phase count %d", v.Phases())
+		}
+		params := append(append([]float64{}, v.P...), v.Lambda...)
+		return m, params, nil
+	}
+	return 0, nil, fmt.Errorf("core: unsupported distribution %T", d)
+}
+
+// safeDist converts constructor panics into errors.
+func safeDist(f func() dist.Distribution) (d dist.Distribution, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: %v", r)
+		}
+	}()
+	return f(), nil
+}
+
+// Routine is the paper's §3.5 portable routine: evaluate and optimize
+// Γ/T for the chosen model and parameters at T_elapsed, with
+// checkpoint cost c and recovery cost r (latency defaults to c, the
+// sequential-checkpointing convention). It returns T_opt and the
+// expected efficiency at T_opt.
+//
+// For exponential models T_elapsed is ignored, exactly as the paper
+// notes (memorylessness).
+func Routine(model fit.Model, params []float64, telapsed, c, r float64) (topt, efficiency float64, err error) {
+	d, err := DistFromParams(model, params)
+	if err != nil {
+		return 0, 0, err
+	}
+	costs, err := markov.NewCosts(c, r, -1)
+	if err != nil {
+		return 0, 0, err
+	}
+	m := markov.Model{Avail: d, Costs: costs}
+	T, ratio, err := m.Topt(telapsed, markov.OptimizeOptions{})
+	if err != nil {
+		return 0, 0, err
+	}
+	return T, 1 / ratio, nil
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"errors"
+
+	"github.com/cycleharvest/ckptsched/internal/ckptnet"
+	"github.com/cycleharvest/ckptsched/internal/fit"
+	"github.com/cycleharvest/ckptsched/internal/live"
+	"github.com/cycleharvest/ckptsched/internal/stats"
+)
+
+// LiveRow is one row of Table 4 or Table 5: per-model aggregates of a
+// live campaign.
+type LiveRow struct {
+	Model fit.Model
+	// AvgEfficiency is the mean per-sample efficiency.
+	AvgEfficiency float64
+	// TotalTime is the summed session time (seconds).
+	TotalTime float64
+	// MBUsed is the summed network volume (megabytes).
+	MBUsed float64
+	// MBPerHour is MBUsed per hour of TotalTime.
+	MBPerHour float64
+	// Samples is the run count.
+	Samples int
+}
+
+// LiveTable is a rendered live-experiment table plus campaign
+// metadata.
+type LiveTable struct {
+	Name string
+	// MeanC is the campaign-wide mean measured transfer cost, the
+	// number that picks which simulation row (Table 1/3) each live
+	// table is comparable to (≈110 s campus, ≈475 s wide-area).
+	MeanC float64
+	Rows  []LiveRow
+}
+
+// LiveCampaignConfig parameterizes Tables 4 and 5.
+type LiveCampaignConfig struct {
+	// Workload supplies machines and history.
+	Workload *Workload
+	// Link selects the manager placement: ckptnet.CampusLink() for
+	// Table 4, ckptnet.WideAreaLink() for Table 5.
+	Link ckptnet.Link
+	// SamplesPerModel defaults to 85, the ballpark of the paper's
+	// Table 4 sample sizes.
+	SamplesPerModel int
+	// Concurrency keeps that many test processes in flight (default 1,
+	// the sequential protocol; the paper's total times suggest ~4
+	// overlapping processes, at the cost of noisier per-model
+	// aggregates).
+	Concurrency int
+	// Seed makes the campaign deterministic.
+	Seed int64
+}
+
+// RunLiveTable runs one live campaign and aggregates it into table
+// rows. It also returns the raw campaign for validation.
+func RunLiveTable(name string, cfg LiveCampaignConfig) (*LiveTable, *live.Campaign, error) {
+	if cfg.Workload == nil {
+		return nil, nil, errors.New("experiments: live table needs a workload")
+	}
+	if cfg.SamplesPerModel <= 0 {
+		cfg.SamplesPerModel = 85
+	}
+	camp, err := live.RunCampaign(live.CampaignConfig{
+		Machines:        cfg.Workload.Machines,
+		History:         cfg.Workload.History,
+		Link:            cfg.Link,
+		CheckpointMB:    PaperCheckpointMB,
+		SamplesPerModel: cfg.SamplesPerModel,
+		Concurrency:     cfg.Concurrency,
+		Seed:            cfg.Seed,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	table := &LiveTable{Name: name}
+	var allC []float64
+	byModel := camp.ByModel()
+	for _, m := range fit.Models {
+		samples := byModel[m]
+		if len(samples) == 0 {
+			continue
+		}
+		var effs []float64
+		row := LiveRow{Model: m, Samples: len(samples)}
+		for _, s := range samples {
+			effs = append(effs, s.Efficiency())
+			row.TotalTime += s.SessionSec
+			row.MBUsed += s.MBMoved
+			allC = append(allC, s.MeasuredCs...)
+		}
+		row.AvgEfficiency = stats.Mean(effs)
+		if row.TotalTime > 0 {
+			row.MBPerHour = row.MBUsed / (row.TotalTime / 3600)
+		}
+		table.Rows = append(table.Rows, row)
+	}
+	if len(allC) > 0 {
+		table.MeanC = stats.Mean(allC)
+	}
+	return table, camp, nil
+}
+
+// ValidationResult pairs the §5.3 validation rows with the campaign
+// they validate.
+type ValidationResult struct {
+	LinkName string
+	Rows     []live.ValidationRow
+}
+
+// RunValidation replays a live campaign through the simulator.
+func RunValidation(w *Workload, camp *live.Campaign) (*ValidationResult, error) {
+	if w == nil || camp == nil {
+		return nil, errors.New("experiments: validation needs a workload and a campaign")
+	}
+	rows, err := live.Validate(camp, w.History, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &ValidationResult{LinkName: camp.LinkName, Rows: rows}, nil
+}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/cycleharvest/ckptsched/internal/fit"
+	"github.com/cycleharvest/ckptsched/internal/live"
+)
+
+// modelHeaders are the column titles in the paper's order.
+var modelHeaders = map[fit.Model]string{
+	fit.ModelExponential: "Exp.",
+	fit.ModelWeibull:     "Weib.",
+	fit.ModelHyperexp2:   "2-ph Hyper.",
+	fit.ModelHyperexp3:   "3-ph Hyper.",
+}
+
+// RenderTable renders a Table 1/3-style grid as fixed-width text.
+func RenderTable(t *Table, decimals int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Name)
+	fmt.Fprintf(&b, "%-6s", "CTime")
+	for _, m := range fit.Models {
+		fmt.Fprintf(&b, " | %-26s", modelHeaders[m])
+	}
+	b.WriteString("\n")
+	b.WriteString(strings.Repeat("-", 6+4*29))
+	b.WriteString("\n")
+	for ci, c := range t.CTimes {
+		fmt.Fprintf(&b, "%-6g", c)
+		for _, m := range fit.Models {
+			cell := t.Cells[m][ci]
+			entry := fmt.Sprintf("%.*f ± %.*f %s",
+				decimals, cell.CI.Mean, decimals, cell.CI.HalfWidth, cell.Letters())
+			fmt.Fprintf(&b, " | %-26s", strings.TrimSpace(entry))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderFigure renders Figure 3/4-style series as an aligned text
+// table (one row per checkpoint duration, one column per model) —
+// the numbers a plotting tool would consume.
+func RenderFigure(name string, ctimes []float64, series []Series, decimals int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", name)
+	fmt.Fprintf(&b, "%-6s", "CTime")
+	for _, s := range series {
+		fmt.Fprintf(&b, " %14s", modelHeaders[s.Model])
+	}
+	b.WriteString("\n")
+	for ci, c := range ctimes {
+		fmt.Fprintf(&b, "%-6g", c)
+		for _, s := range series {
+			fmt.Fprintf(&b, " %14.*f", decimals, s.Mean[ci])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderTable2 renders the known-truth synthetic grid in the paper's
+// layout (C=50 All, C=50 First-25, C=500 All, C=500 First-25).
+func RenderTable2(t *Table2Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: efficiency on synthetic Weibull(shape=%g, scale=%g), n=%d\n",
+		t.Shape, t.Scale, t.N)
+	fmt.Fprintf(&b, "%-14s %10s %10s %10s %10s\n",
+		"Distribution", "C=50 All", "C=50 F25", "C=500 All", "C=500 F25")
+	for _, m := range fit.Models {
+		fmt.Fprintf(&b, "%-14s", modelHeaders[m])
+		for _, ct := range []float64{50, 500} {
+			for _, all := range []bool{true, false} {
+				if cell, ok := t.Cell(m, ct, all); ok {
+					fmt.Fprintf(&b, " %10.3f", cell.Efficiency)
+				} else {
+					fmt.Fprintf(&b, " %10s", "-")
+				}
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderLiveTable renders a Table 4/5-style live-campaign summary.
+func RenderLiveTable(t *LiveTable) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (mean measured C ≈ %.0f s)\n", t.Name, t.MeanC)
+	fmt.Fprintf(&b, "%-14s %6s %12s %14s %14s %12s\n",
+		"Distribution", "Avg.", "Total Time", "Megabytes", "MB/Hour", "Samples")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-14s %6.3f %12.0f %14.0f %14.0f %12d\n",
+			modelHeaders[r.Model], r.AvgEfficiency, r.TotalTime, r.MBUsed, r.MBPerHour, r.Samples)
+	}
+	return b.String()
+}
+
+// RenderValidation renders the §5.3 live-vs-simulation comparison.
+func RenderValidation(v *ValidationResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Validation (§5.3): live vs simulated efficiency, %s link\n", v.LinkName)
+	fmt.Fprintf(&b, "%-14s %10s %10s %10s %10s\n", "Distribution", "Live", "Simulated", "Delta", "Samples")
+	for _, r := range v.Rows {
+		fmt.Fprintf(&b, "%-14s %10.3f %10.3f %+10.3f %10d\n",
+			modelHeaders[r.Model], r.LiveEfficiency, r.SimEfficiency, r.Delta(), r.Samples)
+	}
+	return b.String()
+}
+
+// FigureCSV renders Figure 3/4-style series as plain CSV (one row per
+// checkpoint duration) for external plotting tools.
+func FigureCSV(ctimes []float64, series []Series) string {
+	var b strings.Builder
+	b.WriteString("ctime")
+	for _, s := range series {
+		fmt.Fprintf(&b, ",%s", s.Model)
+	}
+	b.WriteString("\n")
+	for ci, c := range ctimes {
+		fmt.Fprintf(&b, "%g", c)
+		for _, s := range series {
+			fmt.Fprintf(&b, ",%g", s.Mean[ci])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderSamples dumps per-sample live records (debugging aid and the
+// post-mortem log format the validation consumes).
+func RenderSamples(samples []live.Sample) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %-12s %-16s %10s %10s %10s %8s\n",
+		"#", "model", "machine", "session", "useful", "MB", "ckpts")
+	for i, s := range samples {
+		fmt.Fprintf(&b, "%-4d %-12s %-16s %10.0f %10.0f %10.0f %8d\n",
+			i, s.Model, s.Machine, s.SessionSec, s.CommittedWork, s.MBMoved, s.Checkpoints)
+	}
+	return b.String()
+}

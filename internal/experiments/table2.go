@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/cycleharvest/ckptsched/internal/dist"
+	"github.com/cycleharvest/ckptsched/internal/fit"
+	"github.com/cycleharvest/ckptsched/internal/markov"
+	"github.com/cycleharvest/ckptsched/internal/sim"
+	"github.com/cycleharvest/ckptsched/internal/trace"
+)
+
+// Table2Config parameterizes the known-truth synthetic study.
+type Table2Config struct {
+	// Shape and Scale are the generating Weibull's parameters; zeros
+	// mean the paper's 0.43 / 3409.
+	Shape, Scale float64
+	// N is the synthetic trace length; zero means the paper's 5000.
+	N int
+	// CTimes are the checkpoint costs; empty means the paper's
+	// {50, 500}.
+	CTimes []float64
+	// Seed makes the trace deterministic.
+	Seed int64
+}
+
+func (c *Table2Config) setDefaults() {
+	if c.Shape <= 0 {
+		c.Shape = 0.43
+	}
+	if c.Scale <= 0 {
+		c.Scale = 3409
+	}
+	if c.N <= 0 {
+		c.N = 5000
+	}
+	if len(c.CTimes) == 0 {
+		c.CTimes = []float64{50, 500}
+	}
+}
+
+// Table2Cell is one efficiency entry of Table 2.
+type Table2Cell struct {
+	Model      fit.Model
+	CTime      float64
+	FitOnAll   bool // true = fit on all N points, false = first 25
+	Efficiency float64
+}
+
+// Table2Result is the full grid plus the generating parameters.
+type Table2Result struct {
+	Shape, Scale float64
+	N            int
+	Cells        []Table2Cell
+}
+
+// Cell looks up one entry.
+func (t *Table2Result) Cell(m fit.Model, ctime float64, all bool) (Table2Cell, bool) {
+	for _, c := range t.Cells {
+		if c.Model == m && c.CTime == ctime && c.FitOnAll == all {
+			return c, true
+		}
+	}
+	return Table2Cell{}, false
+}
+
+// RunTable2 reproduces the paper's Table 2: a 5000-value availability
+// trace is drawn from a known heavy-tailed Weibull; the simulation is
+// repeated with each model fitted on all values and on only the first
+// 25. The Weibull row uses the exact generating parameters ("precisely
+// the same model that was used to generate the artificial trace"), so
+// its schedule is optimal and the others quantify the efficiency cost
+// of model mismatch.
+func RunTable2(cfg Table2Config) (*Table2Result, error) {
+	cfg.setDefaults()
+	truth := dist.NewWeibull(cfg.Shape, cfg.Scale)
+	tr, err := trace.Generate(trace.GenerateOptions{
+		Machine: "table2-synthetic",
+		N:       cfg.N,
+		Avail:   truth,
+		Seed:    cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	durations := tr.Durations()
+	first25 := durations[:trace.DefaultTrainingSize]
+
+	res := &Table2Result{Shape: cfg.Shape, Scale: cfg.Scale, N: cfg.N}
+	for _, ctime := range cfg.CTimes {
+		costs := markov.Costs{C: ctime, R: ctime, L: ctime}
+		simCfg := sim.Config{Costs: costs, CheckpointMB: PaperCheckpointMB}
+		for _, model := range fit.Models {
+			for _, all := range []bool{true, false} {
+				var d dist.Distribution
+				if model == fit.ModelWeibull {
+					d = truth // the exact generating model
+				} else {
+					data := first25
+					if all {
+						data = durations
+					}
+					var err error
+					d, err = fit.Fit(model, data)
+					if err != nil {
+						return nil, fmt.Errorf("experiments: table2 fit %v: %w", model, err)
+					}
+				}
+				eff, err := simulateWith(d, durations, simCfg)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: table2 sim %v C=%g: %w", model, ctime, err)
+				}
+				res.Cells = append(res.Cells, Table2Cell{
+					Model: model, CTime: ctime, FitOnAll: all, Efficiency: eff,
+				})
+			}
+		}
+	}
+	return res, nil
+}
+
+// simulateWith replays the full trace under a schedule built from d.
+func simulateWith(d dist.Distribution, durations []float64, cfg sim.Config) (float64, error) {
+	m := markov.Model{Avail: d, Costs: cfg.Costs}
+	maxAvail := 0.0
+	for _, a := range durations {
+		if a > maxAvail {
+			maxAvail = a
+		}
+	}
+	sched, err := m.BuildSchedule(cfg.Costs.R, markov.ScheduleOptions{
+		Horizon: maxAvail + cfg.Costs.R + cfg.Costs.C + 1,
+	})
+	if err != nil {
+		return 0, err
+	}
+	res, err := sim.Run(durations, sched, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return res.Efficiency(), nil
+}

@@ -1,0 +1,290 @@
+package fit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/cycleharvest/ckptsched/internal/dist"
+	"github.com/cycleharvest/ckptsched/internal/mathx"
+)
+
+// Observation is one possibly right-censored availability measurement.
+// A censored observation records that the resource was still available
+// after Value seconds (the monitor was still running when the
+// measurement campaign ended — the paper's §5.3 right-censoring), so
+// the true lifetime exceeds Value.
+type Observation struct {
+	Value    float64
+	Censored bool
+}
+
+// Exact wraps plain durations as uncensored observations.
+func Exact(values []float64) []Observation {
+	out := make([]Observation, len(values))
+	for i, v := range values {
+		out[i] = Observation{Value: v}
+	}
+	return out
+}
+
+// cleanObs clamps and filters observations like clean does for plain
+// durations, and reports the number of uncensored events.
+func cleanObs(obs []Observation) ([]Observation, int, error) {
+	out := make([]Observation, 0, len(obs))
+	events := 0
+	for _, o := range obs {
+		if math.IsNaN(o.Value) || math.IsInf(o.Value, 0) {
+			continue
+		}
+		if o.Value < DurationFloor {
+			o.Value = DurationFloor
+		}
+		out = append(out, o)
+		if !o.Censored {
+			events++
+		}
+	}
+	if len(out) == 0 {
+		return nil, 0, ErrNoData
+	}
+	if events == 0 {
+		return nil, 0, errors.New("fit: all observations censored; lifetimes unidentifiable")
+	}
+	return out, events, nil
+}
+
+// ExponentialCensored fits an exponential by maximum likelihood with
+// right censoring: λ̂ = (#events) / Σ(all exposure times).
+func ExponentialCensored(obs []Observation) (dist.Exponential, error) {
+	xs, events, err := cleanObs(obs)
+	if err != nil {
+		return dist.Exponential{}, err
+	}
+	exposure := 0.0
+	for _, o := range xs {
+		exposure += o.Value
+	}
+	return dist.NewExponential(float64(events) / exposure), nil
+}
+
+// WeibullCensored fits a Weibull by maximum likelihood with right
+// censoring. With d uncensored events, the profile score becomes
+//
+//	Σ_all xᵢ^α ln xᵢ / Σ_all xᵢ^α − 1/α − (1/d) Σ_events ln xᵢ = 0,
+//
+// and β̂ = (Σ_all xᵢ^α̂ / d)^(1/α̂); all observations contribute
+// exposure, only events contribute the log-mean term.
+func WeibullCensored(obs []Observation) (dist.Weibull, error) {
+	xs, events, err := cleanObs(obs)
+	if err != nil {
+		return dist.Weibull{}, err
+	}
+	d := float64(events)
+	meanLogEvents := 0.0
+	xmax := xs[0].Value
+	allEqual := true
+	for _, o := range xs {
+		if !o.Censored {
+			meanLogEvents += math.Log(o.Value)
+		}
+		if o.Value > xmax {
+			xmax = o.Value
+		}
+		if o.Value != xs[0].Value {
+			allEqual = false
+		}
+	}
+	meanLogEvents /= d
+	if allEqual {
+		return dist.NewWeibull(50, xs[0].Value), nil
+	}
+
+	score := func(alpha float64) float64 {
+		var sw, swl float64
+		for _, o := range xs {
+			w := math.Pow(o.Value/xmax, alpha)
+			sw += w
+			swl += w * math.Log(o.Value)
+		}
+		return swl/sw - 1/alpha - meanLogEvents
+	}
+	lo, hi, err := mathx.ExpandBracket(score, 1e-3, 1.0, 40)
+	if err != nil {
+		return dist.Weibull{}, fmt.Errorf("fit: censored weibull bracket: %w", err)
+	}
+	alpha, err := mathx.Bisect(score, lo, hi, 1e-10)
+	if err != nil {
+		return dist.Weibull{}, fmt.Errorf("fit: censored weibull solve: %w", err)
+	}
+	sum := 0.0
+	for _, o := range xs {
+		sum += math.Pow(o.Value, alpha)
+	}
+	beta := math.Pow(sum/d, 1/alpha)
+	return dist.NewWeibull(alpha, beta), nil
+}
+
+// HyperexpCensored fits a k-phase hyperexponential by EM with right
+// censoring. For a censored observation the E step assigns
+// responsibilities from per-phase survival (γᵢⱼ ∝ pᵢ e^(-λᵢxⱼ)) and
+// the M step credits phase i with the expected total lifetime
+// xⱼ + 1/λᵢ (memorylessness within a phase); events behave as in the
+// uncensored EM.
+func HyperexpCensored(obs []Observation, k int, opts EMOptions) (EMResult, error) {
+	if k < 1 {
+		return EMResult{}, fmt.Errorf("fit: hyperexponential needs k >= 1, got %d", k)
+	}
+	xs, _, err := cleanObs(obs)
+	if err != nil {
+		return EMResult{}, err
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 500
+	}
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-9
+	}
+	n := len(xs)
+	if n < k {
+		k = n
+	}
+
+	sorted := make([]float64, n)
+	for i, o := range xs {
+		sorted[i] = o.Value
+	}
+	sort.Float64s(sorted)
+	p := make([]float64, k)
+	lam := make([]float64, k)
+	for i, m := range quantileGroups(sorted, k) {
+		p[i] = 1 / float64(k)
+		if m <= 0 {
+			m = DurationFloor
+		}
+		lam[i] = 1 / m
+	}
+	for i := 1; i < k; i++ {
+		if lam[i] >= lam[i-1] {
+			lam[i] = lam[i-1] * 0.5
+		}
+	}
+
+	const (
+		lamMin = 1e-12
+		lamMax = 1e3
+		pMin   = 1e-12
+	)
+	gamma := make([][]float64, k)
+	for i := range gamma {
+		gamma[i] = make([]float64, n)
+	}
+	prevLL := math.Inf(-1)
+	iters := 0
+	converged := false
+	for iter := range opts.MaxIter {
+		iters = iter + 1
+		ll := 0.0
+		for j, o := range xs {
+			den := 0.0
+			for i := range k {
+				var g float64
+				if o.Censored {
+					g = p[i] * math.Exp(-lam[i]*o.Value) // survival
+				} else {
+					g = p[i] * lam[i] * math.Exp(-lam[i]*o.Value) // density
+				}
+				gamma[i][j] = g
+				den += g
+			}
+			if den <= 0 {
+				slow := 0
+				for i := 1; i < k; i++ {
+					if lam[i] < lam[slow] {
+						slow = i
+					}
+				}
+				for i := range k {
+					gamma[i][j] = 0
+				}
+				gamma[slow][j] = 1
+				ll += math.Log(pMin)
+				continue
+			}
+			for i := range k {
+				gamma[i][j] /= den
+			}
+			ll += math.Log(den)
+		}
+		for i := range k {
+			var sg, sgx float64
+			for j, o := range xs {
+				sg += gamma[i][j]
+				life := o.Value
+				if o.Censored {
+					life += 1 / lam[i] // expected residual within phase i
+				}
+				sgx += gamma[i][j] * life
+			}
+			p[i] = math.Max(sg/float64(n), pMin)
+			if sgx <= 0 {
+				lam[i] = lamMax
+			} else {
+				lam[i] = math.Min(math.Max(sg/sgx, lamMin), lamMax)
+			}
+		}
+		if ll-prevLL < opts.Tol*math.Max(1, math.Abs(ll)) && iter > 0 {
+			prevLL = ll
+			converged = true
+			break
+		}
+		prevLL = ll
+	}
+	return EMResult{
+		Dist:    dist.NewHyperexponential(p, lam),
+		LogLik:  prevLL,
+		Iters:   iters,
+		Converg: converged,
+	}, nil
+}
+
+// FitCensored dispatches censoring-aware estimation by model family.
+func FitCensored(m Model, obs []Observation) (dist.Distribution, error) {
+	switch m {
+	case ModelExponential:
+		return ExponentialCensored(obs)
+	case ModelWeibull:
+		return WeibullCensored(obs)
+	case ModelHyperexp2:
+		r, err := HyperexpCensored(obs, 2, EMOptions{})
+		return r.Dist, err
+	case ModelHyperexp3:
+		r, err := HyperexpCensored(obs, 3, EMOptions{})
+		return r.Dist, err
+	}
+	return nil, fmt.Errorf("fit: unknown model %v", m)
+}
+
+// CensoredLogLikelihood evaluates Σ_events ln f(x) + Σ_censored ln S(x)
+// under d.
+func CensoredLogLikelihood(d dist.Distribution, obs []Observation) float64 {
+	xs, _, err := cleanObs(obs)
+	if err != nil {
+		return math.Inf(-1)
+	}
+	ll := 0.0
+	for _, o := range xs {
+		var v float64
+		if o.Censored {
+			v = d.Survival(o.Value)
+		} else {
+			v = d.PDF(o.Value)
+		}
+		if v <= 0 {
+			return math.Inf(-1)
+		}
+		ll += math.Log(v)
+	}
+	return ll
+}

@@ -1,0 +1,238 @@
+package fit
+
+import (
+	"math"
+	"testing"
+
+	"github.com/cycleharvest/ckptsched/internal/dist"
+)
+
+// censorAt applies Type-I (fixed-time) right censoring at limit.
+func censorAt(values []float64, limit float64) []Observation {
+	out := make([]Observation, len(values))
+	for i, v := range values {
+		if v > limit {
+			out[i] = Observation{Value: limit, Censored: true}
+		} else {
+			out[i] = Observation{Value: v}
+		}
+	}
+	return out
+}
+
+func TestExactWrapping(t *testing.T) {
+	obs := Exact([]float64{1, 2})
+	if len(obs) != 2 || obs[0].Censored || obs[1].Value != 2 {
+		t.Errorf("Exact = %+v", obs)
+	}
+}
+
+func TestExponentialCensoredRecoversRate(t *testing.T) {
+	truth := dist.NewExponential(1.0 / 5000)
+	raw := sample(truth, 40000, 31)
+	// Censor at the ~63rd percentile: a third of the data is censored.
+	obs := censorAt(raw, 5000)
+	got, err := ExponentialCensored(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got.Lambda, truth.Lambda, 0.03) {
+		t.Errorf("censored λ̂ = %g, want %g", got.Lambda, truth.Lambda)
+	}
+	// The naive fit that treats censored values as deaths is biased
+	// high (it thinks lifetimes are shorter than they are).
+	vals := make([]float64, len(obs))
+	for i, o := range obs {
+		vals[i] = o.Value
+	}
+	naive, err := Exponential(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if naive.Lambda <= got.Lambda {
+		t.Errorf("naive λ %g should exceed censoring-aware λ %g", naive.Lambda, got.Lambda)
+	}
+}
+
+func TestExponentialCensoredMatchesUncensoredOnExactData(t *testing.T) {
+	xs := []float64{100, 300, 800}
+	a, err := Exponential(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ExponentialCensored(Exact(xs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(a.Lambda, b.Lambda, 1e-12) {
+		t.Errorf("censored path diverges on exact data: %g vs %g", a.Lambda, b.Lambda)
+	}
+}
+
+func TestWeibullCensoredRecoversParameters(t *testing.T) {
+	truth := dist.NewWeibull(0.43, 3409)
+	raw := sample(truth, 40000, 33)
+	// Censor at a modest horizon: heavy tails put much mass beyond it.
+	obs := censorAt(raw, 20000)
+	got, err := WeibullCensored(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got.Shape, truth.Shape, 0.06) {
+		t.Errorf("censored shape = %g, want %g", got.Shape, truth.Shape)
+	}
+	if !almostEqual(got.Scale, truth.Scale, 0.08) {
+		t.Errorf("censored scale = %g, want %g", got.Scale, truth.Scale)
+	}
+	// Naive fit underestimates the scale badly on the same data.
+	vals := make([]float64, len(obs))
+	for i, o := range obs {
+		vals[i] = o.Value
+	}
+	naive, err := Weibull(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if naive.Scale >= got.Scale {
+		t.Errorf("naive scale %g should be below censoring-aware %g", naive.Scale, got.Scale)
+	}
+}
+
+func TestWeibullCensoredMatchesUncensoredOnExactData(t *testing.T) {
+	truth := dist.NewWeibull(0.8, 1000)
+	raw := sample(truth, 2000, 35)
+	a, err := Weibull(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := WeibullCensored(Exact(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(a.Shape, b.Shape, 1e-9) || !almostEqual(a.Scale, b.Scale, 1e-9) {
+		t.Errorf("censored path diverges on exact data: %v vs %v", a, b)
+	}
+}
+
+func TestHyperexpCensoredMonotoneLikelihood(t *testing.T) {
+	truth := dist.NewHyperexponential([]float64{0.7, 0.3}, []float64{0.01, 0.0005})
+	raw := sample(truth, 2000, 37)
+	obs := censorAt(raw, 2500)
+	prev := math.Inf(-1)
+	for iters := 1; iters <= 50; iters += 7 {
+		r, err := HyperexpCensored(obs, 2, EMOptions{MaxIter: iters, Tol: 1e-300})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.LogLik < prev-1e-6 {
+			t.Errorf("censored EM log-likelihood decreased at %d iters", iters)
+		}
+		prev = r.LogLik
+	}
+}
+
+func TestHyperexpCensoredRecoversSlowPhase(t *testing.T) {
+	truth := dist.NewHyperexponential([]float64{0.6, 0.4}, []float64{0.02, 0.0002})
+	raw := sample(truth, 60000, 39)
+	obs := censorAt(raw, 6000) // censors most slow-phase lifetimes
+	r, err := HyperexpCensored(obs, 2, EMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := r.Dist
+	slow := 0
+	if h.Lambda[1] < h.Lambda[0] {
+		slow = 1
+	}
+	// Censoring-aware EM should still see the slow phase's scale
+	// (mean ≈ 5000 s), where the naive EM collapses it toward the
+	// censoring horizon.
+	if mean := 1 / h.Lambda[slow]; mean < 3200 {
+		t.Errorf("censored EM slow-phase mean = %g, want ≳ 3200", mean)
+	}
+	vals := make([]float64, len(obs))
+	for i, o := range obs {
+		vals[i] = o.Value
+	}
+	naive, err := Hyperexp(vals, 2, EMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nslow := 0
+	if naive.Dist.Lambda[1] < naive.Dist.Lambda[0] {
+		nslow = 1
+	}
+	if 1/naive.Dist.Lambda[nslow] >= 1/h.Lambda[slow] {
+		t.Errorf("naive slow mean %g should underestimate censoring-aware %g",
+			1/naive.Dist.Lambda[nslow], 1/h.Lambda[slow])
+	}
+}
+
+func TestFitCensoredDispatch(t *testing.T) {
+	truth := dist.NewWeibull(0.6, 2000)
+	obs := censorAt(sample(truth, 500, 41), 4000)
+	for _, m := range Models {
+		d, err := FitCensored(m, obs)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if d.Mean() <= 0 {
+			t.Errorf("%v: bad mean", m)
+		}
+	}
+	if _, err := FitCensored(Model(77), obs); err == nil {
+		t.Error("unknown model should error")
+	}
+}
+
+func TestCensoredErrors(t *testing.T) {
+	if _, err := ExponentialCensored(nil); err == nil {
+		t.Error("empty should error")
+	}
+	allCens := []Observation{{Value: 5, Censored: true}}
+	if _, err := ExponentialCensored(allCens); err == nil {
+		t.Error("all-censored should error")
+	}
+	if _, err := WeibullCensored(allCens); err == nil {
+		t.Error("all-censored should error")
+	}
+	if _, err := HyperexpCensored(allCens, 2, EMOptions{}); err == nil {
+		t.Error("all-censored should error")
+	}
+	if _, err := HyperexpCensored(Exact([]float64{1, 2}), 0, EMOptions{}); err == nil {
+		t.Error("k=0 should error")
+	}
+	// Degenerate identical sample.
+	w, err := WeibullCensored([]Observation{{Value: 9}, {Value: 9}, {Value: 9, Censored: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Scale != 9 {
+		t.Errorf("degenerate censored fit = %v", w)
+	}
+}
+
+func TestCensoredLogLikelihood(t *testing.T) {
+	d := dist.NewExponential(0.001)
+	obs := []Observation{{Value: 1000}, {Value: 2000, Censored: true}}
+	got := CensoredLogLikelihood(d, obs)
+	want := math.Log(d.PDF(1000)) + math.Log(d.Survival(2000))
+	if !almostEqual(got, want, 1e-12) {
+		t.Errorf("censored ll = %g, want %g", got, want)
+	}
+	if !math.IsInf(CensoredLogLikelihood(d, nil), -1) {
+		t.Error("empty data ll should be -Inf")
+	}
+	// The censoring-aware fit maximizes this likelihood better than a
+	// mis-fit.
+	truth := dist.NewExponential(1.0 / 800)
+	raw := sample(truth, 5000, 43)
+	cobs := censorAt(raw, 800)
+	fitted, err := ExponentialCensored(cobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CensoredLogLikelihood(fitted, cobs) < CensoredLogLikelihood(dist.NewExponential(1.0/300), cobs) {
+		t.Error("fitted model should beat an arbitrary one in censored likelihood")
+	}
+}

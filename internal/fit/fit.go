@@ -1,0 +1,389 @@
+// Package fit estimates the parameters of availability distributions
+// from observed duration samples (§3.4 of the paper): closed-form
+// maximum likelihood for the exponential, profile-likelihood maximum
+// likelihood for the Weibull, and expectation-maximization for k-phase
+// hyperexponentials.
+//
+// The package stands in for the Matlab `mle` routine and the EMPht
+// phase-type fitting package used by the original study: for the
+// hyperexponential subclass of phase-type distributions, the EMPht EM
+// recursion reduces to the classical exponential-mixture EM
+// implemented here.
+package fit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/cycleharvest/ckptsched/internal/dist"
+	"github.com/cycleharvest/ckptsched/internal/mathx"
+)
+
+// DurationFloor is the smallest duration (seconds) the estimators
+// accept. Occupancy monitors can record zero-length occupancies (a job
+// evicted before its first wakeup); zero breaks the Weibull and
+// hyperexponential likelihoods, so observations are clamped up to this
+// floor. One second is far below any duration that affects a
+// checkpoint schedule.
+const DurationFloor = 1.0
+
+// ErrNoData is returned when an estimator is given no observations.
+var ErrNoData = errors.New("fit: no observations")
+
+// clean copies data, clamping values below DurationFloor and dropping
+// non-finite entries. It returns an error if nothing usable remains.
+func clean(data []float64) ([]float64, error) {
+	out := make([]float64, 0, len(data))
+	for _, x := range data {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
+		if x < DurationFloor {
+			x = DurationFloor
+		}
+		out = append(out, x)
+	}
+	if len(out) == 0 {
+		return nil, ErrNoData
+	}
+	return out, nil
+}
+
+// Exponential fits an exponential distribution by maximum likelihood:
+// λ̂ = 1 / sample mean.
+func Exponential(data []float64) (dist.Exponential, error) {
+	xs, err := clean(data)
+	if err != nil {
+		return dist.Exponential{}, err
+	}
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	return dist.NewExponential(1 / mean), nil
+}
+
+// Weibull fits a two-parameter Weibull distribution by maximum
+// likelihood. The shape α̂ solves the profile-likelihood equation
+//
+//	Σ xᵢ^α ln xᵢ / Σ xᵢ^α − 1/α − (1/n) Σ ln xᵢ = 0,
+//
+// found by bracket expansion and bisection; the scale then follows in
+// closed form, β̂ = (Σ xᵢ^α̂ / n)^(1/α̂).
+func Weibull(data []float64) (dist.Weibull, error) {
+	xs, err := clean(data)
+	if err != nil {
+		return dist.Weibull{}, err
+	}
+	n := float64(len(xs))
+	meanLog := 0.0
+	for _, x := range xs {
+		meanLog += math.Log(x)
+	}
+	meanLog /= n
+
+	allEqual := true
+	for _, x := range xs {
+		if x != xs[0] {
+			allEqual = false
+			break
+		}
+	}
+	if allEqual {
+		// Degenerate sample: the likelihood is unbounded in α. Return
+		// a sharply peaked but finite fit.
+		return dist.NewWeibull(50, xs[0]), nil
+	}
+
+	// Profile score in α. Computed with the max-rescaling trick so that
+	// x^α does not overflow for large α.
+	score := func(alpha float64) float64 {
+		xmax := xs[0]
+		for _, x := range xs {
+			if x > xmax {
+				xmax = x
+			}
+		}
+		var sw, swl float64 // Σ (x/xmax)^α, Σ (x/xmax)^α ln x
+		for _, x := range xs {
+			w := math.Pow(x/xmax, alpha)
+			sw += w
+			swl += w * math.Log(x)
+		}
+		return swl/sw - 1/alpha - meanLog
+	}
+
+	lo, hi := 1e-3, 1.0
+	lo2, hi2, err := mathx.ExpandBracket(score, lo, hi, 40)
+	if err != nil {
+		return dist.Weibull{}, fmt.Errorf("fit: weibull shape bracket: %w", err)
+	}
+	alpha, err := mathx.Bisect(score, lo2, hi2, 1e-10)
+	if err != nil {
+		return dist.Weibull{}, fmt.Errorf("fit: weibull shape solve: %w", err)
+	}
+
+	sum := 0.0
+	for _, x := range xs {
+		sum += math.Pow(x, alpha)
+	}
+	beta := math.Pow(sum/n, 1/alpha)
+	return dist.NewWeibull(alpha, beta), nil
+}
+
+// LogNormal fits a lognormal distribution by maximum likelihood:
+// µ̂ and σ̂ are the mean and (MLE, /n) standard deviation of the log
+// durations. The lognormal is not one of the paper's four tabulated
+// families but is a standard comparator in the availability-modeling
+// literature and is exposed for model-selection studies.
+func LogNormal(data []float64) (dist.LogNormal, error) {
+	xs, err := clean(data)
+	if err != nil {
+		return dist.LogNormal{}, err
+	}
+	n := float64(len(xs))
+	mu := 0.0
+	for _, x := range xs {
+		mu += math.Log(x)
+	}
+	mu /= n
+	ss := 0.0
+	for _, x := range xs {
+		d := math.Log(x) - mu
+		ss += d * d
+	}
+	sigma := math.Sqrt(ss / n)
+	if sigma <= 0 {
+		// Degenerate sample (all values equal): a sharply peaked fit.
+		sigma = 1e-6
+	}
+	return dist.NewLogNormal(mu, sigma), nil
+}
+
+// LogLikelihood returns the log-likelihood of data under d. Values are
+// cleaned the same way the estimators clean them, so likelihoods of
+// fits to the same data are comparable.
+func LogLikelihood(d dist.Distribution, data []float64) float64 {
+	xs, err := clean(data)
+	if err != nil {
+		return math.Inf(-1)
+	}
+	ll := 0.0
+	for _, x := range xs {
+		p := d.PDF(x)
+		if p <= 0 {
+			return math.Inf(-1)
+		}
+		ll += math.Log(p)
+	}
+	return ll
+}
+
+// AIC returns the Akaike information criterion 2k − 2·lnL for a model
+// with k free parameters.
+func AIC(logLik float64, params int) float64 {
+	return 2*float64(params) - 2*logLik
+}
+
+// BIC returns the Bayesian information criterion k·ln(n) − 2·lnL.
+func BIC(logLik float64, params, n int) float64 {
+	return float64(params)*math.Log(float64(n)) - 2*logLik
+}
+
+// KS returns the Kolmogorov-Smirnov distance between the empirical
+// distribution of data and model.
+func KS(model dist.Distribution, data []float64) float64 {
+	xs, err := clean(data)
+	if err != nil {
+		return math.NaN()
+	}
+	return dist.NewEmpirical(xs).KSDistance(model)
+}
+
+// NumParams returns the number of free parameters of the supported
+// families (used by AIC/BIC): 1 for exponential, 2 for Weibull, 2k−1
+// for a k-phase hyperexponential. Conditioned distributions report
+// their base's count. Unknown families report 0.
+func NumParams(d dist.Distribution) int {
+	switch v := d.(type) {
+	case dist.Exponential:
+		return 1
+	case dist.Weibull:
+		return 2
+	case dist.LogNormal:
+		return 2
+	case dist.Hyperexponential:
+		return 2*v.Phases() - 1
+	case dist.Conditional:
+		return NumParams(v.Base)
+	default:
+		return 0
+	}
+}
+
+// quantileGroups splits sorted data into k contiguous groups of nearly
+// equal size, returning the mean of each group. It seeds the EM rates.
+func quantileGroups(sorted []float64, k int) []float64 {
+	means := make([]float64, k)
+	n := len(sorted)
+	for i := range k {
+		lo := i * n / k
+		hi := (i + 1) * n / k
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > n {
+			hi = n
+		}
+		sum := 0.0
+		for _, x := range sorted[lo:hi] {
+			sum += x
+		}
+		means[i] = sum / float64(hi-lo)
+	}
+	return means
+}
+
+// EMOptions tunes the hyperexponential EM fit.
+type EMOptions struct {
+	// MaxIter bounds EM iterations (default 500).
+	MaxIter int
+	// Tol stops EM when the log-likelihood improves by less than Tol
+	// (default 1e-9, relative to |logLik|).
+	Tol float64
+}
+
+// EMResult reports the outcome of a hyperexponential EM fit.
+type EMResult struct {
+	Dist    dist.Hyperexponential
+	LogLik  float64
+	Iters   int
+	Converg bool
+}
+
+// Hyperexp fits a k-phase hyperexponential to data by
+// expectation-maximization, seeded deterministically from the sample
+// quantile structure so that fits are reproducible.
+//
+// E step: responsibilities γᵢⱼ = pᵢλᵢe^(-λᵢxⱼ) / Σₘ pₘλₘe^(-λₘxⱼ).
+// M step: pᵢ = mean over j of γᵢⱼ; λᵢ = Σⱼγᵢⱼ / Σⱼγᵢⱼxⱼ.
+//
+// Every iteration provably does not decrease the likelihood; the test
+// suite checks this invariant directly.
+func Hyperexp(data []float64, k int, opts EMOptions) (EMResult, error) {
+	if k < 1 {
+		return EMResult{}, fmt.Errorf("fit: hyperexponential needs k >= 1, got %d", k)
+	}
+	xs, err := clean(data)
+	if err != nil {
+		return EMResult{}, err
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 500
+	}
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-9
+	}
+	n := len(xs)
+	if n < k {
+		// Not enough observations to distinguish phases; collapse to
+		// as many phases as points.
+		k = n
+	}
+
+	sorted := make([]float64, n)
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+
+	// Deterministic initialization: rates from quantile-group means,
+	// slightly separated when groups tie; uniform weights.
+	p := make([]float64, k)
+	lam := make([]float64, k)
+	groupMeans := quantileGroups(sorted, k)
+	for i := range k {
+		p[i] = 1 / float64(k)
+		m := groupMeans[i]
+		if m <= 0 {
+			m = DurationFloor
+		}
+		lam[i] = 1 / m
+	}
+	for i := 1; i < k; i++ {
+		if lam[i] >= lam[i-1] {
+			lam[i] = lam[i-1] * 0.5 // enforce distinct, decreasing rates
+		}
+	}
+
+	const (
+		lamMin = 1e-12
+		lamMax = 1e3 // rates above 1/ms are meaningless for seconds data
+		pMin   = 1e-12
+	)
+
+	gamma := make([][]float64, k)
+	for i := range gamma {
+		gamma[i] = make([]float64, n)
+	}
+	prevLL := math.Inf(-1)
+	iters := 0
+	converged := false
+	for iter := range opts.MaxIter {
+		iters = iter + 1
+		// E step + log-likelihood in one pass.
+		ll := 0.0
+		for j, x := range xs {
+			den := 0.0
+			for i := range k {
+				g := p[i] * lam[i] * math.Exp(-lam[i]*x)
+				gamma[i][j] = g
+				den += g
+			}
+			if den <= 0 {
+				// All phases assign zero density (extreme outlier);
+				// assign it to the slowest phase.
+				slow := 0
+				for i := 1; i < k; i++ {
+					if lam[i] < lam[slow] {
+						slow = i
+					}
+				}
+				for i := range k {
+					gamma[i][j] = 0
+				}
+				gamma[slow][j] = 1
+				ll += math.Log(pMin)
+				continue
+			}
+			for i := range k {
+				gamma[i][j] /= den
+			}
+			ll += math.Log(den)
+		}
+		// M step.
+		for i := range k {
+			var sg, sgx float64
+			for j, x := range xs {
+				sg += gamma[i][j]
+				sgx += gamma[i][j] * x
+			}
+			p[i] = math.Max(sg/float64(n), pMin)
+			if sgx <= 0 {
+				lam[i] = lamMax
+			} else {
+				lam[i] = math.Min(math.Max(sg/sgx, lamMin), lamMax)
+			}
+		}
+		if ll-prevLL < opts.Tol*math.Max(1, math.Abs(ll)) && iter > 0 {
+			prevLL = ll
+			converged = true
+			break
+		}
+		prevLL = ll
+	}
+
+	h := dist.NewHyperexponential(p, lam)
+	return EMResult{Dist: h, LogLik: prevLL, Iters: iters, Converg: converged}, nil
+}

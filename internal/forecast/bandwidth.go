@@ -1,0 +1,49 @@
+package forecast
+
+import (
+	"errors"
+	"math"
+)
+
+// BandwidthPredictor turns observed transfer measurements into
+// predicted transfer times for future checkpoints — the "predictions
+// of network performance to the storage site" the scheduling system
+// consumes. It forecasts bandwidth (bytes/second) rather than raw
+// durations so predictions transfer across image sizes.
+type BandwidthPredictor struct {
+	sel *Selector
+}
+
+// NewBandwidthPredictor returns a predictor backed by the default NWS
+// expert battery.
+func NewBandwidthPredictor() *BandwidthPredictor {
+	return &BandwidthPredictor{sel: DefaultSelector()}
+}
+
+// Observe records a completed (or partially completed) transfer of n
+// bytes that took sec seconds. Non-positive observations are ignored.
+func (p *BandwidthPredictor) Observe(bytes int64, sec float64) {
+	if bytes <= 0 || sec <= 0 {
+		return
+	}
+	p.sel.Update(float64(bytes) / sec)
+}
+
+// N returns the number of observations recorded.
+func (p *BandwidthPredictor) N() int { return p.sel.N() }
+
+// PredictTransferSec forecasts how long a transfer of n bytes will
+// take. It errors until at least one observation has been recorded.
+func (p *BandwidthPredictor) PredictTransferSec(bytes int64) (float64, error) {
+	bw, _ := p.sel.Predict()
+	if math.IsNaN(bw) || bw <= 0 {
+		return 0, errors.New("forecast: no bandwidth observations yet")
+	}
+	return float64(bytes) / bw, nil
+}
+
+// BestExpert names the currently winning forecaster.
+func (p *BandwidthPredictor) BestExpert() string {
+	_, name := p.sel.Best()
+	return name
+}

@@ -1,0 +1,25 @@
+package forecast_test
+
+import (
+	"fmt"
+
+	"github.com/cycleharvest/ckptsched/internal/forecast"
+)
+
+// ExampleSelector demonstrates the NWS mixture-of-experts adapting to
+// a bandwidth regime switch: after congestion halves the link, the
+// short-memory experts take over from the long-run mean.
+func ExampleSelector() {
+	s := forecast.DefaultSelector()
+	for range 200 {
+		s.Update(100) // steady 100 units
+	}
+	before, _ := s.Predict()
+	for range 30 {
+		s.Update(50) // congestion halves the measurements
+	}
+	after, _ := s.Predict()
+	fmt.Printf("before switch: %.0f, 30 samples after: %.0f\n", before, after)
+	// Output:
+	// before switch: 100, 30 samples after: 50
+}

@@ -1,0 +1,343 @@
+package live
+
+import (
+	"math"
+	"testing"
+
+	"github.com/cycleharvest/ckptsched/internal/ckptnet"
+	"github.com/cycleharvest/ckptsched/internal/condor"
+	"github.com/cycleharvest/ckptsched/internal/fit"
+	"github.com/cycleharvest/ckptsched/internal/trace"
+)
+
+// testbed builds a small pool plus a monitor-collected history for it.
+func testbed(t *testing.T, machines int, seed int64) ([]condor.Machine, *trace.Set) {
+	t.Helper()
+	ms, err := condor.SyntheticPool(condor.SyntheticPoolConfig{Machines: machines, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := condor.NewPool(ms, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := condor.CollectTraces(pool, condor.MonitorConfig{
+		Monitors: machines,
+		Duration: condor.MonthsSeconds(6),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ms, set
+}
+
+func TestRunCampaignBasics(t *testing.T) {
+	machines, history := testbed(t, 20, 3)
+	camp, err := RunCampaign(CampaignConfig{
+		Machines:        machines,
+		History:         history,
+		Link:            ckptnet.CampusLink(),
+		CheckpointMB:    500,
+		SamplesPerModel: 5,
+		Seed:            3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(camp.Samples) != 20 {
+		t.Fatalf("samples = %d", len(camp.Samples))
+	}
+	if camp.LinkName != "campus" {
+		t.Errorf("link = %q", camp.LinkName)
+	}
+	byModel := camp.ByModel()
+	for _, m := range fit.Models {
+		if len(byModel[m]) != 5 {
+			t.Errorf("%v: %d samples, want 5", m, len(byModel[m]))
+		}
+	}
+	for i, s := range camp.Samples {
+		if s.SessionSec < 0 {
+			t.Errorf("sample %d: negative session %g", i, s.SessionSec)
+		}
+		if s.Machine == "" {
+			t.Errorf("sample %d: no machine", i)
+		}
+		eff := s.Efficiency()
+		if eff < 0 || eff > 1 {
+			t.Errorf("sample %d: efficiency %g", i, eff)
+		}
+		// Time conservation within a session: committed + lost +
+		// transfers <= session (heartbeats are free).
+		used := s.CommittedWork + s.LostWork + s.TransferSec
+		if used > s.SessionSec+1e-6 {
+			t.Errorf("sample %d: accounted %g > session %g", i, used, s.SessionSec)
+		}
+		// Network volume is bounded by completed transfers + at most
+		// one partial each way.
+		maxMB := float64(s.Checkpoints+2) * 500 * 1.001
+		if s.MBMoved > maxMB+500 {
+			t.Errorf("sample %d: MB %g exceeds plausible %g", i, s.MBMoved, maxMB)
+		}
+	}
+}
+
+func TestRunCampaignDeterminism(t *testing.T) {
+	machines, history := testbed(t, 12, 7)
+	run := func() *Campaign {
+		c, err := RunCampaign(CampaignConfig{
+			Machines:        machines,
+			History:         history,
+			Link:            ckptnet.CampusLink(),
+			SamplesPerModel: 3,
+			Seed:            7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	a, b := run(), run()
+	if len(a.Samples) != len(b.Samples) {
+		t.Fatal("sample counts differ")
+	}
+	for i := range a.Samples {
+		if a.Samples[i].SessionSec != b.Samples[i].SessionSec ||
+			a.Samples[i].MBMoved != b.Samples[i].MBMoved {
+			t.Fatalf("campaign not deterministic at sample %d", i)
+		}
+	}
+}
+
+func TestRunCampaignWideAreaCostsMore(t *testing.T) {
+	machines, history := testbed(t, 25, 11)
+	run := func(link ckptnet.Link) *Campaign {
+		c, err := RunCampaign(CampaignConfig{
+			Machines:        machines,
+			History:         history,
+			Link:            link,
+			SamplesPerModel: 8,
+			Seed:            11,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	campus := run(ckptnet.CampusLink())
+	wan := run(ckptnet.WideAreaLink())
+	avgEff := func(c *Campaign) float64 {
+		sum := 0.0
+		for _, s := range c.Samples {
+			sum += s.Efficiency()
+		}
+		return sum / float64(len(c.Samples))
+	}
+	ce, we := avgEff(campus), avgEff(wan)
+	// Slower transfers must cost efficiency, matching Table 4 (avg
+	// ≈0.62-0.73 at C≈110) vs Table 5 (≈0.59-0.66 at C≈475).
+	if we >= ce {
+		t.Errorf("wide-area efficiency %g not below campus %g", we, ce)
+	}
+	// Mean measured C should approximate the link calibrations.
+	meanC := func(c *Campaign) float64 {
+		var sum float64
+		var n int
+		for _, s := range c.Samples {
+			for _, v := range s.MeasuredCs {
+				sum += v
+				n++
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return sum / float64(n)
+	}
+	if mc := meanC(campus); math.Abs(mc-110) > 30 {
+		t.Errorf("campus mean C = %g, want ≈110", mc)
+	}
+	if mw := meanC(wan); math.Abs(mw-475) > 120 {
+		t.Errorf("wide-area mean C = %g, want ≈475", mw)
+	}
+}
+
+func TestRunCampaignErrors(t *testing.T) {
+	machines, history := testbed(t, 5, 13)
+	base := CampaignConfig{
+		Machines:        machines,
+		History:         history,
+		Link:            ckptnet.CampusLink(),
+		SamplesPerModel: 1,
+	}
+	c := base
+	c.Machines = nil
+	if _, err := RunCampaign(c); err == nil {
+		t.Error("no machines should error")
+	}
+	c = base
+	c.History = nil
+	if _, err := RunCampaign(c); err == nil {
+		t.Error("no history should error")
+	}
+	c = base
+	c.Link = nil
+	if _, err := RunCampaign(c); err == nil {
+		t.Error("no link should error")
+	}
+	c = base
+	c.SamplesPerModel = 0
+	if _, err := RunCampaign(c); err == nil {
+		t.Error("zero samples should error")
+	}
+}
+
+func TestValidateAgreesLoosely(t *testing.T) {
+	machines, history := testbed(t, 25, 17)
+	camp, err := RunCampaign(CampaignConfig{
+		Machines:        machines,
+		History:         history,
+		Link:            ckptnet.CampusLink(),
+		SamplesPerModel: 10,
+		Seed:            17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Validate(camp, history, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Samples == 0 {
+			t.Errorf("%v: no samples", r.Model)
+		}
+		if r.LiveEfficiency < 0 || r.LiveEfficiency > 1 || r.SimEfficiency < 0 || r.SimEfficiency > 1 {
+			t.Errorf("%v: efficiencies out of range: %+v", r.Model, r)
+		}
+		// §5.3: small discrepancies are expected (variable C/R,
+		// censoring), not wild disagreement.
+		if math.Abs(r.Delta()) > 0.25 {
+			t.Errorf("%v: live %g vs sim %g — divergence too large",
+				r.Model, r.LiveEfficiency, r.SimEfficiency)
+		}
+	}
+}
+
+func TestRunCampaignConcurrent(t *testing.T) {
+	machines, history := testbed(t, 15, 29)
+	run := func(conc int) *Campaign {
+		c, err := RunCampaign(CampaignConfig{
+			Machines:        machines,
+			History:         history,
+			Link:            ckptnet.CampusLink(),
+			SamplesPerModel: 6,
+			Concurrency:     conc,
+			Seed:            29,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	seq := run(1)
+	par := run(5)
+	if len(par.Samples) != 24 {
+		t.Fatalf("samples = %d", len(par.Samples))
+	}
+	// Every sample completed with a real session on a real machine.
+	for i, s := range par.Samples {
+		if s.Machine == "" || s.SessionSec <= 0 {
+			t.Errorf("sample %d incomplete: %+v", i, s)
+		}
+		if e := s.Efficiency(); e < 0 || e > 1 {
+			t.Errorf("sample %d efficiency %g", i, e)
+		}
+	}
+	// Model rotation preserved.
+	byModel := par.ByModel()
+	for _, m := range fit.Models {
+		if len(byModel[m]) != 6 {
+			t.Errorf("%v: %d samples", m, len(byModel[m]))
+		}
+	}
+	// Concurrency is deterministic too.
+	par2 := run(5)
+	for i := range par.Samples {
+		if par.Samples[i].SessionSec != par2.Samples[i].SessionSec {
+			t.Fatalf("concurrent campaign not deterministic at %d", i)
+		}
+	}
+	// Overlapping processes occupy the pool more: the concurrent
+	// campaign finishes with samples drawn from at least as many
+	// distinct machines as the sequential one touched.
+	distinct := func(c *Campaign) int {
+		set := map[string]bool{}
+		for _, s := range c.Samples {
+			set[s.Machine] = true
+		}
+		return len(set)
+	}
+	if distinct(par) < distinct(seq)/2 {
+		t.Errorf("concurrent campaign used implausibly few machines: %d vs %d",
+			distinct(par), distinct(seq))
+	}
+}
+
+func TestRunCampaignWithForecast(t *testing.T) {
+	// The NWS-predicted-cost path must run, stay deterministic, and —
+	// on the high-variance wide-area link — schedule with smoother
+	// cost estimates than the last-measurement path.
+	machines, history := testbed(t, 20, 23)
+	run := func(useForecast bool) *Campaign {
+		c, err := RunCampaign(CampaignConfig{
+			Machines:        machines,
+			History:         history,
+			Link:            ckptnet.WideAreaLink(),
+			SamplesPerModel: 6,
+			UseForecast:     useForecast,
+			Seed:            23,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	fc := run(true)
+	fc2 := run(true)
+	for i := range fc.Samples {
+		if fc.Samples[i].SessionSec != fc2.Samples[i].SessionSec {
+			t.Fatalf("forecast campaign not deterministic at %d", i)
+		}
+	}
+	last := run(false)
+	avgEff := func(c *Campaign) float64 {
+		sum := 0.0
+		for _, s := range c.Samples {
+			sum += s.Efficiency()
+		}
+		return sum / float64(len(c.Samples))
+	}
+	fe, le := avgEff(fc), avgEff(last)
+	if fe <= 0 || fe >= 1 || le <= 0 || le >= 1 {
+		t.Fatalf("efficiencies out of range: forecast %g, last %g", fe, le)
+	}
+	// Both estimators should land in the same ballpark; the forecast
+	// path must not collapse (it is the paper's described system).
+	if math.Abs(fe-le) > 0.2 {
+		t.Errorf("forecast path efficiency %g diverges from last-measurement %g", fe, le)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	if _, err := Validate(nil, nil, 0); err == nil {
+		t.Error("nil campaign should error")
+	}
+	_, history := testbed(t, 3, 19)
+	if _, err := Validate(&Campaign{}, history, 0); err == nil {
+		t.Error("empty campaign should error")
+	}
+}

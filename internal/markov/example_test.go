@@ -1,0 +1,43 @@
+package markov_test
+
+import (
+	"fmt"
+
+	"github.com/cycleharvest/ckptsched/internal/dist"
+	"github.com/cycleharvest/ckptsched/internal/markov"
+)
+
+// ExampleModel_Topt optimizes the work interval for the machine the
+// paper measured, with the campus network's 110-second checkpoint
+// cost.
+func ExampleModel_Topt() {
+	m := markov.Model{
+		Avail: dist.NewWeibull(0.43, 3409),
+		Costs: markov.Costs{C: 110, R: 110, L: 110},
+	}
+	T, ratio, err := m.Topt(600 /* resource age */, markov.OptimizeOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("T_opt = %.0f s, expected efficiency %.0f%%\n", T, 100/ratio)
+	// Output:
+	// T_opt = 1119 s, expected efficiency 76%
+}
+
+// ExampleModel_ExpectedImagesPerCommit shows the analytic network-load
+// model: a shorter interval commits less work per checkpoint image
+// moved, so its bandwidth rate is higher.
+func ExampleModel_ExpectedImagesPerCommit() {
+	m := markov.Model{
+		Avail: dist.NewWeibull(0.43, 3409),
+		Costs: markov.Costs{C: 500, R: 500, L: 500},
+	}
+	for _, T := range []float64{1000, 4000} {
+		imgs := m.ExpectedImagesPerCommit(T, 500)
+		rate := m.ExpectedBandwidthRate(T, 500) * 500 // MB/s for 500 MB images
+		fmt.Printf("T = %4.0f s: %.2f images per commit, %.3f MB/s\n", T, imgs, rate)
+	}
+	// Output:
+	// T = 1000 s: 1.52 images per commit, 0.380 MB/s
+	// T = 4000 s: 2.27 images per commit, 0.167 MB/s
+}

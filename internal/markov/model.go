@@ -1,0 +1,199 @@
+// Package markov implements the paper's three-state Markov model of a
+// single checkpoint interval (§3.5), generalizing Vaidya's
+// checkpoint-overhead analysis (IEEE Trans. Computers, 1997) from the
+// exponential to arbitrary availability distributions.
+//
+// States (Figure 2 of the paper):
+//
+//	0 — interval begins: (recover if needed,) compute for T, checkpoint for C
+//	1 — interval committed: the checkpoint completed
+//	2 — a failure occurred somewhere in the interval
+//
+// The state-0 transition quantities are evaluated under the
+// future-lifetime distribution F_t conditioned on the resource's
+// current age t (Eq. 8), while the state-2 quantities use the
+// unconditional distribution because a failure has just reset the
+// resource's age — this asymmetry is exactly what makes non-memoryless
+// schedules aperiodic.
+//
+// Unlike the two classical simplifications the paper calls out, this
+// model permits failures during both checkpointing and recovery, and
+// it does not assume exponential availability.
+package markov
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/cycleharvest/ckptsched/internal/dist"
+	"github.com/cycleharvest/ckptsched/internal/mathx"
+)
+
+// Costs holds the fixed per-interval overhead parameters, all in
+// seconds of (virtual) time.
+type Costs struct {
+	// C is the checkpoint cost: the time the application is blocked
+	// while its state traverses the network to stable storage.
+	C float64
+	// R is the recovery cost: the time to re-fetch the last checkpoint
+	// after a failure. The paper sets R = C throughout, matching its
+	// Condor measurements.
+	R float64
+	// L is the checkpoint latency: how stale the last stable
+	// checkpoint is when a failure interrupts an interval. With
+	// sequential (blocking) checkpointing latency equals overhead, so
+	// callers normally set L = C; NewCosts does this when L is zero
+	// and C > 0.
+	L float64
+}
+
+// NewCosts builds Costs with the paper's conventions: if r < 0 it
+// defaults to c (the paper's "C = R" assumption), and if l < 0 it
+// defaults to c (sequential checkpointing).
+func NewCosts(c, r, l float64) (Costs, error) {
+	if c < 0 {
+		return Costs{}, fmt.Errorf("markov: negative checkpoint cost %g", c)
+	}
+	if r < 0 {
+		r = c
+	}
+	if l < 0 {
+		l = c
+	}
+	return Costs{C: c, R: r, L: l}, nil
+}
+
+// Model evaluates the Markov chain for one availability distribution
+// and one set of overhead costs.
+type Model struct {
+	// Avail is the (unconditional) availability distribution of the
+	// resource.
+	Avail dist.Distribution
+	// Costs are the checkpoint/recovery/latency overheads.
+	Costs Costs
+}
+
+// Transitions holds the transition probabilities P_ij and expected
+// sojourn costs K_ij of the three-state chain for a particular work
+// interval T and resource age.
+type Transitions struct {
+	P01, K01 float64 // interval succeeds: survive C+T under F_age
+	P02, K02 float64 // interval fails: failure time conditional mean
+	P21, K21 float64 // restart succeeds: survive L+R+T (unconditional)
+	P22, K22 float64 // restart fails again
+}
+
+// At computes the transition quantities for work interval T when the
+// resource has been available for age seconds. T must be positive.
+func (m Model) At(T, age float64) Transitions {
+	var tr Transitions
+	c := dist.NewConditional(m.Avail, age)
+
+	// State 0 under the future-lifetime distribution.
+	span0 := m.Costs.C + T
+	tr.P01 = c.Survival(span0)
+	tr.K01 = span0
+	tr.P02 = 1 - tr.P01
+	if tr.P02 > 0 {
+		tr.K02 = c.PartialMoment(span0) / tr.P02
+	}
+
+	// State 2 under the unconditional distribution (age has reset).
+	span2 := m.Costs.L + m.Costs.R + T
+	tr.P21 = m.Avail.Survival(span2)
+	tr.K21 = span2
+	tr.P22 = 1 - tr.P21
+	if tr.P22 > 0 {
+		tr.K22 = m.Avail.PartialMoment(span2) / tr.P22
+	}
+	return tr
+}
+
+// Gamma returns Γ, the expected wall-clock time to advance from state
+// 0 to state 1 — i.e. to commit one work interval of length T — when
+// the resource has been available for age seconds (Eq. 11):
+//
+//	Γ = P01·K01 + P02·(K02 + K22·P22/P21 + K21)
+//
+// (the paper's "K20" term is a typographical slip for K21: the closed
+// form follows from E2 = P21·K21 + P22·(K22 + E2)). Gamma returns +Inf
+// when the restart loop cannot terminate (P21 = 0).
+func (m Model) Gamma(T, age float64) float64 {
+	if T <= 0 {
+		return math.Inf(1)
+	}
+	tr := m.At(T, age)
+	if tr.P02 <= 0 {
+		// Failure within the interval is impossible; the interval
+		// always commits in C+T.
+		return tr.K01
+	}
+	if tr.P21 <= 0 {
+		return math.Inf(1)
+	}
+	e2 := tr.K21 + tr.K22*tr.P22/tr.P21
+	return tr.P01*tr.K01 + tr.P02*(tr.K02+e2)
+}
+
+// OverheadRatio returns Γ(T)/T, the expected wall-clock cost per unit
+// of useful work. Its minimizer is the optimal work interval.
+func (m Model) OverheadRatio(T, age float64) float64 {
+	g := m.Gamma(T, age)
+	if math.IsInf(g, 1) {
+		return g
+	}
+	return g / T
+}
+
+// Efficiency returns T/Γ(T), the expected fraction of wall-clock time
+// spent on useful work for interval length T — the quantity averaged
+// in the paper's Figure 3 and Table 1.
+func (m Model) Efficiency(T, age float64) float64 {
+	return 1 / m.OverheadRatio(T, age)
+}
+
+// OptimizeOptions tunes the T_opt search.
+type OptimizeOptions struct {
+	// TMin and TMax bound the search (seconds). Defaults: 1 and 30
+	// days.
+	TMin, TMax float64
+	// GridPoints is the size of the coarse geometric scan that
+	// brackets the golden-section refinement. Default 64.
+	GridPoints int
+	// Tol is the relative tolerance on T_opt. Default 1e-6.
+	Tol float64
+}
+
+func (o *OptimizeOptions) setDefaults() {
+	if o.TMin <= 0 {
+		o.TMin = 1
+	}
+	if o.TMax <= o.TMin {
+		o.TMax = 30 * 24 * 3600
+	}
+	if o.GridPoints <= 0 {
+		o.GridPoints = 64
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-6
+	}
+}
+
+// ErrDegenerate is returned when no finite-overhead work interval
+// exists (e.g. the restart loop cannot complete for any T in range).
+var ErrDegenerate = errors.New("markov: no feasible work interval")
+
+// Topt finds the work interval T minimizing the overhead ratio Γ(T)/T
+// for a resource of the given age, using a coarse geometric scan
+// followed by Golden Section refinement (§3.5 uses Golden Section
+// Search from Numerical Recipes).
+func (m Model) Topt(age float64, opts OptimizeOptions) (T, ratio float64, err error) {
+	opts.setDefaults()
+	f := func(t float64) float64 { return m.OverheadRatio(t, age) }
+	T, ratio = mathx.MinimizeScanGolden(f, opts.TMin, opts.TMax, opts.GridPoints, opts.Tol)
+	if math.IsInf(ratio, 1) || math.IsNaN(ratio) {
+		return 0, 0, ErrDegenerate
+	}
+	return T, ratio, nil
+}

@@ -1,0 +1,95 @@
+package markov
+
+import "math"
+
+// ExpectedImagesPerCommit returns the expected number of checkpoint-
+// image-equivalents that cross the network per committed work interval
+// of length T at resource age, under the chain's own semantics:
+//
+//   - exactly one full image for the checkpoint that commits the
+//     interval (whichever attempt succeeds);
+//   - a partial image when the initial attempt fails during its
+//     checkpoint phase (failure time τ ∈ (T, T+C] under F_age), with
+//     expected fraction (E[τ|mid-checkpoint]−T)/C;
+//   - one recovery transfer per retry leg — full if the (unconditional)
+//     failure time exceeds R, otherwise the prorated fraction
+//     PM(R)/R·(1/F(R))·F(R) = PM(R)/R — with E[retries] = P02/P21.
+//
+// Retry legs in the chain span L+R+T without an explicit checkpoint
+// phase, so mid-checkpoint partials on retries are not modeled; the
+// discrete-event simulator accounts them and the property tests bound
+// the difference. This quantity is the analytic counterpart of the
+// paper's Figure 4/Table 3 measurements: heavier-tailed models choose
+// longer T, committing more work per image moved.
+func (m Model) ExpectedImagesPerCommit(T, age float64) float64 {
+	if T <= 0 {
+		return math.Inf(1)
+	}
+	tr := m.At(T, age)
+	if tr.P21 <= 0 {
+		return math.Inf(1)
+	}
+	images := 1.0
+
+	// Partial checkpoint on the initial attempt. Failure times within
+	// (T, C+T] under the age-conditioned law.
+	if m.Costs.C > 0 {
+		c := conditionalQuantities{m: m, age: age}
+		pMid := c.cdf(m.Costs.C+T) - c.cdf(T)
+		if pMid > 1e-300 {
+			eMid := (c.partialMoment(m.Costs.C+T) - c.partialMoment(T)) / pMid
+			frac := (eMid - T) / m.Costs.C
+			if frac > 0 {
+				images += pMid * math.Min(frac, 1)
+			}
+		}
+	}
+
+	// Recovery transfers over the expected retries.
+	retries := tr.P02 / tr.P21
+	perRetry := 1.0
+	if m.Costs.R > 0 {
+		perRetry = m.Avail.Survival(m.Costs.R) + m.Avail.PartialMoment(m.Costs.R)/m.Costs.R
+	}
+	images += retries * perRetry
+	return images
+}
+
+// ExpectedBandwidthRate returns the expected long-run network rate in
+// image-sizes per second of wall-clock time when checkpointing every
+// T seconds at the given age: ExpectedImagesPerCommit / Γ. Multiply by
+// the image size for MB/s.
+func (m Model) ExpectedBandwidthRate(T, age float64) float64 {
+	g := m.Gamma(T, age)
+	if math.IsInf(g, 1) || g <= 0 {
+		return math.Inf(1)
+	}
+	return m.ExpectedImagesPerCommit(T, age) / g
+}
+
+// conditionalQuantities avoids re-allocating dist.Conditional wrappers
+// in the hot path.
+type conditionalQuantities struct {
+	m   Model
+	age float64
+}
+
+func (c conditionalQuantities) cdf(x float64) float64 {
+	s := c.m.Avail.Survival(c.age)
+	if s <= 0 {
+		return 1
+	}
+	return 1 - c.m.Avail.Survival(c.age+x)/s
+}
+
+func (c conditionalQuantities) partialMoment(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	s := c.m.Avail.Survival(c.age)
+	if s <= 0 {
+		return 0
+	}
+	dF := (c.m.Avail.CDF(c.age+x) - c.m.Avail.CDF(c.age))
+	return (c.m.Avail.PartialMoment(c.age+x) - c.m.Avail.PartialMoment(c.age) - c.age*dF) / s
+}

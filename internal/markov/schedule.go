@@ -1,0 +1,136 @@
+package markov
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Schedule is an aperiodic checkpoint schedule: the sequence of
+// optimal work intervals T_opt(0), T_opt(1), … computed from the start
+// of an uninterrupted availability period (§3.5). Interval i begins
+// when the resource has age Ages[i] and lasts Intervals[i] seconds,
+// followed by a checkpoint of C seconds.
+//
+// The schedule is valid for as long as the resource stays up; after a
+// failure a new schedule must be computed (the resource's age resets).
+type Schedule struct {
+	// Intervals[i] is T_opt(i) in seconds.
+	Intervals []float64
+	// Ages[i] is the resource age at which interval i begins.
+	Ages []float64
+	// Ratios[i] is the expected overhead ratio Γ/T at T_opt(i).
+	Ratios []float64
+	// Costs echoes the overhead parameters the schedule was built for.
+	Costs Costs
+}
+
+// Len returns the number of planned intervals.
+func (s *Schedule) Len() int { return len(s.Intervals) }
+
+// Horizon returns the resource age at which the last planned interval
+// (plus its checkpoint) completes.
+func (s *Schedule) Horizon() float64 {
+	n := len(s.Intervals)
+	if n == 0 {
+		return 0
+	}
+	return s.Ages[n-1] + s.Intervals[n-1] + s.Costs.C
+}
+
+// IntervalAt returns the planned work interval in effect for a
+// resource of the given age, extending the schedule's final interval
+// if age lies beyond the planned horizon. ok is false for an empty
+// schedule.
+func (s *Schedule) IntervalAt(age float64) (T float64, ok bool) {
+	n := len(s.Intervals)
+	if n == 0 {
+		return 0, false
+	}
+	for i := range n {
+		if age < s.Ages[i]+s.Intervals[i]+s.Costs.C {
+			return s.Intervals[i], true
+		}
+	}
+	return s.Intervals[n-1], true
+}
+
+// String renders the first few intervals for human inspection.
+func (s *Schedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Schedule(C=%.4g, R=%.4g; %d intervals", s.Costs.C, s.Costs.R, len(s.Intervals))
+	for i := 0; i < len(s.Intervals) && i < 6; i++ {
+		fmt.Fprintf(&b, "; T%d=%.4g@age=%.4g", i, s.Intervals[i], s.Ages[i])
+	}
+	if len(s.Intervals) > 6 {
+		b.WriteString("; …")
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// ScheduleOptions tunes BuildSchedule.
+type ScheduleOptions struct {
+	// Optimize tunes each per-interval T_opt search.
+	Optimize OptimizeOptions
+	// Horizon stops planning once the schedule covers this resource
+	// age (seconds). Default: 7 days.
+	Horizon float64
+	// MaxIntervals caps the schedule length. Default: 10000.
+	MaxIntervals int
+}
+
+func (o *ScheduleOptions) setDefaults() {
+	o.Optimize.setDefaults()
+	if o.Horizon <= 0 {
+		o.Horizon = 7 * 24 * 3600
+	}
+	if o.MaxIntervals <= 0 {
+		o.MaxIntervals = 10000
+	}
+}
+
+// BuildSchedule computes the aperiodic schedule of T_opt values for a
+// resource whose availability follows m.Avail and that has already
+// been available for startAge seconds (the paper's T_elapsed).
+//
+// T_opt(0) is optimized at age startAge; each successive T_opt(i) is
+// optimized at the age the resource will have reached if all previous
+// intervals commit (age accrues work plus checkpoint time). For a
+// memoryless (exponential) model every interval is identical and the
+// schedule is effectively periodic.
+func (m Model) BuildSchedule(startAge float64, opts ScheduleOptions) (*Schedule, error) {
+	opts.setDefaults()
+	if startAge < 0 {
+		startAge = 0
+	}
+	s := &Schedule{Costs: m.Costs}
+	age := startAge
+	for len(s.Intervals) < opts.MaxIntervals {
+		T, ratio, err := m.Topt(age, opts.Optimize)
+		if err != nil {
+			if len(s.Intervals) > 0 {
+				break // keep what we have; later ages degenerate
+			}
+			return nil, err
+		}
+		s.Intervals = append(s.Intervals, T)
+		s.Ages = append(s.Ages, age)
+		s.Ratios = append(s.Ratios, ratio)
+		age += T + m.Costs.C
+		if age >= opts.Horizon {
+			break
+		}
+		if memoryless(m.Avail) {
+			// All further intervals are identical; IntervalAt extends
+			// the last interval indefinitely.
+			break
+		}
+	}
+	return s, nil
+}
+
+// memoryless reports whether d is an exponential distribution (the
+// only memoryless continuous lifetime law).
+func memoryless(d interface{ Name() string }) bool {
+	return d.Name() == "exponential"
+}

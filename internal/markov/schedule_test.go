@@ -1,0 +1,193 @@
+package markov
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/cycleharvest/ckptsched/internal/dist"
+)
+
+func TestBuildScheduleExponentialIsPeriodic(t *testing.T) {
+	m := Model{Avail: dist.NewExponential(1.0 / 9000), Costs: mustCosts(t, 100, 100, 100)}
+	s, err := m.BuildSchedule(0, ScheduleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("memoryless schedule should have one interval, got %d", s.Len())
+	}
+	// IntervalAt extends the single interval to any age.
+	T0 := s.Intervals[0]
+	for _, age := range []float64{0, T0 + 150, 10 * T0} {
+		T, ok := s.IntervalAt(age)
+		if !ok || T != T0 {
+			t.Errorf("IntervalAt(%g) = %g, %v; want %g", age, T, ok, T0)
+		}
+	}
+}
+
+func TestBuildScheduleWeibullIsAperiodic(t *testing.T) {
+	m := Model{Avail: dist.NewWeibull(0.43, 3409), Costs: mustCosts(t, 100, 100, 100)}
+	s, err := m.BuildSchedule(0, ScheduleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() < 3 {
+		t.Fatalf("expected several intervals, got %d", s.Len())
+	}
+	// Ages accrue work + checkpoint time.
+	for i := 1; i < s.Len(); i++ {
+		want := s.Ages[i-1] + s.Intervals[i-1] + s.Costs.C
+		if !almostEqual(s.Ages[i], want, 1e-9) {
+			t.Errorf("age[%d] = %g, want %g", i, s.Ages[i], want)
+		}
+		if s.Intervals[i] <= 0 {
+			t.Errorf("interval[%d] = %g not positive", i, s.Intervals[i])
+		}
+		// Past the infant-mortality region the decreasing hazard must
+		// stretch successive intervals.
+		if s.Ages[i-1] > 2000 && s.Intervals[i] <= s.Intervals[i-1] {
+			t.Errorf("interval[%d] = %g did not grow from %g (age %g)",
+				i, s.Intervals[i], s.Intervals[i-1], s.Ages[i-1])
+		}
+	}
+	// The schedule's late intervals dwarf its early ones.
+	if s.Intervals[s.Len()-1] <= 2*s.Intervals[0] {
+		t.Errorf("final interval %g not ≫ first %g", s.Intervals[s.Len()-1], s.Intervals[0])
+	}
+	if s.Horizon() <= 0 {
+		t.Error("horizon should be positive")
+	}
+}
+
+func TestBuildScheduleRespectsStartAge(t *testing.T) {
+	m := Model{Avail: dist.NewWeibull(0.43, 3409), Costs: mustCosts(t, 100, 100, 100)}
+	s0, err := m.BuildSchedule(0, ScheduleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := m.BuildSchedule(20000, ScheduleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Ages[0] != 20000 {
+		t.Errorf("start age = %g, want 20000", s1.Ages[0])
+	}
+	if s1.Intervals[0] <= s0.Intervals[0] {
+		t.Errorf("T_opt at age 20000 (%g) should exceed T_opt at age 0 (%g)",
+			s1.Intervals[0], s0.Intervals[0])
+	}
+	// Negative start age clamps to zero.
+	s2, err := m.BuildSchedule(-7, ScheduleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Ages[0] != 0 {
+		t.Errorf("negative start age not clamped: %g", s2.Ages[0])
+	}
+}
+
+func TestBuildScheduleHorizonAndCap(t *testing.T) {
+	m := Model{Avail: dist.NewWeibull(0.43, 3409), Costs: mustCosts(t, 100, 100, 100)}
+	s, err := m.BuildSchedule(0, ScheduleOptions{Horizon: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Planning stops once the accrued age crosses the horizon.
+	if s.Len() == 0 {
+		t.Fatal("empty schedule")
+	}
+	if s.Ages[s.Len()-1] >= 5000+s.Intervals[s.Len()-1]+2*m.Costs.C {
+		t.Errorf("planned far past horizon: last age %g", s.Ages[s.Len()-1])
+	}
+	s2, err := m.BuildSchedule(0, ScheduleOptions{MaxIntervals: 3, Horizon: 1e12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 3 {
+		t.Errorf("MaxIntervals not honored: %d", s2.Len())
+	}
+}
+
+func TestIntervalAtLookup(t *testing.T) {
+	m := Model{Avail: dist.NewWeibull(0.43, 3409), Costs: mustCosts(t, 100, 100, 100)}
+	s, err := m.BuildSchedule(0, ScheduleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Age inside interval i returns Intervals[i].
+	for i := 0; i < s.Len() && i < 4; i++ {
+		mid := s.Ages[i] + 0.5*s.Intervals[i]
+		T, ok := s.IntervalAt(mid)
+		if !ok || T != s.Intervals[i] {
+			t.Errorf("IntervalAt(%g) = %g, want %g", mid, T, s.Intervals[i])
+		}
+	}
+	// Beyond the horizon the final interval extends.
+	T, ok := s.IntervalAt(s.Horizon() * 10)
+	if !ok || T != s.Intervals[s.Len()-1] {
+		t.Errorf("IntervalAt beyond horizon = %g, want %g", T, s.Intervals[s.Len()-1])
+	}
+	// Empty schedule.
+	var empty Schedule
+	if _, ok := empty.IntervalAt(5); ok {
+		t.Error("empty schedule lookup should fail")
+	}
+	if empty.Horizon() != 0 {
+		t.Error("empty schedule horizon should be 0")
+	}
+}
+
+func TestScheduleString(t *testing.T) {
+	m := Model{Avail: dist.NewWeibull(0.43, 3409), Costs: mustCosts(t, 100, 100, 100)}
+	s, err := m.BuildSchedule(0, ScheduleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	str := s.String()
+	if !strings.Contains(str, "Schedule(") || !strings.Contains(str, "T0=") {
+		t.Errorf("unexpected String: %s", str)
+	}
+}
+
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	// Schedules cross process boundaries (manager → test process), so
+	// they must survive JSON serialization.
+	m := Model{Avail: dist.NewWeibull(0.43, 3409), Costs: mustCosts(t, 100, 100, 100)}
+	s, err := m.BuildSchedule(500, ScheduleOptions{Horizon: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Schedule
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != s.Len() || back.Costs != s.Costs {
+		t.Fatalf("round trip changed shape: %v vs %v", back.Len(), s.Len())
+	}
+	for i := range s.Intervals {
+		if back.Intervals[i] != s.Intervals[i] || back.Ages[i] != s.Ages[i] {
+			t.Fatalf("round trip changed interval %d", i)
+		}
+	}
+	// The deserialized schedule still answers lookups.
+	T1, ok1 := s.IntervalAt(5000)
+	T2, ok2 := back.IntervalAt(5000)
+	if !ok1 || !ok2 || T1 != T2 {
+		t.Errorf("lookup after round trip: %g,%v vs %g,%v", T1, ok1, T2, ok2)
+	}
+}
+
+func TestBuildScheduleDegenerate(t *testing.T) {
+	m := Model{Avail: dist.NewWeibull(8, 10), Costs: mustCosts(t, 500, 500, 500)}
+	if _, err := m.BuildSchedule(0, ScheduleOptions{
+		Optimize: OptimizeOptions{TMin: 1, TMax: 1000},
+	}); err == nil {
+		t.Error("expected error for degenerate model")
+	}
+}

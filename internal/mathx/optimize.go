@@ -1,0 +1,77 @@
+package mathx
+
+import "math"
+
+// golden is the golden ratio section constant (3-sqrt(5))/2.
+const golden = 0.3819660112501051
+
+// GoldenSection minimizes f on [a, b] by Golden Section Search,
+// assuming f is unimodal on the interval. It returns the abscissa of
+// the minimum and the minimum value. tol is an absolute tolerance on
+// the abscissa.
+//
+// This is the optimization routine the paper uses (via Numerical
+// Recipes) to minimize the overhead ratio Γ(T)/T.
+func GoldenSection(f func(float64) float64, a, b, tol float64) (x, fx float64) {
+	if a > b {
+		a, b = b, a
+	}
+	x1 := a + golden*(b-a)
+	x2 := b - golden*(b-a)
+	f1 := f(x1)
+	f2 := f(x2)
+	for b-a > tol {
+		if f1 < f2 {
+			b, x2, f2 = x2, x1, f1
+			x1 = a + golden*(b-a)
+			f1 = f(x1)
+		} else {
+			a, x1, f1 = x1, x2, f2
+			x2 = b - golden*(b-a)
+			f2 = f(x2)
+		}
+	}
+	if f1 < f2 {
+		return x1, f1
+	}
+	return x2, f2
+}
+
+// MinimizeScanGolden minimizes f over [lo, hi] (lo > 0) by first
+// scanning a geometric grid of n points to locate the most promising
+// bracket and then refining it with Golden Section Search.
+//
+// The coarse scan makes the routine robust to objectives that are not
+// globally unimodal (hyperexponential overhead ratios can have gentle
+// shoulders); the golden refinement recovers full precision near the
+// winning grid cell. tol is relative to the bracket location.
+func MinimizeScanGolden(f func(float64) float64, lo, hi float64, n int, tol float64) (x, fx float64) {
+	if n < 3 {
+		n = 3
+	}
+	if lo <= 0 {
+		lo = 1e-9
+	}
+	if hi <= lo {
+		hi = lo * 2
+	}
+	ratio := math.Pow(hi/lo, 1/float64(n-1))
+	grid := make([]float64, n)
+	best := 0
+	bestF := math.Inf(1)
+	g := lo
+	for i := range n {
+		grid[i] = g
+		if v := f(g); v < bestF {
+			best, bestF = i, v
+		}
+		g *= ratio
+	}
+	a := grid[max(0, best-1)]
+	b := grid[min(n-1, best+1)]
+	gx, gfx := GoldenSection(f, a, b, tol*math.Max(1, a))
+	if gfx <= bestF {
+		return gx, gfx
+	}
+	return grid[best], bestF
+}

@@ -1,0 +1,373 @@
+// Package parallel implements the paper's stated future work (§5.2):
+// a model of parallel workloads that captures the interaction between
+// colliding checkpoints and checkpoint length.
+//
+// A parallel job runs one process per machine; all processes share a
+// single network path to the checkpoint manager. The link is modeled
+// as processor-sharing: k concurrent transfers each progress at 1/k of
+// the link capacity, so every collision stretches every in-flight
+// transfer. Schedules are computed per process from an availability
+// model and a *solo* transfer-cost estimate — exactly what a real
+// deployment would measure — so models that checkpoint more often
+// (exponential) collide more, lengthening their own transfers beyond
+// the cost the schedule assumed. Heavy-tailed models "parallelize the
+// overhead by incurring it as lost execution work and not sequential
+// network load" (§5.2), which this simulator quantifies.
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/cycleharvest/ckptsched/internal/dist"
+	"github.com/cycleharvest/ckptsched/internal/markov"
+)
+
+// StaggerPolicy coordinates the processes' checkpoint transfers over
+// the shared link.
+type StaggerPolicy int
+
+const (
+	// StaggerNone lets every process transfer the moment its interval
+	// ends; simultaneous transfers share the link (the uncoordinated
+	// baseline).
+	StaggerNone StaggerPolicy = iota
+	// StaggerToken serializes transfers with a single token: a process
+	// whose interval ends while the link is busy waits (idle) in FIFO
+	// order and then transfers at full link rate. No collisions, but
+	// queueing delay exposes more uncheckpointed work to failures.
+	StaggerToken
+	// StaggerJitter adds a per-interval random extension of up to 30%
+	// of T to each work interval, desynchronizing the herd without any
+	// coordination channel.
+	StaggerJitter
+)
+
+func (p StaggerPolicy) String() string {
+	switch p {
+	case StaggerNone:
+		return "none"
+	case StaggerToken:
+		return "token"
+	case StaggerJitter:
+		return "jitter"
+	}
+	return fmt.Sprintf("stagger(%d)", int(p))
+}
+
+// Config parameterizes one parallel-job simulation.
+type Config struct {
+	// Workers is the number of job processes (one per machine).
+	Workers int
+	// Avail is the true availability law of each machine.
+	Avail dist.Distribution
+	// ScheduleDist is the availability model the schedules are
+	// computed from (set equal to Avail for a well-specified model, or
+	// to a fitted approximation to study mis-specification).
+	ScheduleDist dist.Distribution
+	// LinkMBps is the shared link capacity in MB/s.
+	LinkMBps float64
+	// CheckpointMB is the image size each process transfers.
+	CheckpointMB float64
+	// Duration is the simulated horizon in seconds.
+	Duration float64
+	// Stagger selects the checkpoint-coordination policy.
+	Stagger StaggerPolicy
+	// Seed drives machine lifetimes.
+	Seed int64
+}
+
+// Result summarizes one simulation.
+type Result struct {
+	// Efficiency is committed work over total process-time
+	// (Workers × Duration).
+	Efficiency float64
+	// CommittedWork and LostWork are summed over processes (seconds).
+	CommittedWork, LostWork float64
+	// MBMoved is total network volume (completed + prorated partial
+	// transfers).
+	MBMoved float64
+	// Commits counts completed work+checkpoint cycles; Failures
+	// counts evictions.
+	Commits, Failures int
+	// MeanTransferSec is the mean duration of completed transfers —
+	// the solo transfer time is CheckpointMB/LinkMBps; anything above
+	// it is collision stretch.
+	MeanTransferSec float64
+	// SoloTransferSec is the no-contention transfer duration.
+	SoloTransferSec float64
+	// Collisions counts completed transfers that ever shared the link;
+	// MaxConcurrent is the peak number of simultaneous transfers.
+	Collisions, MaxConcurrent int
+	// QueueWaitSec is total time processes spent waiting for the
+	// transfer token (StaggerToken only).
+	QueueWaitSec float64
+}
+
+// CollisionStretch reports how much collisions lengthened the average
+// transfer: MeanTransferSec / SoloTransferSec.
+func (r Result) CollisionStretch() float64 {
+	if r.SoloTransferSec <= 0 {
+		return 0
+	}
+	return r.MeanTransferSec / r.SoloTransferSec
+}
+
+type wstate int
+
+const (
+	wRecovering wstate = iota
+	wWorking
+	wTransferring // checkpoint upload
+	wQueued       // waiting for the transfer token (StaggerToken)
+)
+
+type worker struct {
+	state      wstate
+	availStart float64 // when the current availability began
+	failAt     float64 // when the owner reclaims the machine
+	workEnd    float64 // when the current interval completes (wWorking)
+	topt       float64 // current interval length
+	bytesLeft  float64 // MB remaining (transfer states)
+	totalMB    float64 // MB of the current transfer
+	started    float64 // transfer start time
+	collided   bool    // transfer ever shared the link
+	// Queue bookkeeping (StaggerToken).
+	queuedSince  float64
+	queueSeq     int
+	wantRecovery bool // queued transfer is a recovery (no work at stake)
+}
+
+// Run simulates the parallel job.
+func Run(cfg Config) (Result, error) {
+	if cfg.Workers <= 0 {
+		return Result{}, fmt.Errorf("parallel: need workers > 0, got %d", cfg.Workers)
+	}
+	if cfg.Avail == nil || cfg.ScheduleDist == nil {
+		return Result{}, errors.New("parallel: need Avail and ScheduleDist")
+	}
+	if cfg.LinkMBps <= 0 || cfg.CheckpointMB <= 0 || cfg.Duration <= 0 {
+		return Result{}, errors.New("parallel: LinkMBps, CheckpointMB and Duration must be positive")
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	solo := cfg.CheckpointMB / cfg.LinkMBps
+	// Schedules assume the solo transfer cost, as a real deployment
+	// measuring one process at a time would.
+	model := markov.Model{
+		Avail: cfg.ScheduleDist,
+		Costs: markov.Costs{C: solo, R: solo, L: solo},
+	}
+	toptAt := func(age float64) float64 {
+		T, _, err := model.Topt(age, markov.OptimizeOptions{})
+		if err != nil {
+			return solo // degenerate model: keep minimal progress
+		}
+		if cfg.Stagger == StaggerJitter {
+			T *= 1 + 0.3*rng.Float64()
+		}
+		return T
+	}
+
+	var res Result
+	res.SoloTransferSec = solo
+	var transferDurations []float64
+	queueSeq := 0
+
+	ws := make([]*worker, cfg.Workers)
+	now := 0.0
+
+	transferring := func() int {
+		n := 0
+		for _, w := range ws {
+			if w.state == wRecovering || w.state == wTransferring {
+				n++
+			}
+		}
+		return n
+	}
+
+	// startTransfer either begins the transfer or, under the token
+	// policy with a busy link, parks the worker in the queue.
+	startTransfer := func(w *worker, at float64, isRecovery bool) {
+		if cfg.Stagger == StaggerToken && transferring() > 0 {
+			w.state = wQueued
+			w.queuedSince = at
+			w.queueSeq = queueSeq
+			queueSeq++
+			w.wantRecovery = isRecovery
+			return
+		}
+		if isRecovery {
+			w.state = wRecovering
+		} else {
+			w.state = wTransferring
+		}
+		w.bytesLeft = cfg.CheckpointMB
+		w.totalMB = cfg.CheckpointMB
+		w.started = at
+		w.collided = false
+	}
+
+	// dequeue hands the free token to the longest-waiting queued
+	// worker (StaggerToken only).
+	dequeue := func(at float64) {
+		if cfg.Stagger != StaggerToken {
+			return
+		}
+		var next *worker
+		for _, w := range ws {
+			if w.state == wQueued && (next == nil || w.queueSeq < next.queueSeq) {
+				next = w
+			}
+		}
+		if next == nil {
+			return
+		}
+		res.QueueWaitSec += at - next.queuedSince
+		startTransfer(next, at, next.wantRecovery)
+	}
+
+	finishTransfer := func(w *worker, at float64) {
+		res.MBMoved += w.totalMB
+		transferDurations = append(transferDurations, at-w.started)
+		if w.collided {
+			res.Collisions++
+		}
+		if w.state == wTransferring {
+			res.CommittedWork += w.topt
+			res.Commits++
+		}
+		// Recovery or checkpoint done: begin the next work interval.
+		age := at - w.availStart
+		w.topt = toptAt(age)
+		w.state = wWorking
+		w.workEnd = at + w.topt
+		w.collided = false
+		dequeue(at)
+	}
+
+	fail := func(w *worker, at float64) {
+		res.Failures++
+		heldToken := false
+		switch w.state {
+		case wWorking:
+			res.LostWork += w.topt - (w.workEnd - at)
+		case wTransferring:
+			res.LostWork += w.topt
+			res.MBMoved += w.totalMB - w.bytesLeft
+			heldToken = true
+		case wRecovering:
+			res.MBMoved += w.totalMB - w.bytesLeft
+			heldToken = true
+		case wQueued:
+			res.QueueWaitSec += at - w.queuedSince
+			if !w.wantRecovery {
+				res.LostWork += w.topt // interval done but never stored
+			}
+		}
+		// The machine comes back immediately in a fresh availability
+		// period (busy gaps affect neither the link nor efficiency-of-
+		// occupied-time accounting) and the process restarts with a
+		// recovery.
+		w.state = wWorking // neutral until startTransfer assigns one
+		w.availStart = at
+		w.failAt = at + cfg.Avail.Rand(rng)
+		if heldToken {
+			// The token is free now; waiting workers go first, and the
+			// failed process joins the back of the queue.
+			dequeue(at)
+		}
+		startTransfer(w, at, true)
+	}
+
+	for i := range ws {
+		ws[i] = &worker{
+			availStart: 0,
+			failAt:     cfg.Avail.Rand(rng),
+			state:      wWorking, // neutral until startTransfer assigns one
+		}
+	}
+	// Initial recoveries (the token policy serializes even these).
+	for _, w := range ws {
+		startTransfer(w, 0, true)
+	}
+
+	for now < cfg.Duration {
+		n := transferring()
+		if n > res.MaxConcurrent {
+			res.MaxConcurrent = n
+		}
+		if n > 1 {
+			for _, w := range ws {
+				if w.state == wRecovering || w.state == wTransferring {
+					w.collided = true
+				}
+			}
+		}
+		rate := cfg.LinkMBps / math.Max(1, float64(n)) // MB/s per transfer
+
+		// Next event: earliest of transfer completions, work
+		// completions, and failures.
+		next := cfg.Duration
+		for _, w := range ws {
+			switch w.state {
+			case wRecovering, wTransferring:
+				if t := now + w.bytesLeft/rate; t < next {
+					next = t
+				}
+			case wWorking:
+				if w.workEnd < next {
+					next = w.workEnd
+				}
+			}
+			if w.failAt < next {
+				next = w.failAt
+			}
+		}
+		dt := next - now
+
+		// Drain in-flight transfers.
+		for _, w := range ws {
+			if w.state == wRecovering || w.state == wTransferring {
+				w.bytesLeft -= rate * dt
+			}
+		}
+		now = next
+		if now >= cfg.Duration {
+			break
+		}
+
+		// Fire every event due now (failures dominate simultaneous
+		// completions — the eviction kills the process first).
+		for _, w := range ws {
+			if w.failAt <= now+1e-9 {
+				fail(w, now)
+				continue
+			}
+			switch w.state {
+			case wRecovering, wTransferring:
+				if w.bytesLeft <= 1e-9 {
+					finishTransfer(w, now)
+				}
+			case wWorking:
+				if w.workEnd <= now+1e-9 {
+					startTransfer(w, now, false)
+				}
+			}
+		}
+	}
+
+	total := float64(cfg.Workers) * cfg.Duration
+	res.Efficiency = res.CommittedWork / total
+	if len(transferDurations) > 0 {
+		sum := 0.0
+		for _, d := range transferDurations {
+			sum += d
+		}
+		res.MeanTransferSec = sum / float64(len(transferDurations))
+	}
+	return res, nil
+}

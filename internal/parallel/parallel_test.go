@@ -1,0 +1,263 @@
+package parallel
+
+import (
+	"math"
+	"testing"
+
+	"github.com/cycleharvest/ckptsched/internal/dist"
+)
+
+func stable() dist.Distribution {
+	// Exponential lifetimes with a 2-hour mean: failures happen but
+	// checkpoints are frequent enough that 6 simulated hours see many
+	// commits. (A near-deterministic long lifetime would be "too
+	// stable": the optimizer would correctly plan a single interval
+	// ending just before the predictable failure, committing nothing
+	// inside a short horizon.)
+	return dist.NewExponential(1.0 / 7200)
+}
+
+func TestSingleWorkerNoContention(t *testing.T) {
+	cfg := Config{
+		Workers:      1,
+		Avail:        stable(),
+		ScheduleDist: stable(),
+		LinkMBps:     5,
+		CheckpointMB: 500,
+		Duration:     6 * 3600,
+		Seed:         1,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Solo transfers take exactly size/capacity.
+	if math.Abs(res.SoloTransferSec-100) > 1e-9 {
+		t.Errorf("solo transfer = %g, want 100", res.SoloTransferSec)
+	}
+	if math.Abs(res.MeanTransferSec-100) > 1 {
+		t.Errorf("mean transfer = %g, want ≈100 with no contention", res.MeanTransferSec)
+	}
+	if res.Collisions != 0 || res.MaxConcurrent != 1 {
+		t.Errorf("collisions=%d maxConcurrent=%d", res.Collisions, res.MaxConcurrent)
+	}
+	if res.Efficiency <= 0.5 || res.Efficiency >= 1 {
+		t.Errorf("efficiency = %g", res.Efficiency)
+	}
+	if res.Commits == 0 {
+		t.Error("no commits")
+	}
+}
+
+func TestContentionStretchesTransfers(t *testing.T) {
+	base := Config{
+		Avail:        stable(),
+		ScheduleDist: stable(),
+		LinkMBps:     5,
+		CheckpointMB: 500,
+		Duration:     6 * 3600,
+		Seed:         2,
+	}
+	one := base
+	one.Workers = 1
+	many := base
+	many.Workers = 8
+	r1, err := Run(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := Run(many)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r8.MeanTransferSec <= r1.MeanTransferSec {
+		t.Errorf("8-worker transfers (%g s) not longer than solo (%g s)",
+			r8.MeanTransferSec, r1.MeanTransferSec)
+	}
+	if r8.Collisions == 0 || r8.MaxConcurrent < 2 {
+		t.Errorf("no contention observed: %+v", r8)
+	}
+	if r8.CollisionStretch() <= 1 {
+		t.Errorf("stretch = %g, want > 1", r8.CollisionStretch())
+	}
+	// Per-process efficiency must fall under contention.
+	if r8.Efficiency >= r1.Efficiency {
+		t.Errorf("efficiency did not fall: %g vs %g", r8.Efficiency, r1.Efficiency)
+	}
+}
+
+func TestHeavyTailModelCollidesLess(t *testing.T) {
+	// On heavy-tailed machines, an exponential schedule checkpoints
+	// more often than a (correct) heavy-tailed schedule, so it moves
+	// more data and suffers more collisions — the §5.2 discussion.
+	avail := dist.NewWeibull(0.43, 3409)
+	expFit := dist.NewExponential(1 / avail.Mean()) // what MLE would give in the limit
+	base := Config{
+		Workers:      8,
+		Avail:        avail,
+		LinkMBps:     5,
+		CheckpointMB: 500,
+		Duration:     48 * 3600,
+		Seed:         3,
+	}
+	right := base
+	right.ScheduleDist = avail
+	wrong := base
+	wrong.ScheduleDist = expFit
+	rRight, err := Run(right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rWrong, err := Run(wrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rWrong.MBMoved <= rRight.MBMoved {
+		t.Errorf("exponential schedule moved %g MB, heavy-tail %g — expected more",
+			rWrong.MBMoved, rRight.MBMoved)
+	}
+	if rWrong.CollisionStretch() <= rRight.CollisionStretch() {
+		t.Errorf("exponential stretch %g not above heavy-tail %g",
+			rWrong.CollisionStretch(), rRight.CollisionStretch())
+	}
+}
+
+func TestFailuresLoseWork(t *testing.T) {
+	// Volatile machines: failures occur and lose work.
+	avail := dist.NewWeibull(0.43, 3409)
+	res, err := Run(Config{
+		Workers:      4,
+		Avail:        avail,
+		ScheduleDist: avail,
+		LinkMBps:     5,
+		CheckpointMB: 500,
+		Duration:     24 * 3600,
+		Seed:         4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures == 0 || res.LostWork <= 0 {
+		t.Errorf("expected failures and lost work: %+v", res)
+	}
+	if res.Efficiency <= 0 || res.Efficiency >= 1 {
+		t.Errorf("efficiency = %g", res.Efficiency)
+	}
+	// Committed + lost work cannot exceed the total process-time.
+	if res.CommittedWork+res.LostWork > float64(4)*24*3600 {
+		t.Error("work accounting exceeds total time")
+	}
+}
+
+func TestStaggerPolicyString(t *testing.T) {
+	if StaggerNone.String() != "none" || StaggerToken.String() != "token" ||
+		StaggerJitter.String() != "jitter" || StaggerPolicy(9).String() != "stagger(9)" {
+		t.Error("stagger strings wrong")
+	}
+}
+
+func TestStaggerTokenEliminatesCollisions(t *testing.T) {
+	base := Config{
+		Workers:      8,
+		Avail:        stable(),
+		ScheduleDist: stable(),
+		LinkMBps:     5,
+		CheckpointMB: 500,
+		Duration:     12 * 3600,
+		Seed:         6,
+	}
+	free := base
+	free.Stagger = StaggerNone
+	token := base
+	token.Stagger = StaggerToken
+	rf, err := Run(free)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := Run(token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Collisions != 0 || rt.MaxConcurrent > 1 {
+		t.Errorf("token policy still collided: %+v", rt)
+	}
+	if rf.Collisions == 0 {
+		t.Fatalf("baseline saw no collisions; test not exercising contention")
+	}
+	// Serialized transfers run at full rate.
+	if rt.MeanTransferSec > rt.SoloTransferSec*1.01 {
+		t.Errorf("token transfers stretched: %g vs solo %g", rt.MeanTransferSec, rt.SoloTransferSec)
+	}
+	// And the delay moves into the queue instead.
+	if rt.QueueWaitSec <= 0 {
+		t.Error("token policy recorded no queueing")
+	}
+	if rf.QueueWaitSec != 0 {
+		t.Error("uncoordinated policy should not queue")
+	}
+}
+
+func TestStaggerJitterReducesCollisionStretch(t *testing.T) {
+	base := Config{
+		Workers:      12,
+		Avail:        stable(),
+		ScheduleDist: stable(),
+		LinkMBps:     5,
+		CheckpointMB: 500,
+		Duration:     24 * 3600,
+		Seed:         8,
+	}
+	free := base
+	jit := base
+	jit.Stagger = StaggerJitter
+	rf, err := Run(free)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rj, err := Run(jit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All workers start in lockstep, so the uncoordinated baseline
+	// synchronizes; jitter must reduce the average transfer stretch.
+	if rj.CollisionStretch() >= rf.CollisionStretch() {
+		t.Errorf("jitter stretch %g not below baseline %g",
+			rj.CollisionStretch(), rf.CollisionStretch())
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	avail := dist.NewWeibull(0.43, 3409)
+	cfg := Config{
+		Workers: 4, Avail: avail, ScheduleDist: avail,
+		LinkMBps: 5, CheckpointMB: 500, Duration: 12 * 3600, Seed: 9,
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	avail := dist.NewExponential(0.001)
+	cases := []Config{
+		{Workers: 0, Avail: avail, ScheduleDist: avail, LinkMBps: 1, CheckpointMB: 1, Duration: 1},
+		{Workers: 1, ScheduleDist: avail, LinkMBps: 1, CheckpointMB: 1, Duration: 1},
+		{Workers: 1, Avail: avail, LinkMBps: 1, CheckpointMB: 1, Duration: 1},
+		{Workers: 1, Avail: avail, ScheduleDist: avail, LinkMBps: 0, CheckpointMB: 1, Duration: 1},
+		{Workers: 1, Avail: avail, ScheduleDist: avail, LinkMBps: 1, CheckpointMB: 0, Duration: 1},
+		{Workers: 1, Avail: avail, ScheduleDist: avail, LinkMBps: 1, CheckpointMB: 1, Duration: 0},
+	}
+	for i, c := range cases {
+		if _, err := Run(c); err == nil {
+			t.Errorf("case %d should error", i)
+		}
+	}
+}

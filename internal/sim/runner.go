@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"fmt"
+
+	"github.com/cycleharvest/ckptsched/internal/fit"
+	"github.com/cycleharvest/ckptsched/internal/markov"
+)
+
+// MachineRun is the outcome of simulating one machine under one model.
+type MachineRun struct {
+	Machine  string
+	Model    fit.Model
+	Result   Result
+	Schedule *markov.Schedule
+}
+
+// RunModel fits the given model family to the training durations,
+// builds the checkpoint schedule the system would use on that machine
+// (anchored at age R, the machine age when recovery completes and the
+// first work interval begins), and replays the experimental durations
+// through it. This is exactly the paper's per-machine simulation
+// protocol: "use each training set to calculate MLE parameters … then
+// simulate a job" over the remaining values.
+func RunModel(train, test []float64, model fit.Model, cfg Config) (MachineRun, error) {
+	d, err := fit.Fit(model, train)
+	if err != nil {
+		return MachineRun{}, fmt.Errorf("sim: fit %v: %w", model, err)
+	}
+	m := markov.Model{Avail: d, Costs: cfg.Costs}
+
+	// Plan at least as far as the longest availability period so the
+	// schedule never falls back to extending its last interval within
+	// observed uptimes.
+	maxAvail := 0.0
+	for _, a := range test {
+		if a > maxAvail {
+			maxAvail = a
+		}
+	}
+	sched, err := m.BuildSchedule(cfg.Costs.R, markov.ScheduleOptions{
+		Horizon: maxAvail + cfg.Costs.R + cfg.Costs.C + 1,
+	})
+	if err != nil {
+		return MachineRun{}, fmt.Errorf("sim: schedule %v: %w", model, err)
+	}
+	res, err := Run(test, sched, cfg)
+	if err != nil {
+		return MachineRun{}, err
+	}
+	return MachineRun{Model: model, Result: res, Schedule: sched}, nil
+}
+
+// ExpectedEfficiency returns the analytic steady-state efficiency the
+// Markov model predicts for this machine/model/cost combination: the
+// reciprocal of the overhead ratio Γ/T at T_opt for a fresh resource
+// (§5.1: "the expected efficiency is just the reciprocal of the
+// quantity Γ … evaluated at T_opt").
+func ExpectedEfficiency(train []float64, model fit.Model, costs markov.Costs) (float64, error) {
+	d, err := fit.Fit(model, train)
+	if err != nil {
+		return 0, err
+	}
+	m := markov.Model{Avail: d, Costs: costs}
+	_, ratio, err := m.Topt(costs.R, markov.OptimizeOptions{})
+	if err != nil {
+		return 0, err
+	}
+	return 1 / ratio, nil
+}
+
+// Aggregate sums per-machine results into a pool-wide Result.
+func Aggregate(runs []MachineRun) Result {
+	var total Result
+	for _, r := range runs {
+		total.add(r.Result)
+	}
+	return total
+}

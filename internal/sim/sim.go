@@ -1,0 +1,236 @@
+// Package sim is the trace-driven discrete-event simulator behind the
+// paper's §5.1 evaluation: it replays the recovery–compute–checkpoint
+// cycle of a long-running job against a machine's recorded
+// availability durations and accounts both time efficiency (Figure 3 /
+// Table 1) and network load (Figure 4 / Table 3).
+//
+// Semantics. Each availability duration is one uninterrupted period of
+// machine uptime; the job occupies the machine for the entire period
+// (the paper simulates a job that "begins before the first measurement
+// … and continues to run after the last"). A period begins with a
+// recovery of R seconds (the job restarts from its last stable
+// checkpoint), then alternates work intervals — whose lengths come
+// from the checkpoint schedule, indexed by machine age — with
+// checkpoints of C seconds. Work only becomes useful when the
+// checkpoint that follows it completes; a failure mid-interval or
+// mid-checkpoint loses the interval. Failures can therefore strike
+// during recovery and checkpointing, matching the Markov model's
+// assumptions.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/cycleharvest/ckptsched/internal/markov"
+)
+
+// Planner supplies the work-interval length to use when the machine
+// has the given age (seconds since it last came up). ok is false when
+// the planner cannot produce an interval. *markov.Schedule satisfies
+// Planner.
+type Planner interface {
+	IntervalAt(age float64) (T float64, ok bool)
+}
+
+// PlannerFunc adapts a function to the Planner interface.
+type PlannerFunc func(age float64) (float64, bool)
+
+// IntervalAt implements Planner.
+func (f PlannerFunc) IntervalAt(age float64) (float64, bool) { return f(age) }
+
+// FixedInterval returns a Planner that always uses interval T — the
+// classical periodic baseline.
+func FixedInterval(T float64) Planner {
+	return PlannerFunc(func(float64) (float64, bool) { return T, true })
+}
+
+// InterruptedPolicy selects how interrupted (partially completed)
+// transfers are charged to the network.
+type InterruptedPolicy int
+
+const (
+	// InterruptedProrated charges bytes in proportion to the fraction
+	// of the transfer completed before the failure (default; a 500 MB
+	// checkpoint killed halfway moved ~250 MB through the network).
+	InterruptedProrated InterruptedPolicy = iota
+	// InterruptedFull charges the full transfer size.
+	InterruptedFull
+	// InterruptedFree charges nothing.
+	InterruptedFree
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Costs gives the checkpoint and recovery durations (seconds). L
+	// is unused by the simulator (it is a property of the analytic
+	// model); the simulator's own dynamics capture staleness directly.
+	Costs markov.Costs
+	// CheckpointMB is the size of one checkpoint or recovery image in
+	// megabytes (the paper uses 500).
+	CheckpointMB float64
+	// Interrupted selects the accounting policy for interrupted
+	// transfers.
+	Interrupted InterruptedPolicy
+	// SkipFirstRecovery, when true, lets the very first availability
+	// period begin computing immediately (a job with no prior state).
+	// The paper's steady-state accounting keeps it false.
+	SkipFirstRecovery bool
+}
+
+// Result accumulates the outcome of a simulated job.
+type Result struct {
+	// TotalTime is the total machine-occupied time (sum of the
+	// availability durations), seconds.
+	TotalTime float64
+	// UsefulWork is committed work time, seconds.
+	UsefulWork float64
+	// LostWork is work performed but lost to failures, seconds.
+	LostWork float64
+	// RecoveryTime is time spent in recovery transfers (including
+	// failed ones), seconds.
+	RecoveryTime float64
+	// CheckpointTime is time spent in checkpoint transfers (including
+	// failed ones), seconds.
+	CheckpointTime float64
+	// MBTransferred is the network load in megabytes (recoveries +
+	// checkpoints, interrupted transfers per the policy).
+	MBTransferred float64
+	// Commits counts completed work-interval+checkpoint cycles.
+	Commits int
+	// Recoveries counts successful recoveries; FailedRecoveries
+	// counts availability periods too short to finish recovery.
+	Recoveries, FailedRecoveries int
+	// FailedCheckpoints counts checkpoints interrupted by eviction;
+	// FailedIntervals counts work intervals interrupted by eviction.
+	FailedCheckpoints, FailedIntervals int
+}
+
+// Efficiency returns UsefulWork/TotalTime, the paper's machine
+// utilization metric.
+func (r Result) Efficiency() float64 {
+	if r.TotalTime <= 0 {
+		return 0
+	}
+	return r.UsefulWork / r.TotalTime
+}
+
+// MBPerHour returns the average network load in megabytes per hour of
+// occupied machine time.
+func (r Result) MBPerHour() float64 {
+	if r.TotalTime <= 0 {
+		return 0
+	}
+	return r.MBTransferred / (r.TotalTime / 3600)
+}
+
+// add merges o into r.
+func (r *Result) add(o Result) {
+	r.TotalTime += o.TotalTime
+	r.UsefulWork += o.UsefulWork
+	r.LostWork += o.LostWork
+	r.RecoveryTime += o.RecoveryTime
+	r.CheckpointTime += o.CheckpointTime
+	r.MBTransferred += o.MBTransferred
+	r.Commits += o.Commits
+	r.Recoveries += o.Recoveries
+	r.FailedRecoveries += o.FailedRecoveries
+	r.FailedCheckpoints += o.FailedCheckpoints
+	r.FailedIntervals += o.FailedIntervals
+}
+
+// ErrNoAvailabilities is returned when Run is given an empty trace.
+var ErrNoAvailabilities = errors.New("sim: no availability durations")
+
+// chargeMB returns the megabytes charged for a transfer of size mb
+// that ran for elapsed out of want seconds.
+func chargeMB(mb, elapsed, want float64, complete bool, policy InterruptedPolicy) float64 {
+	if complete {
+		return mb
+	}
+	switch policy {
+	case InterruptedFull:
+		return mb
+	case InterruptedFree:
+		return 0
+	default:
+		if want <= 0 {
+			return 0
+		}
+		return mb * elapsed / want
+	}
+}
+
+// Run simulates the job over the given availability durations using
+// the planner's intervals.
+func Run(avail []float64, planner Planner, cfg Config) (Result, error) {
+	if len(avail) == 0 {
+		return Result{}, ErrNoAvailabilities
+	}
+	if planner == nil {
+		return Result{}, errors.New("sim: nil planner")
+	}
+	if cfg.CheckpointMB < 0 {
+		return Result{}, fmt.Errorf("sim: negative checkpoint size %g", cfg.CheckpointMB)
+	}
+	C, R := cfg.Costs.C, cfg.Costs.R
+	var res Result
+	for idx, a := range avail {
+		if a < 0 {
+			return Result{}, fmt.Errorf("sim: negative availability %g at index %d", a, idx)
+		}
+		res.TotalTime += a
+		age := 0.0
+		remaining := a
+
+		if !(idx == 0 && cfg.SkipFirstRecovery) {
+			if remaining < R {
+				// Evicted during recovery.
+				res.RecoveryTime += remaining
+				res.FailedRecoveries++
+				res.MBTransferred += chargeMB(cfg.CheckpointMB, remaining, R, false, cfg.Interrupted)
+				continue
+			}
+			res.RecoveryTime += R
+			res.Recoveries++
+			res.MBTransferred += cfg.CheckpointMB
+			remaining -= R
+			age += R
+		}
+
+		for remaining > 0 {
+			T, ok := planner.IntervalAt(age)
+			if !ok || T <= 0 {
+				return Result{}, fmt.Errorf("sim: planner returned invalid interval %g at age %g", T, age)
+			}
+			switch {
+			case remaining >= T+C:
+				// Interval and checkpoint both complete.
+				res.UsefulWork += T
+				res.CheckpointTime += C
+				res.MBTransferred += cfg.CheckpointMB
+				res.Commits++
+				remaining -= T + C
+				age += T + C
+			case remaining > T:
+				// Evicted mid-checkpoint: the interval's work is lost
+				// and the partial transfer still crossed the network.
+				partial := remaining - T
+				res.LostWork += T
+				res.CheckpointTime += partial
+				res.FailedCheckpoints++
+				res.MBTransferred += chargeMB(cfg.CheckpointMB, partial, C, false, cfg.Interrupted)
+				remaining = 0
+			default:
+				// Evicted mid-computation.
+				res.LostWork += remaining
+				res.FailedIntervals++
+				remaining = 0
+			}
+			if remaining <= 0 {
+				break
+			}
+		}
+	}
+	return res, nil
+}

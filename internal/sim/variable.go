@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"errors"
+	"math/rand"
+)
+
+// CostSource supplies per-transfer checkpoint/recovery durations. The
+// §5.3 validation notes that "the Markov model uses constant values of
+// C and R while in reality these values are variable"; this interface
+// lets the simulator replay that reality. ckptnet.Link composes
+// naturally: draw a transfer time per checkpoint image.
+type CostSource interface {
+	// NextRecovery returns the duration of the next recovery transfer.
+	NextRecovery() float64
+	// NextCheckpoint returns the duration of the next checkpoint
+	// transfer.
+	NextCheckpoint() float64
+}
+
+// ConstantCosts is the fixed-cost source matching the plain simulator.
+type ConstantCosts struct {
+	C, R float64
+}
+
+// NextRecovery implements CostSource.
+func (c ConstantCosts) NextRecovery() float64 { return c.R }
+
+// NextCheckpoint implements CostSource.
+func (c ConstantCosts) NextCheckpoint() float64 { return c.C }
+
+// LinkCosts draws each transfer duration from a link model, the way
+// the live system experiences them.
+type LinkCosts struct {
+	// TransferTime mirrors ckptnet.Link.TransferTime for one image.
+	TransferTime func(rng *rand.Rand) float64
+	// Rng drives the draws.
+	Rng *rand.Rand
+}
+
+// NextRecovery implements CostSource.
+func (l LinkCosts) NextRecovery() float64 { return l.TransferTime(l.Rng) }
+
+// NextCheckpoint implements CostSource.
+func (l LinkCosts) NextCheckpoint() float64 { return l.TransferTime(l.Rng) }
+
+// RunVariable simulates the job with per-transfer costs drawn from
+// source, while the planner's schedule was computed for whatever
+// constant cost the caller assumed — exactly the mismatch between the
+// analytic model and the live system. Accounting matches Run: work
+// commits only when its checkpoint completes, interrupted transfers
+// charge prorated bytes.
+func RunVariable(avail []float64, planner Planner, source CostSource, cfg Config) (Result, error) {
+	if len(avail) == 0 {
+		return Result{}, ErrNoAvailabilities
+	}
+	if planner == nil {
+		return Result{}, errors.New("sim: nil planner")
+	}
+	if source == nil {
+		return Result{}, errors.New("sim: nil cost source")
+	}
+	var res Result
+	for idx, a := range avail {
+		if a < 0 {
+			return Result{}, errors.New("sim: negative availability")
+		}
+		res.TotalTime += a
+		age := 0.0
+		remaining := a
+
+		if !(idx == 0 && cfg.SkipFirstRecovery) {
+			r := source.NextRecovery()
+			if remaining < r {
+				res.RecoveryTime += remaining
+				res.FailedRecoveries++
+				res.MBTransferred += chargeMB(cfg.CheckpointMB, remaining, r, false, cfg.Interrupted)
+				continue
+			}
+			res.RecoveryTime += r
+			res.Recoveries++
+			res.MBTransferred += cfg.CheckpointMB
+			remaining -= r
+			age += r
+		}
+
+		for remaining > 0 {
+			T, ok := planner.IntervalAt(age)
+			if !ok || T <= 0 {
+				return Result{}, errors.New("sim: planner returned invalid interval")
+			}
+			c := source.NextCheckpoint()
+			switch {
+			case remaining >= T+c:
+				res.UsefulWork += T
+				res.CheckpointTime += c
+				res.MBTransferred += cfg.CheckpointMB
+				res.Commits++
+				remaining -= T + c
+				age += T + c
+			case remaining > T:
+				partial := remaining - T
+				res.LostWork += T
+				res.CheckpointTime += partial
+				res.FailedCheckpoints++
+				res.MBTransferred += chargeMB(cfg.CheckpointMB, partial, c, false, cfg.Interrupted)
+				remaining = 0
+			default:
+				res.LostWork += remaining
+				res.FailedIntervals++
+				remaining = 0
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV hardens the trace parser: arbitrary input must never
+// panic, and any successfully parsed set must re-serialize and
+// re-parse to identical durations.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("machine,start_unix,duration_s,censored\nm,100,5,0\n")
+	f.Add("m,100,5\n")
+	f.Add("m,100,5,1\nm,200,7.5,0\n")
+	f.Add("m,abc,5,0\n")
+	f.Add("m,100,-5\n")
+	f.Add("")
+	f.Add(",,,\n")
+	f.Add("m,100,5,2\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		set, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Round trip: what parsed must serialize and parse back to the
+		// same observations.
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, set); err != nil {
+			t.Fatalf("re-serialize failed: %v", err)
+		}
+		again, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if len(again.Traces) != len(set.Traces) {
+			t.Fatalf("machine count changed: %d vs %d", len(again.Traces), len(set.Traces))
+		}
+		for name, tr := range set.Traces {
+			tr2, ok := again.Traces[name]
+			if !ok || tr2.Len() != tr.Len() {
+				t.Fatalf("trace %q changed across round trip", name)
+			}
+			d1, c1 := tr.Observations()
+			d2, c2 := tr2.Observations()
+			for i := range d1 {
+				if d1[i] != d2[i] || c1[i] != c2[i] {
+					t.Fatalf("record %d of %q changed: (%g,%v) vs (%g,%v)",
+						i, name, d1[i], c1[i], d2[i], c2[i])
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"time"
+)
+
+// CSV column layout: machine,start_unix_seconds,duration_seconds,
+// censored(0|1). The censored column is optional on input for
+// compatibility with plain three-column monitor logs. The flat per-record
+// format matches what a Condor occupancy monitor naturally emits and
+// stays diff-friendly for archival in git.
+
+// WriteCSV writes a trace set as CSV rows (one per record) with a
+// header line, machines in sorted order, records in chronological
+// order.
+func WriteCSV(w io.Writer, s *Set) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"machine", "start_unix", "duration_s", "censored"}); err != nil {
+		return err
+	}
+	for _, name := range s.Machines() {
+		for _, r := range s.Traces[name].Records {
+			cens := "0"
+			if r.Censored {
+				cens = "1"
+			}
+			row := []string{
+				name,
+				strconv.FormatInt(r.Start.Unix(), 10),
+				strconv.FormatFloat(r.Duration, 'g', -1, 64),
+				cens,
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace set written by WriteCSV (or any file in the
+// same layout; the censored column may be omitted). A header row is
+// detected and skipped.
+func ReadCSV(r io.Reader) (*Set, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // 3 or 4 columns, validated below
+	set := NewSet()
+	line := 0
+	for {
+		row, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv line %d: %w", line+1, err)
+		}
+		line++
+		if len(row) != 3 && len(row) != 4 {
+			return nil, fmt.Errorf("trace: csv line %d: want 3 or 4 columns, got %d", line, len(row))
+		}
+		if line == 1 && row[0] == "machine" {
+			continue // header
+		}
+		start, err := strconv.ParseInt(row[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv line %d: bad start %q: %w", line, row[1], err)
+		}
+		dur, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv line %d: bad duration %q: %w", line, row[2], err)
+		}
+		if dur < 0 {
+			return nil, fmt.Errorf("trace: csv line %d: negative duration %g", line, dur)
+		}
+		cens := false
+		if len(row) == 4 {
+			switch row[3] {
+			case "0", "":
+				// uncensored
+			case "1":
+				cens = true
+			default:
+				return nil, fmt.Errorf("trace: csv line %d: bad censored flag %q", line, row[3])
+			}
+		}
+		set.Add(row[0], Record{Start: time.Unix(start, 0).UTC(), Duration: dur, Censored: cens})
+	}
+	return set, nil
+}
+
+// SaveCSV writes the set to a file path.
+func SaveCSV(path string, s *Set) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteCSV(f, s); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCSV reads a set from a file path.
+func LoadCSV(path string) (*Set, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f)
+}
