@@ -24,16 +24,21 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment to run: all, table1, table2, table3, table4, table5, figure3, figure4, validate, censoring, sensitivity")
+	run := flag.String("run", "all", "experiment to run: all, table1, table2, table3, table4, table5, figure3, figure4, validate, censoring, sensitivity, chaos")
 	machines := flag.Int("machines", 80, "synthetic pool size")
 	months := flag.Float64("months", 18, "monitor campaign length (30-day months)")
 	samples := flag.Int("samples", 85, "live-experiment samples per model")
 	seed := flag.Int64("seed", 2005, "workload seed")
 	csvDir := flag.String("csv", "", "also write figure series as CSV files into this directory")
 	concurrency := flag.Int("concurrency", 1, "concurrent live-experiment test processes (paper total times suggest ~4)")
+	chaos := flag.Bool("chaos", false, "shorthand for -run chaos: one live campaign under fault injection vs its clean twin")
 	flag.Parse()
 
-	if err := runExperiments(*run, *machines, *months, *samples, *seed, *csvDir, *concurrency); err != nil {
+	which := *run
+	if *chaos {
+		which = "chaos"
+	}
+	if err := runExperiments(which, *machines, *months, *samples, *seed, *csvDir, *concurrency); err != nil {
 		fmt.Fprintln(os.Stderr, "ckpt-experiments:", err)
 		os.Exit(1)
 	}
@@ -53,7 +58,7 @@ func runExperiments(which string, machines int, months float64, samples int, see
 		return false
 	}
 
-	needWorkload := want("table1", "table3", "figure3", "figure4", "table4", "table5", "validate")
+	needWorkload := want("table1", "table3", "figure3", "figure4", "table4", "table5", "validate", "chaos")
 	var w *experiments.Workload
 	if needWorkload {
 		start := time.Now()
@@ -139,6 +144,18 @@ func runExperiments(which string, machines int, months float64, samples int, see
 			}
 			fmt.Println(experiments.RenderValidation(v))
 		}
+	}
+
+	if want("chaos") {
+		res, err := experiments.RunChaos(experiments.ChaosConfig{
+			Workload: w,
+			Link:     ckptnet.CampusLink(),
+			Seed:     seed + 6,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderChaos(res))
 	}
 
 	if want("sensitivity") {

@@ -15,12 +15,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	ckptsched "github.com/cycleharvest/ckptsched"
 	"github.com/cycleharvest/ckptsched/internal/ckptnet"
@@ -36,15 +38,38 @@ func main() {
 	tracePath := flag.String("trace", "", "trace CSV to fit per-machine parameters from")
 	mb := flag.Float64("mb", 500, "checkpoint image size, MB")
 	out := flag.String("out", "", "write session logs (JSON lines) here on shutdown")
+	helloTO := flag.Duration("hello-timeout", 30*time.Second, "deadline for a new connection's first frame")
+	idleTO := flag.Duration("idle-timeout", 5*time.Minute, "per-frame deadline for clients that announce no time scale")
+	grace := flag.Float64("heartbeat-grace", 4, "per-frame deadline in heartbeat periods")
+	faultDrop := flag.Float64("fault-drop", 0, "fault injection: per-frame drop probability")
+	faultCorrupt := flag.Float64("fault-corrupt", 0, "fault injection: per-buffer corruption probability")
+	faultReset := flag.Int64("fault-reset-bytes", 0, "fault injection: reset each armed connection after N bytes")
+	faultEvery := flag.Int("fault-reset-every", 1, "fault injection: arm the reset on every Nth connection")
+	faultSeed := flag.Int64("fault-seed", 1, "fault injection: deterministic seed")
 	flag.Parse()
 
-	if err := run(*addr, *model, *params, *tracePath, *mb, *out); err != nil {
+	opts := ckptnet.Options{
+		HelloTimeout:   *helloTO,
+		IdleTimeout:    *idleTO,
+		HeartbeatGrace: *grace,
+	}
+	if *faultDrop > 0 || *faultCorrupt > 0 || *faultReset > 0 {
+		fi := ckptnet.NewFaultInjector(ckptnet.FaultConfig{
+			Seed:            *faultSeed,
+			DropProb:        *faultDrop,
+			CorruptProb:     *faultCorrupt,
+			ResetAfterBytes: *faultReset,
+			ResetEvery:      *faultEvery,
+		})
+		opts.WrapConn = fi.Wrap
+	}
+	if err := run(*addr, *model, *params, *tracePath, *mb, *out, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "ckpt-mgr:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, modelName, params, tracePath string, mb float64, out string) error {
+func run(addr, modelName, params, tracePath string, mb float64, out string, opts ckptnet.Options) error {
 	m, err := ckptsched.ParseModel(modelName)
 	if err != nil {
 		return err
@@ -91,19 +116,21 @@ func run(addr, modelName, params, tracePath string, mb float64, out string) erro
 		return fmt.Errorf("need -params or -trace")
 	}
 
-	mgr, err := ckptnet.NewManager(assigner)
+	mgr, err := ckptnet.NewManagerOpts(assigner, opts)
 	if err != nil {
 		return err
 	}
-	bound, err := mgr.Listen(addr)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	bound, err := mgr.ListenContext(ctx, addr)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("checkpoint manager listening on %s (model %v, %g MB images); Ctrl-C to stop\n", bound, m, mb)
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	// The signal cancels ctx, which closes the manager; Close here both
+	// handles the non-signal path and waits for sessions to drain.
+	<-ctx.Done()
 	if err := mgr.Close(); err != nil {
 		return err
 	}
@@ -126,8 +153,9 @@ func run(addr, modelName, params, tracePath string, mb float64, out string) erro
 	fmt.Printf("\n%d sessions:\n", len(mgr.Sessions()))
 	for _, s := range mgr.Sessions() {
 		sum := s.Summarize()
-		fmt.Printf("  %-24s model=%-10v recoveries=%d checkpoints=%d interrupted=%d heartbeats=%d bytes=%d\n",
-			s.JobID, s.Model, sum.Recoveries, sum.Checkpoints, sum.Interrupted, sum.Heartbeats, sum.BytesMoved)
+		fmt.Printf("  %-24s model=%-10v recoveries=%d checkpoints=%d interrupted=%d heartbeats=%d bytes=%d retries=%d torn=%d fallbacks=%d\n",
+			s.JobID, s.Model, sum.Recoveries, sum.Checkpoints, sum.Interrupted, sum.Heartbeats, sum.BytesMoved,
+			sum.Retries, sum.TornFrames, sum.Fallbacks)
 	}
 	return nil
 }

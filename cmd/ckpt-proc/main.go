@@ -6,12 +6,15 @@
 // Usage:
 //
 //	ckpt-proc -addr 127.0.0.1:7419 -job desktop0001/1 [-telapsed 0] \
-//	    [-scale 1] [-intervals 0] [-lifetime 0]
+//	    [-scale 1] [-intervals 0] [-lifetime 0] \
+//	    [-retries 1] [-backoff 200ms] [-frame-timeout 0]
 //
 // -scale compresses virtual time (0.001 → a 10 s heartbeat every
 // 10 ms). -intervals stops voluntarily after N checkpoints; -lifetime
 // kills the process after that many wall seconds, emulating an
-// eviction.
+// eviction. -retries enables session-level recovery from transport
+// failures: the process reconnects with exponential backoff and
+// resumes from the manager's last good checkpoint image.
 package main
 
 import (
@@ -31,6 +34,9 @@ func main() {
 	scale := flag.Float64("scale", 1, "wall seconds per virtual second")
 	intervals := flag.Int("intervals", 0, "stop after N committed checkpoints (0 = run until killed)")
 	lifetime := flag.Float64("lifetime", 0, "kill the process after this many wall seconds (0 = never)")
+	retries := flag.Int("retries", 1, "total session attempts on transport failure (1 = fail fast)")
+	backoff := flag.Duration("backoff", 200*time.Millisecond, "base delay before the first session retry")
+	frameTO := flag.Duration("frame-timeout", 0, "per-frame read deadline (0 = derive from the heartbeat cadence)")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -39,13 +45,18 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(*lifetime*float64(time.Second)))
 		defer cancel()
 	}
-	rep, err := ckptnet.RunProcess(ctx, ckptnet.ProcessConfig{
+	cfg := ckptnet.ProcessConfig{
 		Addr:         *addr,
 		JobID:        *job,
 		TElapsed:     *telapsed,
 		TimeScale:    *scale,
 		MaxIntervals: *intervals,
-	})
+		FrameTimeout: *frameTO,
+	}
+	if *retries > 1 {
+		cfg.Retry = ckptnet.RetryPolicy{MaxAttempts: *retries, BackoffBase: *backoff}
+	}
+	rep, err := ckptnet.RunProcess(ctx, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ckpt-proc:", err)
 		os.Exit(1)
@@ -60,6 +71,10 @@ func main() {
 		fmt.Println()
 	}
 	fmt.Printf("work performed:   %.1f virtual s over %d heartbeats\n", rep.WorkSec, rep.Heartbeats)
+	if rep.Retries+rep.CkptRetries+rep.TornFrames+rep.Fallbacks > 0 {
+		fmt.Printf("resilience:       %d session retries, %d checkpoint retransmits, %d torn frames, %d fallback intervals\n",
+			rep.Retries, rep.CkptRetries, rep.TornFrames, rep.Fallbacks)
+	}
 	if rep.Evicted {
 		fmt.Println("ended by:         eviction")
 	} else {

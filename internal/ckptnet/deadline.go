@@ -1,0 +1,52 @@
+package ckptnet
+
+import (
+	"net"
+	"time"
+)
+
+// deadlineRW gives a connection per-operation deadlines: every Read
+// (Write) renews an absolute deadline ReadTimeout (WriteTimeout) ahead
+// of now. A transfer that keeps making progress never times out; a
+// stalled peer, a dropped frame, or a dead network surfaces as a
+// timeout within one timeout period instead of blocking forever.
+//
+// The protocol derives ReadTimeout from the heartbeat cadence — a
+// healthy peer sends (or is sent) a frame at least every heartbeat
+// period, so grace × heartbeat wall-time is a safe bound. Both fields
+// may be adjusted between operations; each side of a session runs its
+// protocol in a single goroutine.
+type deadlineRW struct {
+	conn         net.Conn
+	ReadTimeout  time.Duration // 0 = no read deadline
+	WriteTimeout time.Duration // 0 = no write deadline
+}
+
+func (d *deadlineRW) Read(p []byte) (int, error) {
+	if d.ReadTimeout > 0 {
+		_ = d.conn.SetReadDeadline(time.Now().Add(d.ReadTimeout))
+	}
+	return d.conn.Read(p)
+}
+
+func (d *deadlineRW) Write(p []byte) (int, error) {
+	if d.WriteTimeout > 0 {
+		_ = d.conn.SetWriteDeadline(time.Now().Add(d.WriteTimeout))
+	}
+	return d.conn.Write(p)
+}
+
+// frameTimeout derives the per-frame deadline from the heartbeat
+// cadence: grace heartbeat periods of wall time, floored so fast time
+// compression doesn't produce sub-millisecond deadlines, or fallback
+// when the peer did not announce a time scale.
+func frameTimeout(heartbeatSec, timeScale, grace float64, floor, fallback time.Duration) time.Duration {
+	if heartbeatSec <= 0 || timeScale <= 0 {
+		return fallback
+	}
+	d := time.Duration(grace * heartbeatSec * timeScale * float64(time.Second))
+	if d < floor {
+		return floor
+	}
+	return d
+}

@@ -22,6 +22,21 @@ const (
 	EvCheckpointDone
 	EvCheckpointInterrupted
 	EvDisconnected
+	// EvRetry marks a session resumed after a transport failure (the
+	// process reconnected with Hello.Resume; value = attempt number).
+	EvRetry
+	// EvTornFrame marks a frame that arrived mangled — corrupt
+	// payload, lost stream alignment, or a checkpoint whose CRC did
+	// not match (value = bytes read when detected).
+	EvTornFrame
+	// EvFallback marks an interval the process scheduled without a
+	// fresh T_opt — it fell back to its last assigned schedule or the
+	// conservative default (value = the interval used).
+	EvFallback
+
+	// evKindEnd is one past the last kind (keeps the serialization
+	// table in logio.go complete).
+	evKindEnd
 )
 
 func (k EventKind) String() string {
@@ -42,6 +57,12 @@ func (k EventKind) String() string {
 		return "checkpoint-interrupted"
 	case EvDisconnected:
 		return "disconnected"
+	case EvRetry:
+		return "retry"
+	case EvTornFrame:
+		return "torn-frame"
+	case EvFallback:
+		return "fallback"
 	}
 	return fmt.Sprintf("event(%d)", int(k))
 }
@@ -109,6 +130,12 @@ type Summary struct {
 	BytesMoved int64
 	// LastHeartbeat is the final cumulative-runtime report, seconds.
 	LastHeartbeat float64
+	// Retries counts session resumptions after transport failures.
+	Retries int
+	// TornFrames counts mangled frames and CRC-rejected checkpoints.
+	TornFrames int
+	// Fallbacks counts intervals scheduled on a fallback T_opt.
+	Fallbacks int
 }
 
 // Summarize computes the Summary of the log.
@@ -134,6 +161,12 @@ func (l *SessionLog) Summarize() Summary {
 			}
 		case EvTopt:
 			s.ToptReports++
+		case EvRetry:
+			s.Retries++
+		case EvTornFrame:
+			s.TornFrames++
+		case EvFallback:
+			s.Fallbacks++
 		}
 	}
 	return s

@@ -30,7 +30,7 @@ type eventDTO struct {
 // kindValues inverts EventKind.String for parsing.
 var kindValues = func() map[string]EventKind {
 	m := make(map[string]EventKind)
-	for k := EvConnected; k <= EvDisconnected; k++ {
+	for k := EvConnected; k < evKindEnd; k++ {
 		m[k.String()] = k
 	}
 	return m

@@ -1,11 +1,13 @@
 package ckptnet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"github.com/cycleharvest/ckptsched/internal/fit"
 )
@@ -31,37 +33,145 @@ func StaticAssigner(m fit.Model, params []float64, bytes int64) Assigner {
 	})
 }
 
+// Options tunes the manager's failure handling. The zero value gets
+// production defaults; chaos tests shrink the timeouts.
+type Options struct {
+	// HelloTimeout bounds the wait for a new connection's first frame
+	// (default 30 s) — a dial that never speaks doesn't pin a session
+	// goroutine.
+	HelloTimeout time.Duration
+	// IdleTimeout is the per-frame read deadline for clients that did
+	// not announce a time scale in Hello (default 5 min).
+	IdleTimeout time.Duration
+	// HeartbeatGrace scales the derived per-frame deadline: the
+	// deadline is Grace heartbeat periods of wall time, so a healthy
+	// process can drop Grace−1 consecutive heartbeats before the
+	// manager declares the session dead (default 4).
+	HeartbeatGrace float64
+	// MinFrameTimeout floors the derived deadline so aggressive time
+	// compression doesn't make loopback scheduling jitter look like a
+	// failure (default 2 s).
+	MinFrameTimeout time.Duration
+	// WriteTimeout is the per-Write deadline for frames and data
+	// chunks (default 30 s).
+	WriteTimeout time.Duration
+	// WrapConn, when set, wraps every accepted connection — the hook
+	// the FaultInjector uses.
+	WrapConn func(net.Conn) net.Conn
+}
+
+func (o *Options) setDefaults() {
+	if o.HelloTimeout <= 0 {
+		o.HelloTimeout = 30 * time.Second
+	}
+	if o.IdleTimeout <= 0 {
+		o.IdleTimeout = 5 * time.Minute
+	}
+	if o.HeartbeatGrace <= 0 {
+		o.HeartbeatGrace = 4
+	}
+	if o.MinFrameTimeout <= 0 {
+		o.MinFrameTimeout = 2 * time.Second
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 30 * time.Second
+	}
+}
+
+// ImageRecord is the manager's durable metadata for a job's last good
+// checkpoint image. Commit is atomic: a torn or corrupt transfer never
+// replaces the previous record.
+type ImageRecord struct {
+	// Generation counts committed checkpoints for the job.
+	Generation int
+	// Bytes is the image size.
+	Bytes int64
+	// CRC32 is the verified checksum of the stored image.
+	CRC32 uint32
+}
+
 // Manager is the checkpoint manager: a TCP server that serves recovery
 // images, receives checkpoints, and logs every session event.
 type Manager struct {
 	assigner Assigner
+	opts     Options
 
 	mu       sync.Mutex
 	listener net.Listener
 	sessions []*SessionLog
+	byJob    map[string]*SessionLog
+	images   map[string]ImageRecord
+	conns    map[net.Conn]struct{}
 	wg       sync.WaitGroup
 	closed   bool
 }
 
-// NewManager creates a manager with the given assignment policy.
+// NewManager creates a manager with the given assignment policy and
+// default Options.
 func NewManager(a Assigner) (*Manager, error) {
+	return NewManagerOpts(a, Options{})
+}
+
+// NewManagerOpts creates a manager with explicit failure-handling
+// options.
+func NewManagerOpts(a Assigner, opts Options) (*Manager, error) {
 	if a == nil {
 		return nil, errors.New("ckptnet: nil assigner")
 	}
-	return &Manager{assigner: a}, nil
+	opts.setDefaults()
+	return &Manager{
+		assigner: a,
+		opts:     opts,
+		byJob:    make(map[string]*SessionLog),
+		images:   make(map[string]ImageRecord),
+		conns:    make(map[net.Conn]struct{}),
+	}, nil
 }
 
 // Listen starts accepting test-process connections on addr (e.g.
 // "127.0.0.1:0") and returns the bound address.
 func (m *Manager) Listen(addr string) (net.Addr, error) {
+	return m.ListenContext(context.Background(), addr)
+}
+
+// ListenContext is Listen with cancellation: when ctx ends the manager
+// shuts down as if Close had been called — the listener stops and
+// in-flight sessions are torn down, so a stuck campaign can always be
+// canceled from the caller.
+func (m *Manager) ListenContext(ctx context.Context, addr string) (net.Addr, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, errors.New("ckptnet: manager closed")
+	}
+	if m.listener != nil {
+		m.mu.Unlock()
+		return nil, errors.New("ckptnet: manager already listening")
+	}
+	m.mu.Unlock()
+
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	m.mu.Lock()
+	if m.closed {
+		// Lost the race with Close: don't leak the listener.
+		m.mu.Unlock()
+		ln.Close()
+		return nil, errors.New("ckptnet: manager closed")
+	}
 	m.listener = ln
-	m.mu.Unlock()
+	// Register with the WaitGroup inside the same critical section that
+	// publishes the listener: Close either observes the listener (and
+	// this Add happened before its Wait) or marks the manager closed
+	// before we get here — never an unsynchronized Add/Wait pair.
 	m.wg.Add(1)
+	m.mu.Unlock()
+
+	if ctx.Done() != nil {
+		context.AfterFunc(ctx, func() { _ = m.Close() })
+	}
 	go m.acceptLoop(ln)
 	return ln.Addr(), nil
 }
@@ -73,25 +183,59 @@ func (m *Manager) acceptLoop(ln net.Listener) {
 		if err != nil {
 			return // listener closed
 		}
+		if m.opts.WrapConn != nil {
+			conn = m.opts.WrapConn(conn)
+		}
+		if !m.track(conn) {
+			conn.Close()
+			return
+		}
 		m.wg.Add(1)
 		go func() {
 			defer m.wg.Done()
+			defer m.untrack(conn)
 			defer conn.Close()
 			m.serve(conn)
 		}()
 	}
 }
 
-// Close stops the listener and waits for in-flight sessions.
+// track registers a live connection so Close can tear it down; it
+// refuses once the manager is closed.
+func (m *Manager) track(conn net.Conn) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false
+	}
+	m.conns[conn] = struct{}{}
+	return true
+}
+
+func (m *Manager) untrack(conn net.Conn) {
+	m.mu.Lock()
+	delete(m.conns, conn)
+	m.mu.Unlock()
+}
+
+// Close stops the listener, tears down in-flight sessions, and waits
+// for them to drain. It is idempotent and safe to race with Listen.
 func (m *Manager) Close() error {
 	m.mu.Lock()
-	ln := m.listener
-	m.closed = true
-	m.mu.Unlock()
-	var err error
-	if ln != nil {
-		err = ln.Close()
+	if m.closed {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return nil
 	}
+	m.closed = true
+	var err error
+	if m.listener != nil {
+		err = m.listener.Close()
+	}
+	for c := range m.conns {
+		c.Close()
+	}
+	m.mu.Unlock()
 	m.wg.Wait()
 	return err
 }
@@ -106,13 +250,62 @@ func (m *Manager) Sessions() []*SessionLog {
 	return out
 }
 
-// serve runs the manager side of one session. Any I/O error is
+// Image returns the last good checkpoint image record for a job, if
+// one has ever been committed.
+func (m *Manager) Image(jobID string) (ImageRecord, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, ok := m.images[jobID]
+	return rec, ok
+}
+
+// commitImage atomically replaces a job's last good image record; it
+// is called only after the full stream arrived and its CRC verified.
+func (m *Manager) commitImage(jobID string, bytes int64, crc uint32) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec := m.images[jobID]
+	rec.Generation++
+	rec.Bytes = bytes
+	rec.CRC32 = crc
+	m.images[jobID] = rec
+}
+
+// sessionFor finds or creates the SessionLog for a hello: a resuming
+// process reattaches to its existing log so retries, fallbacks, and
+// torn frames accumulate on one per-job record.
+func (m *Manager) sessionFor(h Hello, a Assign) (log *SessionLog, resumed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h.Resume {
+		if l, ok := m.byJob[h.JobID]; ok {
+			return l, true
+		}
+	}
+	l := &SessionLog{
+		JobID:           h.JobID,
+		Model:           a.Model,
+		Params:          a.Params,
+		CheckpointBytes: a.CheckpointBytes,
+	}
+	m.sessions = append(m.sessions, l)
+	m.byJob[h.JobID] = l
+	return l, false
+}
+
+// serve runs the manager side of one session. An I/O error is
 // interpreted as the process being evicted (the paper's
 // terminate-on-eviction semantics make a dropped connection the normal
-// end of a session).
+// end of a session); the process may later reconnect with
+// Hello.Resume and continue against its last good image.
 func (m *Manager) serve(conn net.Conn) {
+	rw := &deadlineRW{
+		conn:         conn,
+		ReadTimeout:  m.opts.HelloTimeout,
+		WriteTimeout: m.opts.WriteTimeout,
+	}
 	var hello Hello
-	t, err := ReadFrame(conn, &hello)
+	t, err := ReadFrame(rw, &hello)
 	if err != nil || t != MsgHello {
 		return
 	}
@@ -123,39 +316,45 @@ func (m *Manager) serve(conn net.Conn) {
 	if assign.HeartbeatSec <= 0 {
 		assign.HeartbeatSec = 10
 	}
+	// Per-frame deadline from the announced heartbeat cadence: a live
+	// process produces a frame at least every heartbeat period.
+	rw.ReadTimeout = frameTimeout(assign.HeartbeatSec, hello.TimeScale,
+		m.opts.HeartbeatGrace, m.opts.MinFrameTimeout, m.opts.IdleTimeout)
 
-	log := &SessionLog{
-		JobID:           hello.JobID,
-		Model:           assign.Model,
-		Params:          assign.Params,
-		CheckpointBytes: assign.CheckpointBytes,
+	log, resumed := m.sessionFor(hello, assign)
+	if resumed {
+		log.Add(EvRetry, float64(hello.Attempt))
+	} else {
+		log.Add(EvConnected, hello.TElapsed)
 	}
-	m.mu.Lock()
-	m.sessions = append(m.sessions, log)
-	m.mu.Unlock()
-	log.Add(EvConnected, hello.TElapsed)
 	defer log.Add(EvDisconnected, 0)
 
-	if err := WriteFrame(conn, MsgAssign, assign); err != nil {
+	if err := WriteFrame(rw, MsgAssign, assign); err != nil {
 		return
 	}
 
-	// Initial recovery: stream the image to the process. A write
-	// error means the process was evicted mid-recovery; TCP cannot
-	// tell us precisely how many bytes arrived, so the manager records
-	// the attempt with an unknown (zero) byte count and relies on
-	// its own timing elsewhere.
-	if err := WriteFrame(conn, MsgRecoveryBegin, DataBegin{Bytes: assign.CheckpointBytes}); err != nil {
+	// Recovery: stream the last good image (or a fresh image of the
+	// assigned size for a first-time job). A write error means the
+	// process was evicted mid-recovery; TCP cannot tell us precisely
+	// how many bytes arrived, so the manager records the attempt with
+	// an unknown (zero) byte count and relies on its own timing
+	// elsewhere.
+	recBytes := assign.CheckpointBytes
+	recCRC := ZeroCRC(recBytes)
+	if rec, ok := m.Image(hello.JobID); ok {
+		recBytes, recCRC = rec.Bytes, rec.CRC32
+	}
+	if err := WriteFrame(rw, MsgRecoveryBegin, DataBegin{Bytes: recBytes, CRC32: recCRC}); err != nil {
 		return
 	}
-	if err := WriteData(conn, assign.CheckpointBytes); err != nil {
+	if err := WriteData(rw, recBytes); err != nil {
 		log.Add(EvRecoveryInterrupted, 0)
 		return
 	}
 	log.Add(EvRecoveryDone, 0)
 
 	// Event loop: heartbeats, T_opt reports, checkpoints — until the
-	// connection drops (eviction).
+	// connection drops (eviction) or the stream turns to garbage.
 	for {
 		var raw struct {
 			Topt      float64 `json:"topt"`
@@ -163,31 +362,52 @@ func (m *Manager) serve(conn net.Conn) {
 			Age       float64 `json:"age"`
 			Elapsed   float64 `json:"elapsed"`
 			Bytes     int64   `json:"bytes"`
+			CRC32     uint32  `json:"crc32"`
+			Fallback  bool    `json:"fallback"`
 		}
-		t, err := ReadFrame(conn, &raw)
+		t, err := ReadFrame(rw, &raw)
 		if err != nil {
+			if errors.Is(err, ErrMalformedFrame) {
+				log.Add(EvTornFrame, 0)
+			}
 			return
 		}
 		switch t {
 		case MsgTopt:
 			log.Add(EvTopt, raw.Topt)
+			if raw.Fallback {
+				log.Add(EvFallback, raw.Topt)
+			}
 		case MsgHeartbeat:
 			log.Add(EvHeartbeat, raw.Elapsed)
 		case MsgCheckpointBegin:
-			got, err := ReadData(conn, raw.Bytes)
+			got, crc, err := ReadDataCRC(rw, raw.Bytes)
 			if err != nil {
 				if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
 					log.Add(EvCheckpointInterrupted, float64(got))
-					return
 				}
 				return
 			}
+			if raw.CRC32 != 0 && crc != raw.CRC32 {
+				// Corrupt image: reject it, keep the last good one, and
+				// tell the process so it can retry over this connection
+				// (the stream is still frame-aligned — we consumed
+				// exactly the announced byte count).
+				log.Add(EvTornFrame, float64(got))
+				if err := WriteFrame(rw, MsgCheckpointNack, struct{}{}); err != nil {
+					return
+				}
+				continue
+			}
+			m.commitImage(hello.JobID, raw.Bytes, crc)
 			log.Add(EvCheckpointDone, 0)
-			if err := WriteFrame(conn, MsgCheckpointAck, struct{}{}); err != nil {
+			if err := WriteFrame(rw, MsgCheckpointAck, struct{}{}); err != nil {
 				return
 			}
 		default:
-			// Protocol violation; drop the session.
+			// Unknown frame type: the stream lost alignment (a dropped
+			// control frame left raw data where a header should be).
+			log.Add(EvTornFrame, 0)
 			return
 		}
 	}

@@ -4,11 +4,59 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"math/rand"
 	"net"
 	"time"
 
 	"github.com/cycleharvest/ckptsched/internal/core"
 )
+
+// RetryPolicy bounds how a process recovers from transport failures:
+// a failed session (dropped connection, deadline miss, torn stream) is
+// retried by reconnecting with exponential backoff plus jitter, up to
+// MaxAttempts total attempts. The zero value disables retry — the
+// first failure is returned to the caller, the pre-resilience
+// behavior.
+type RetryPolicy struct {
+	// MaxAttempts is the total session attempts including the first
+	// (≤1 = no retry).
+	MaxAttempts int
+	// BackoffBase is the delay before the first retry (default 200 ms);
+	// each further retry doubles it up to BackoffMax (default 10 s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// JitterFrac randomizes each backoff by ±JitterFrac to avoid
+	// synchronized reconnect storms (default 0.2).
+	JitterFrac float64
+	// Seed makes the jitter deterministic (0 derives one from JobID).
+	Seed int64
+}
+
+func (p *RetryPolicy) setDefaults() {
+	if p.BackoffBase <= 0 {
+		p.BackoffBase = 200 * time.Millisecond
+	}
+	if p.BackoffMax <= 0 {
+		p.BackoffMax = 10 * time.Second
+	}
+	if p.JitterFrac <= 0 {
+		p.JitterFrac = 0.2
+	}
+}
+
+// backoff returns the jittered delay before retry attempt (1-based).
+func (p RetryPolicy) backoff(attempt int, rng *rand.Rand) time.Duration {
+	d := p.BackoffBase
+	for i := 1; i < attempt && d < p.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > p.BackoffMax {
+		d = p.BackoffMax
+	}
+	jitter := 1 + p.JitterFrac*(2*rng.Float64()-1)
+	return time.Duration(float64(d) * jitter)
+}
 
 // ProcessConfig configures one instrumented test process (§5.2).
 type ProcessConfig struct {
@@ -26,8 +74,21 @@ type ProcessConfig struct {
 	TimeScale float64
 	// MaxIntervals stops the process voluntarily after this many
 	// committed checkpoints (0 = run until the context is canceled,
-	// the live terminate-on-eviction behavior).
+	// the live terminate-on-eviction behavior). Checkpoints committed
+	// before a transport failure count across session retries.
 	MaxIntervals int
+	// FrameTimeout is the per-frame read deadline; 0 derives it from
+	// the heartbeat cadence (4 heartbeat wall periods, floored at 2 s).
+	FrameTimeout time.Duration
+	// Retry controls session-level recovery from transport failures
+	// (zero = fail fast).
+	Retry RetryPolicy
+	// MaxCkptRetries bounds in-connection checkpoint retransmissions
+	// after the manager rejects a corrupt image (default 3).
+	MaxCkptRetries int
+	// WrapConn, when set, wraps the dialed connection — the hook the
+	// FaultInjector uses to inject process-side faults.
+	WrapConn func(net.Conn) net.Conn
 }
 
 // ProcessReport summarizes a test process run from the client side.
@@ -38,7 +99,8 @@ type ProcessReport struct {
 	// seconds).
 	RecoverySec float64
 	// CheckpointSecs are the measured checkpoint transfer times
-	// (virtual seconds), one per committed checkpoint.
+	// (virtual seconds), one per committed checkpoint, accumulated
+	// across session retries.
 	CheckpointSecs []float64
 	// Topts are the successive computed work intervals (virtual
 	// seconds).
@@ -50,6 +112,27 @@ type ProcessReport struct {
 	// Evicted reports whether the run ended by cancellation/disconnect
 	// rather than by reaching MaxIntervals.
 	Evicted bool
+	// Retries counts session reconnections after transport failures.
+	Retries int
+	// CkptRetries counts in-connection checkpoint retransmissions
+	// after the manager rejected a corrupt image.
+	CkptRetries int
+	// TornFrames counts corrupt transfers the process detected
+	// (recovery CRC mismatches).
+	TornFrames int
+	// Fallbacks counts intervals scheduled without a fresh T_opt.
+	Fallbacks int
+}
+
+// procState is the durable cross-attempt state of a process: what must
+// survive a transport failure for the session to resume correctly.
+type procState struct {
+	committed int           // checkpoints committed so far
+	lastTopt  float64       // last assigned schedule (fallback on resume)
+	age       float64       // resource age, virtual seconds
+	measuredC float64       // last measured transfer cost, virtual seconds
+	wallC     time.Duration // last transfer's wall duration (sizes ack deadlines)
+	started   bool          // first recovery completed at least once
 }
 
 // RunProcess connects to the checkpoint manager and executes the
@@ -58,13 +141,75 @@ type ProcessReport struct {
 // heart-beating every HeartbeatSec, checkpoint, re-measure, recompute,
 // repeat. Cancel ctx to emulate an eviction (the connection drops
 // mid-whatever, exactly as Condor's Vanilla universe kills a process).
+//
+// With a RetryPolicy configured, transport failures (dropped
+// connections, deadline misses, torn streams) are retried with
+// exponential backoff: the process reconnects, announces Resume, and
+// continues from the manager's last good checkpoint image. Work
+// committed before the failure is preserved.
 func RunProcess(ctx context.Context, cfg ProcessConfig) (*ProcessReport, error) {
 	if cfg.TimeScale <= 0 {
 		cfg.TimeScale = 1
 	}
+	if cfg.MaxCkptRetries <= 0 {
+		cfg.MaxCkptRetries = 3
+	}
+	pol := cfg.Retry
+	pol.setDefaults()
+	seed := pol.Seed
+	if seed == 0 {
+		h := fnv.New64a()
+		h.Write([]byte(cfg.JobID))
+		seed = int64(h.Sum64())
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	rep := &ProcessReport{}
+	st := &procState{age: cfg.TElapsed}
+	for attempt := 0; ; attempt++ {
+		err := runSession(ctx, cfg, rep, st, attempt)
+		if err == nil {
+			return rep, nil
+		}
+		// Eviction (context cancellation) ends the run cleanly: the
+		// paper's processes terminate on eviction rather than retry.
+		// Only the context distinguishes an eviction from a transport
+		// failure — a mid-transfer connection reset also surfaces as a
+		// closed connection, and that one must be retried.
+		if ctx.Err() != nil {
+			rep.Evicted = true
+			return rep, nil
+		}
+		if cfg.Retry.MaxAttempts <= 1 {
+			return rep, err
+		}
+		if attempt+1 >= cfg.Retry.MaxAttempts {
+			return rep, fmt.Errorf("ckptnet: session failed after %d attempts: %w", attempt+1, err)
+		}
+		rep.Retries++
+		select {
+		case <-ctx.Done():
+			rep.Evicted = true
+			return rep, nil
+		case <-time.After(pol.backoff(attempt+1, rng)):
+		}
+	}
+}
+
+// errTornRecovery reports a recovery stream whose CRC did not match.
+var errTornRecovery = errors.New("ckptnet: recovery image failed CRC check")
+
+// runSession runs one connection's worth of the protocol, from dial to
+// voluntary completion (nil) or transport failure (error). Cross-
+// attempt state lives in st so a retry resumes where this attempt
+// stopped.
+func runSession(ctx context.Context, cfg ProcessConfig, rep *ProcessReport, st *procState, attempt int) error {
 	conn, err := net.Dial("tcp", cfg.Addr)
 	if err != nil {
-		return nil, fmt.Errorf("ckptnet: dial manager: %w", err)
+		return fmt.Errorf("ckptnet: dial manager: %w", err)
+	}
+	if cfg.WrapConn != nil {
+		conn = cfg.WrapConn(conn)
 	}
 	defer conn.Close()
 	// Eviction: tear the connection down when the context ends so
@@ -72,81 +217,167 @@ func RunProcess(ctx context.Context, cfg ProcessConfig) (*ProcessReport, error) 
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
 	defer stop()
 
-	rep := &ProcessReport{}
-	if err := WriteFrame(conn, MsgHello, Hello{JobID: cfg.JobID, TElapsed: cfg.TElapsed}); err != nil {
-		return rep, evictErr(ctx, rep, err)
+	// Until the assignment announces the heartbeat cadence, bound the
+	// handshake with the configured (or a conservative) deadline.
+	handshakeTO := cfg.FrameTimeout
+	if handshakeTO <= 0 {
+		handshakeTO = 10 * time.Second
 	}
-	if t, err := ReadFrame(conn, &rep.Assign); err != nil || t != MsgAssign {
+	rw := &deadlineRW{conn: conn, ReadTimeout: handshakeTO, WriteTimeout: handshakeTO}
+
+	hello := Hello{
+		JobID:     cfg.JobID,
+		TElapsed:  cfg.TElapsed,
+		TimeScale: cfg.TimeScale,
+		Resume:    attempt > 0,
+		Attempt:   attempt,
+	}
+	if err := WriteFrame(rw, MsgHello, hello); err != nil {
+		return err
+	}
+	var assign Assign
+	if t, err := ReadFrame(rw, &assign); err != nil || t != MsgAssign {
 		if err == nil {
 			err = ErrUnexpectedFrame
 		}
-		return rep, evictErr(ctx, rep, err)
+		return err
 	}
-	hb := rep.Assign.HeartbeatSec
+	rep.Assign = assign
+	hb := assign.HeartbeatSec
 	if hb <= 0 {
 		hb = 10
 	}
+	frameTO := cfg.FrameTimeout
+	if frameTO <= 0 {
+		frameTO = frameTimeout(hb, cfg.TimeScale, 4, 2*time.Second, 10*time.Second)
+	}
+	rw.ReadTimeout, rw.WriteTimeout = frameTO, frameTO
 
-	// Initial recovery, timed.
+	// Recovery, timed. On resume the manager streams its last good
+	// image; either way the measured duration re-seeds the cost
+	// estimate.
 	var begin DataBegin
-	if t, err := ReadFrame(conn, &begin); err != nil || t != MsgRecoveryBegin {
+	if t, err := ReadFrame(rw, &begin); err != nil || t != MsgRecoveryBegin {
 		if err == nil {
 			err = ErrUnexpectedFrame
 		}
-		return rep, evictErr(ctx, rep, err)
+		return err
 	}
 	start := time.Now()
-	if _, err := ReadData(conn, begin.Bytes); err != nil {
-		return rep, evictErr(ctx, rep, err)
+	_, crc, err := ReadDataCRC(rw, begin.Bytes)
+	if err != nil {
+		return err
 	}
-	rep.RecoverySec = time.Since(start).Seconds() / cfg.TimeScale
-	age := cfg.TElapsed + rep.RecoverySec
-	measuredC := rep.RecoverySec
+	if begin.CRC32 != 0 && crc != begin.CRC32 {
+		rep.TornFrames++
+		return errTornRecovery
+	}
+	st.wallC = time.Since(start)
+	recSec := st.wallC.Seconds() / cfg.TimeScale
+	if !st.started {
+		rep.RecoverySec = recSec
+		st.started = true
+	}
+	st.age += recSec
+	st.measuredC = recSec
 
 	for {
-		topt, eff, err := core.Routine(rep.Assign.Model, rep.Assign.Params, age, measuredC, measuredC)
-		if err != nil {
-			return rep, fmt.Errorf("ckptnet: computing T_opt: %w", err)
+		// Resumed sessions fall back to the last assigned schedule for
+		// their first interval: the manager just proved unreliable, so
+		// don't trust a single fresh measurement over it. Otherwise
+		// recompute; if the optimizer finds no feasible interval, fall
+		// back to the last schedule, or to the conservative
+		// cost-width interval (the exponential memoryless choice that
+		// keeps at most one transfer's worth of work at risk).
+		var topt, eff float64
+		fallback := false
+		if attempt > 0 && st.lastTopt > 0 {
+			// Only the first interval of a resumed session reuses the
+			// old schedule; later intervals recompute normally.
+			topt = st.lastTopt
+			fallback = true
+		} else {
+			topt, eff, err = core.Routine(assign.Model, assign.Params, st.age, st.measuredC, st.measuredC)
+			if err != nil {
+				fallback = true
+				topt = st.lastTopt
+				if topt <= 0 {
+					topt = st.measuredC
+				}
+				if topt <= 0 {
+					topt = hb
+				}
+			}
 		}
+		if fallback {
+			rep.Fallbacks++
+		}
+		attempt = 0
+		st.lastTopt = topt
 		rep.Topts = append(rep.Topts, topt)
-		if err := WriteFrame(conn, MsgTopt, ToptReport{
-			Topt: topt, MeasuredC: measuredC, Age: age, Efficiency: eff,
+		if err := WriteFrame(rw, MsgTopt, ToptReport{
+			Topt: topt, MeasuredC: st.measuredC, Age: st.age, Efficiency: eff, Fallback: fallback,
 		}); err != nil {
-			return rep, evictErr(ctx, rep, err)
+			return err
 		}
 
 		// Emulate computation: spin for topt virtual seconds, sending
 		// a heartbeat every hb virtual seconds.
-		if err := rep.spin(ctx, conn, topt, hb, cfg.TimeScale); err != nil {
-			return rep, evictErr(ctx, rep, err)
+		if err := rep.spin(ctx, rw, topt, hb, cfg.TimeScale); err != nil {
+			return err
 		}
 
-		// Checkpoint, timed to first ack.
-		start = time.Now()
-		if err := WriteFrame(conn, MsgCheckpointBegin, DataBegin{Bytes: rep.Assign.CheckpointBytes}); err != nil {
-			return rep, evictErr(ctx, rep, err)
-		}
-		if err := WriteData(conn, rep.Assign.CheckpointBytes); err != nil {
-			return rep, evictErr(ctx, rep, err)
-		}
-		if t, err := ReadFrame(conn, nil); err != nil || t != MsgCheckpointAck {
-			if err == nil {
-				err = ErrUnexpectedFrame
+		// Checkpoint, timed to first ack; a NACK (manager detected a
+		// corrupt image) is retried over the same connection.
+		var ckptWall time.Duration
+		for try := 0; ; try++ {
+			ckptStart := time.Now()
+			want := ZeroCRC(assign.CheckpointBytes)
+			if err := WriteFrame(rw, MsgCheckpointBegin, DataBegin{Bytes: assign.CheckpointBytes, CRC32: want}); err != nil {
+				return err
 			}
-			return rep, evictErr(ctx, rep, err)
+			if err := WriteData(rw, assign.CheckpointBytes); err != nil {
+				return err
+			}
+			// The ack arrives only after the manager drained the whole
+			// stream; allow a deadline proportional to the last
+			// transfer's wall duration.
+			saved := rw.ReadTimeout
+			if ackTO := 4*st.wallC + frameTO; ackTO > saved {
+				rw.ReadTimeout = ackTO
+			}
+			t, err := ReadFrame(rw, nil)
+			rw.ReadTimeout = saved
+			if err != nil {
+				return err
+			}
+			if t == MsgCheckpointNack {
+				rep.CkptRetries++
+				if try+1 >= cfg.MaxCkptRetries {
+					return fmt.Errorf("ckptnet: checkpoint rejected %d times: %w", try+1, ErrMalformedFrame)
+				}
+				continue
+			}
+			if t != MsgCheckpointAck {
+				return ErrUnexpectedFrame
+			}
+			ckptWall = time.Since(ckptStart)
+			break
 		}
-		measuredC = time.Since(start).Seconds() / cfg.TimeScale
-		rep.CheckpointSecs = append(rep.CheckpointSecs, measuredC)
-		age += topt + measuredC
+		st.wallC = ckptWall
+		st.measuredC = ckptWall.Seconds() / cfg.TimeScale
+		rep.CheckpointSecs = append(rep.CheckpointSecs, st.measuredC)
+		st.committed++
+		st.age += topt + st.measuredC
 
-		if cfg.MaxIntervals > 0 && len(rep.CheckpointSecs) >= cfg.MaxIntervals {
-			return rep, nil
+		if cfg.MaxIntervals > 0 && st.committed >= cfg.MaxIntervals {
+			return nil
 		}
 	}
 }
 
 // spin emulates computation and heartbeats for topt virtual seconds.
-func (rep *ProcessReport) spin(ctx context.Context, conn net.Conn, topt, hb, scale float64) error {
+func (rep *ProcessReport) spin(ctx context.Context, w *deadlineRW, topt, hb, scale float64) error {
 	remaining := topt
 	for remaining > 0 {
 		step := hb
@@ -161,24 +392,10 @@ func (rep *ProcessReport) spin(ctx context.Context, conn net.Conn, topt, hb, sca
 		}
 		remaining -= step
 		rep.WorkSec += step
-		if err := WriteFrame(conn, MsgHeartbeat, Heartbeat{Elapsed: rep.WorkSec}); err != nil {
+		if err := WriteFrame(w, MsgHeartbeat, Heartbeat{Elapsed: rep.WorkSec}); err != nil {
 			return err
 		}
 		rep.Heartbeats++
 	}
 	return nil
-}
-
-// evictErr converts I/O failures caused by eviction (context
-// cancellation) into a clean evicted report.
-func evictErr(ctx context.Context, rep *ProcessReport, err error) error {
-	if ctx.Err() != nil {
-		rep.Evicted = true
-		return nil
-	}
-	if errors.Is(err, net.ErrClosed) {
-		rep.Evicted = true
-		return nil
-	}
-	return err
 }

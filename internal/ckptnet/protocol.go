@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"sync"
 
 	"github.com/cycleharvest/ckptsched/internal/fit"
 )
@@ -24,6 +26,7 @@ const (
 	MsgHeartbeat       MsgType = 5 // process → manager: cumulative runtime
 	MsgCheckpointBegin MsgType = 6 // process → manager: raw data follows
 	MsgCheckpointAck   MsgType = 7 // manager → process: checkpoint stored
+	MsgCheckpointNack  MsgType = 8 // manager → process: checkpoint rejected (torn/corrupt), retry
 )
 
 // maxFrame bounds control-frame payloads (data streams are unbounded
@@ -36,6 +39,19 @@ type Hello struct {
 	// TElapsed is how long the hosting resource had been available
 	// when the process started, in seconds (0 when unknown).
 	TElapsed float64 `json:"t_elapsed"`
+	// TimeScale is the process's wall-seconds-per-virtual-second
+	// compression (0 when unannounced). The manager derives its
+	// per-frame read deadlines from HeartbeatSec × TimeScale: under
+	// compression a heartbeat arrives every few milliseconds and the
+	// deadline shrinks to match.
+	TimeScale float64 `json:"time_scale,omitempty"`
+	// Resume marks a reconnection after a transport failure: the
+	// manager reattaches the process to its existing session log and
+	// serves recovery from the last good checkpoint image.
+	Resume bool `json:"resume,omitempty"`
+	// Attempt is the 0-based session attempt number (logged as the
+	// EvRetry value on resume).
+	Attempt int `json:"attempt,omitempty"`
 }
 
 // Assign tells the process which availability model to schedule with
@@ -54,6 +70,11 @@ type Assign struct {
 // MsgCheckpointBegin).
 type DataBegin struct {
 	Bytes int64 `json:"bytes"`
+	// CRC32 is the IEEE checksum of the data stream (0 = unverified,
+	// the pre-resilience wire format). The receiver verifies it before
+	// committing a checkpoint, so a corrupted transfer is rejected
+	// instead of replacing the last good image.
+	CRC32 uint32 `json:"crc32,omitempty"`
 }
 
 // ToptReport is the process's per-interval log record: the interval it
@@ -63,6 +84,11 @@ type ToptReport struct {
 	MeasuredC  float64 `json:"measured_c"`
 	Age        float64 `json:"age"`
 	Efficiency float64 `json:"efficiency"`
+	// Fallback marks an interval scheduled without a fresh T_opt
+	// solution — the process reused its last assigned schedule (or the
+	// conservative default) because recomputation failed or the
+	// session had just been resumed after a transport failure.
+	Fallback bool `json:"fallback,omitempty"`
 }
 
 // Heartbeat carries the cumulative seconds since the process began.
@@ -70,7 +96,9 @@ type Heartbeat struct {
 	Elapsed float64 `json:"elapsed"`
 }
 
-// WriteFrame writes one control frame.
+// WriteFrame writes one control frame as a single Write call, so a
+// frame either reaches the transport whole or not at all (the property
+// the fault injector's frame-level drops rely on).
 func WriteFrame(w io.Writer, t MsgType, payload any) error {
 	body, err := json.Marshal(payload)
 	if err != nil {
@@ -79,15 +107,19 @@ func WriteFrame(w io.Writer, t MsgType, payload any) error {
 	if len(body) > maxFrame {
 		return fmt.Errorf("ckptnet: frame too large: %d", len(body))
 	}
-	var hdr [5]byte
-	hdr[0] = byte(t)
-	binary.BigEndian.PutUint32(hdr[1:], uint32(len(body)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err = w.Write(body)
+	frame := make([]byte, 5+len(body))
+	frame[0] = byte(t)
+	binary.BigEndian.PutUint32(frame[1:5], uint32(len(body)))
+	copy(frame[5:], body)
+	_, err = w.Write(frame)
 	return err
 }
+
+// ErrMalformedFrame tags frames that arrived but could not be parsed —
+// an oversized length, an undecodable payload, or a stream that lost
+// frame alignment. Receivers treat it as a torn frame (the peer or the
+// network mangled the stream) rather than a clean disconnect.
+var ErrMalformedFrame = errors.New("ckptnet: malformed frame")
 
 // ReadFrame reads one control frame and unmarshals its payload into
 // out (pass nil to discard).
@@ -98,7 +130,7 @@ func ReadFrame(r io.Reader, out any) (MsgType, error) {
 	}
 	n := binary.BigEndian.Uint32(hdr[1:])
 	if n > maxFrame {
-		return 0, fmt.Errorf("ckptnet: oversized frame %d", n)
+		return 0, fmt.Errorf("ckptnet: oversized frame %d: %w", n, ErrMalformedFrame)
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
@@ -107,7 +139,7 @@ func ReadFrame(r io.Reader, out any) (MsgType, error) {
 	t := MsgType(hdr[0])
 	if out != nil {
 		if err := json.Unmarshal(body, out); err != nil {
-			return t, fmt.Errorf("ckptnet: unmarshal frame %d: %w", t, err)
+			return t, fmt.Errorf("ckptnet: unmarshal frame %d: %v: %w", t, err, ErrMalformedFrame)
 		}
 	}
 	return t, nil
@@ -142,18 +174,51 @@ func WriteData(w io.Writer, n int64) error {
 // actually read (short on error — the partial-transfer measurement the
 // manager records when a process is evicted mid-checkpoint).
 func ReadData(r io.Reader, n int64) (int64, error) {
+	got, _, err := ReadDataCRC(r, n)
+	return got, err
+}
+
+// ReadDataCRC consumes exactly n raw bytes from r while computing the
+// IEEE CRC32 of the stream, so the receiver can verify integrity
+// against the checksum announced in DataBegin before committing.
+func ReadDataCRC(r io.Reader, n int64) (got int64, crc uint32, err error) {
 	buf := make([]byte, chunkSize)
-	var got int64
 	for got < n {
 		c := int64(len(buf))
 		if c > n-got {
 			c = n - got
 		}
 		k, err := io.ReadFull(r, buf[:c])
+		crc = crc32.Update(crc, crc32.IEEETable, buf[:k])
 		got += int64(k)
 		if err != nil {
-			return got, err
+			return got, crc, err
 		}
 	}
-	return got, nil
+	return got, crc, nil
+}
+
+// zeroCRCCache memoizes ZeroCRC by size; transfers repeat the same
+// image size for a whole campaign.
+var zeroCRCCache sync.Map // int64 → uint32
+
+// ZeroCRC returns the IEEE CRC32 of n zero bytes — the checksum of the
+// pseudo-payload WriteData streams, announced in DataBegin so the
+// receiver can detect in-flight corruption.
+func ZeroCRC(n int64) uint32 {
+	if v, ok := zeroCRCCache.Load(n); ok {
+		return v.(uint32)
+	}
+	buf := make([]byte, chunkSize)
+	var crc uint32
+	for left := n; left > 0; {
+		c := int64(len(buf))
+		if c > left {
+			c = left
+		}
+		crc = crc32.Update(crc, crc32.IEEETable, buf[:c])
+		left -= c
+	}
+	zeroCRCCache.Store(n, crc)
+	return crc
 }

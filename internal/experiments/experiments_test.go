@@ -366,3 +366,39 @@ func TestRunLiveTablesAndValidation(t *testing.T) {
 		t.Error("nil campaign should error")
 	}
 }
+
+func TestRunChaosExperiment(t *testing.T) {
+	w := workload(t)
+	r, err := RunChaos(ChaosConfig{
+		Workload:        w,
+		Link:            ckptnet.CampusLink(),
+		SamplesPerModel: 2,
+		Seed:            99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Sessions != 8 {
+		t.Fatalf("sessions = %d", r.Sessions)
+	}
+	if r.Clean == nil || r.Chaos == nil {
+		t.Fatal("missing tables")
+	}
+	if r.CleanEfficiency <= 0 || r.CleanEfficiency > 1 || r.ChaosEfficiency < 0 || r.ChaosEfficiency > 1 {
+		t.Errorf("efficiencies out of range: %g vs %g", r.CleanEfficiency, r.ChaosEfficiency)
+	}
+	if r.Retries+r.Torn+r.Fallbacks == 0 {
+		t.Error("chaos campaign reported no resilience activity")
+	}
+	out := RenderChaos(r)
+	for _, want := range []string{"Chaos experiment", "Efficiency", "MB/hour", "retries", "torn transfers", "fallbacks"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Default fault mix kicks in when unset; the experiment must also
+	// refuse a nil workload.
+	if _, err := RunChaos(ChaosConfig{}); err == nil {
+		t.Error("nil workload should error")
+	}
+}

@@ -122,3 +122,127 @@ func RunValidation(w *Workload, camp *live.Campaign) (*ValidationResult, error) 
 	}
 	return &ValidationResult{LinkName: camp.LinkName, Rows: rows}, nil
 }
+
+// ChaosConfig parameterizes the fault-injected live campaign the
+// -chaos experiment runs: the same campaign twice, once over the clean
+// link and once under fault injection, so the resilience layer's
+// overhead is directly measurable.
+type ChaosConfig struct {
+	// Workload supplies machines and history.
+	Workload *Workload
+	// Link is the clean link profile (default campus).
+	Link ckptnet.Link
+	// Faults selects the injected fault mix. The zero value gets a
+	// representative mix: 10% torn transfers, 10% manager outages, and
+	// occasional 30 s stalls.
+	Faults ckptnet.LinkFaultConfig
+	// SamplesPerModel defaults to 5 (a 20-session campaign, the
+	// acceptance scenario's size).
+	SamplesPerModel int
+	// Seed makes both campaigns deterministic and keeps them paired.
+	Seed int64
+}
+
+// ChaosResult compares a clean campaign against its fault-injected
+// twin.
+type ChaosResult struct {
+	LinkName string
+	// Clean and Chaos are the per-model tables of the two campaigns.
+	Clean, Chaos *LiveTable
+	// CleanEfficiency and ChaosEfficiency are campaign-wide mean
+	// per-sample efficiencies.
+	CleanEfficiency, ChaosEfficiency float64
+	// CleanMBPerHour and ChaosMBPerHour are campaign-wide bandwidth
+	// consumption rates.
+	CleanMBPerHour, ChaosMBPerHour float64
+	// Retries, Torn, and Fallbacks are the chaos campaign's resilience
+	// totals; BackoffSec is total virtual time spent waiting between
+	// retries.
+	Retries, Torn, Fallbacks int
+	BackoffSec               float64
+	// Sessions is the number of completed sessions in each campaign.
+	Sessions int
+}
+
+// EfficiencyDelta is chaos minus clean efficiency (expected negative:
+// injected faults cost committed work).
+func (r *ChaosResult) EfficiencyDelta() float64 {
+	return r.ChaosEfficiency - r.CleanEfficiency
+}
+
+// BandwidthDelta is chaos minus clean MB/hour.
+func (r *ChaosResult) BandwidthDelta() float64 {
+	return r.ChaosMBPerHour - r.CleanMBPerHour
+}
+
+// RunChaos runs the paired clean/fault-injected campaigns and reports
+// the overhead and bandwidth deltas plus the resilience totals.
+func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
+	if cfg.Workload == nil {
+		return nil, errors.New("experiments: chaos experiment needs a workload")
+	}
+	if cfg.Link == nil {
+		cfg.Link = ckptnet.CampusLink()
+	}
+	if cfg.SamplesPerModel <= 0 {
+		cfg.SamplesPerModel = 5
+	}
+	zero := ckptnet.LinkFaultConfig{}
+	if cfg.Faults == zero {
+		cfg.Faults = ckptnet.LinkFaultConfig{
+			TearProb:   0.10,
+			StallProb:  0.05,
+			StallSec:   30,
+			OutageProb: 0.10,
+		}
+	}
+
+	cleanTable, cleanCamp, err := RunLiveTable("clean", LiveCampaignConfig{
+		Workload:        cfg.Workload,
+		Link:            cfg.Link,
+		SamplesPerModel: cfg.SamplesPerModel,
+		Seed:            cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	chaosTable, chaosCamp, err := RunLiveTable("chaos", LiveCampaignConfig{
+		Workload:        cfg.Workload,
+		Link:            ckptnet.ChaosLink{Inner: cfg.Link, Faults: cfg.Faults},
+		SamplesPerModel: cfg.SamplesPerModel,
+		Seed:            cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ChaosResult{
+		LinkName: cfg.Link.Name(),
+		Clean:    cleanTable,
+		Chaos:    chaosTable,
+		Sessions: len(chaosCamp.Samples),
+	}
+	res.Retries, res.Torn, res.Fallbacks, res.BackoffSec = chaosCamp.ChaosTotals()
+	res.CleanEfficiency, res.CleanMBPerHour = campaignAggregates(cleanCamp)
+	res.ChaosEfficiency, res.ChaosMBPerHour = campaignAggregates(chaosCamp)
+	return res, nil
+}
+
+// campaignAggregates computes the campaign-wide mean efficiency and
+// MB/hour.
+func campaignAggregates(c *live.Campaign) (eff, mbPerHour float64) {
+	var effs []float64
+	var mb, sec float64
+	for _, s := range c.Samples {
+		effs = append(effs, s.Efficiency())
+		mb += s.MBMoved
+		sec += s.SessionSec
+	}
+	if len(effs) > 0 {
+		eff = stats.Mean(effs)
+	}
+	if sec > 0 {
+		mbPerHour = mb / (sec / 3600)
+	}
+	return eff, mbPerHour
+}

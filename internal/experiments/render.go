@@ -141,3 +141,23 @@ func RenderSamples(samples []live.Sample) string {
 	}
 	return b.String()
 }
+
+// RenderChaos renders the fault-injection experiment: clean vs chaos
+// per-model tables, the campaign-level deltas, and the resilience
+// counters.
+func RenderChaos(r *ChaosResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Chaos experiment: %d sessions over %s, clean vs fault-injected\n\n", r.Sessions, r.LinkName)
+	b.WriteString(RenderLiveTable(r.Clean))
+	b.WriteString("\n")
+	b.WriteString(RenderLiveTable(r.Chaos))
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-24s %10s %10s %10s\n", "Campaign aggregate", "Clean", "Chaos", "Delta")
+	fmt.Fprintf(&b, "%-24s %10.3f %10.3f %+10.3f\n",
+		"Efficiency", r.CleanEfficiency, r.ChaosEfficiency, r.EfficiencyDelta())
+	fmt.Fprintf(&b, "%-24s %10.0f %10.0f %+10.0f\n",
+		"Bandwidth (MB/hour)", r.CleanMBPerHour, r.ChaosMBPerHour, r.BandwidthDelta())
+	fmt.Fprintf(&b, "\nResilience: %d retries, %d torn transfers, %d schedule fallbacks, %.0f s in backoff\n",
+		r.Retries, r.Torn, r.Fallbacks, r.BackoffSec)
+	return b.String()
+}

@@ -109,6 +109,19 @@ type Sample struct {
 	Intervals, Checkpoints, Heartbeats int
 	// MeasuredCs are the per-transfer measured costs (recovery first).
 	MeasuredCs []float64
+	// Retries counts transfer attempts re-tried after a torn transfer
+	// (chaos campaigns only).
+	Retries int
+	// Torn counts transfer attempts that died partway.
+	Torn int
+	// Fallbacks counts intervals scheduled without a fresh T_opt — the
+	// manager was unreachable or every transfer retry failed, so the
+	// process degraded to its last assigned schedule (or the
+	// conservative exponential interval).
+	Fallbacks int
+	// BackoffSec is total virtual time spent waiting between transfer
+	// retries.
+	BackoffSec float64
 }
 
 // Efficiency is the run's committed-work fraction.
@@ -134,6 +147,33 @@ func (c *Campaign) ByModel() map[fit.Model][]Sample {
 		out[s.Model] = append(out[s.Model], s)
 	}
 	return out
+}
+
+// ChaosTotals sums the resilience counters across every sample — the
+// campaign-level retry/torn/fallback totals the chaos reports print.
+// All zero for a campaign run over a fault-free link.
+func (c *Campaign) ChaosTotals() (retries, torn, fallbacks int, backoffSec float64) {
+	for _, s := range c.Samples {
+		retries += s.Retries
+		torn += s.Torn
+		fallbacks += s.Fallbacks
+		backoffSec += s.BackoffSec
+	}
+	return
+}
+
+// chaosLink is the fault-injection surface a link may expose beyond
+// plain transfer times; ckptnet.ChaosLink implements it. When the
+// campaign's Link satisfies it the runner switches into resilient
+// mode: transfer attempts may tear and are retried with exponential
+// backoff, and a schedule recomputation may find the manager
+// unreachable, degrading the process onto its previous schedule.
+type chaosLink interface {
+	ckptnet.Link
+	Attempt(bytes int64, rng *rand.Rand) ckptnet.TransferAttempt
+	Unreachable(rng *rand.Rand) bool
+	MaxAttempts() int
+	BackoffSec(attempt int, rng *rand.Rand) float64
 }
 
 // RunCampaign executes the live experiment: SamplesPerModel runs for
@@ -181,6 +221,7 @@ func RunCampaign(cfg CampaignConfig) (*Campaign, error) {
 		samples:   make([]Sample, total),
 		total:     total,
 	}
+	r.chaos, _ = cfg.Link.(chaosLink)
 	conc := cfg.Concurrency
 	if conc <= 0 {
 		conc = 1
@@ -213,6 +254,7 @@ type runner struct {
 	fits      *fitCache
 	cfg       CampaignConfig
 	predictor *forecast.BandwidthPredictor
+	chaos     chaosLink // non-nil when the link injects faults
 
 	samples   []Sample
 	total     int
@@ -242,26 +284,31 @@ func (r *runner) fail(err error) {
 // makeJob builds one test process: an event-driven state machine that
 // measures its transfers over the link, recomputes T_opt each
 // interval, heartbeats while computing, and finalizes its sample on
-// eviction.
+// eviction. Over a chaosLink the machine gains two extra behaviors:
+// torn transfers are retried with exponential backoff (phaseBackoff),
+// and manager outages degrade the schedule to the last assigned
+// interval instead of aborting.
 func (r *runner) makeJob(idx int, model fit.Model) *condor.Job {
 	type phase int
 	const (
 		phaseRecovering phase = iota
 		phaseWorking
 		phaseCheckpointing
+		phaseBackoff
 	)
 
 	var (
-		s         Sample
-		d         dist.Distribution
-		start     float64
-		age       float64
-		measuredC float64
-		topt      float64
-		ph        phase
-		phaseT0   float64 // virtual time the current phase began
-		phaseDur  float64 // planned phase duration
-		pending   *condor.Event
+		s           Sample
+		d           dist.Distribution
+		start       float64
+		tel         float64
+		measuredC   float64
+		topt        float64
+		pendingWork float64 // work computed but not yet committed by a checkpoint
+		ph          phase
+		phaseT0     float64 // virtual time the current phase began
+		phaseDur    float64 // planned phase duration
+		pending     *condor.Event
 	)
 	s.Model = model
 	cfg := r.cfg
@@ -293,21 +340,85 @@ func (r *runner) makeJob(idx int, model fit.Model) *condor.Job {
 		}
 		return measuredC
 	}
+	// ageNow is the hosting resource's age: phases are contiguous in
+	// virtual time (including retry backoff), so age is always the
+	// allocation age plus the session's elapsed time.
+	ageNow := func() float64 { return tel + (clock.Now() - start) }
 
 	var beginWork func()
 	var beginCheckpoint func()
+	var doTransfer func(kind phase, attempt int, onDone, onFail func(sec float64))
+
+	// doTransfer moves one checkpoint image over the link. On a clean
+	// link it is exactly one draw from the transfer-time model. Over a
+	// chaosLink an attempt may tear partway; torn attempts are retried
+	// after exponential backoff, up to the link's MaxAttempts, after
+	// which onFail degrades the process (sec = the last attempt's
+	// estimated full duration, the process's best remaining cost
+	// estimate).
+	doTransfer = func(kind phase, attempt int, onDone, onFail func(sec float64)) {
+		if r.chaos == nil {
+			dur := cfg.Link.TransferTime(bytes, r.rng)
+			ph, phaseT0, phaseDur = kind, clock.Now(), dur
+			pending = clock.Schedule(dur, func() {
+				s.TransferSec += dur
+				s.MBMoved += cfg.CheckpointMB
+				onDone(dur)
+			})
+			return
+		}
+		a := r.chaos.Attempt(bytes, r.rng)
+		ph, phaseT0, phaseDur = kind, clock.Now(), a.FullSec
+		if !a.Torn {
+			pending = clock.Schedule(a.Sec, func() {
+				s.TransferSec += a.Sec
+				s.MBMoved += cfg.CheckpointMB
+				onDone(a.Sec)
+			})
+			return
+		}
+		pending = clock.Schedule(a.Sec, func() {
+			s.Torn++
+			s.TransferSec += a.Sec
+			if a.FullSec > 0 {
+				s.MBMoved += cfg.CheckpointMB * a.Sec / a.FullSec
+			}
+			if attempt >= r.chaos.MaxAttempts() {
+				onFail(a.FullSec)
+				return
+			}
+			s.Retries++
+			bo := r.chaos.BackoffSec(attempt, r.rng)
+			s.BackoffSec += bo
+			ph, phaseT0, phaseDur = phaseBackoff, clock.Now(), bo
+			pending = clock.Schedule(bo, func() {
+				doTransfer(kind, attempt+1, onDone, onFail)
+			})
+		})
+	}
 
 	beginWork = func() {
+		age := ageNow()
 		planC := planningC()
-		costs := markov.Costs{C: planC, R: planC, L: planC}
-		m := markov.Model{Avail: d, Costs: costs}
-		var err error
-		topt, _, err = m.Topt(age, markov.OptimizeOptions{})
-		if err != nil {
-			// No feasible interval under the planned cost (the model
-			// believes restart cannot complete): fall back to a
-			// minimal interval so the process keeps making progress.
-			topt = planC
+		if r.chaos != nil && r.chaos.Unreachable(r.rng) {
+			// Manager unreachable: degrade to the last assigned
+			// schedule rather than abort; a process that never got one
+			// falls back to the conservative exponential interval.
+			if topt <= 0 {
+				topt = r.conservativeTopt(planC, age)
+			}
+			s.Fallbacks++
+		} else {
+			costs := markov.Costs{C: planC, R: planC, L: planC}
+			m := markov.Model{Avail: d, Costs: costs}
+			var err error
+			topt, _, err = m.Topt(age, markov.OptimizeOptions{})
+			if err != nil {
+				// No feasible interval under the planned cost (the model
+				// believes restart cannot complete): fall back to a
+				// minimal interval so the process keeps making progress.
+				topt = planC
+			}
 		}
 		s.Intervals++
 		ph, phaseT0, phaseDur = phaseWorking, clock.Now(), topt
@@ -316,20 +427,28 @@ func (r *runner) makeJob(idx int, model fit.Model) *condor.Job {
 
 	beginCheckpoint = func() {
 		// Work interval finished; heartbeats were sent every
-		// HeartbeatSec during it.
+		// HeartbeatSec during it. The interval's work stays pending
+		// until a checkpoint transfer commits it.
 		s.Heartbeats += int(phaseDur / cfg.HeartbeatSec)
-		dur := cfg.Link.TransferTime(bytes, r.rng)
-		ph, phaseT0, phaseDur = phaseCheckpointing, clock.Now(), dur
-		pending = clock.Schedule(dur, func() {
-			// Checkpoint committed.
-			s.CommittedWork += topt
+		pendingWork += topt
+		doTransfer(phaseCheckpointing, 1, func(sec float64) {
+			// Checkpoint committed — including any work a previously
+			// abandoned checkpoint left uncommitted.
+			s.CommittedWork += pendingWork
+			pendingWork = 0
 			s.Checkpoints++
-			s.TransferSec += dur
-			s.MBMoved += cfg.CheckpointMB
-			s.MeasuredCs = append(s.MeasuredCs, dur)
-			measuredC = dur
-			observe(dur)
-			age += topt + dur
+			s.MeasuredCs = append(s.MeasuredCs, sec)
+			measuredC = sec
+			observe(sec)
+			beginWork()
+		}, func(est float64) {
+			// Checkpoint abandoned after bounded retries: keep
+			// computing on the degraded schedule; the work stays
+			// pending until the next checkpoint goes through.
+			if est > 0 {
+				measuredC = est
+			}
+			s.Fallbacks++
 			beginWork()
 		})
 	}
@@ -342,7 +461,7 @@ func (r *runner) makeJob(idx int, model fit.Model) *condor.Job {
 		s.Machine = a.Machine.Name
 		s.TElapsed = a.TElapsed
 		start = a.Start
-		age = a.TElapsed
+		tel = a.TElapsed
 		var fitErr error
 		d, fitErr = r.fits.fitFor(a.Machine.Name, model)
 		if fitErr != nil {
@@ -355,15 +474,16 @@ func (r *runner) makeJob(idx int, model fit.Model) *condor.Job {
 			return
 		}
 		// Initial recovery transfer, timed by the process.
-		dur := cfg.Link.TransferTime(bytes, r.rng)
-		ph, phaseT0, phaseDur = phaseRecovering, clock.Now(), dur
-		pending = clock.Schedule(dur, func() {
-			measuredC = dur
-			observe(dur)
-			s.TransferSec += dur
-			s.MBMoved += cfg.CheckpointMB
-			s.MeasuredCs = append(s.MeasuredCs, dur)
-			age += dur
+		doTransfer(phaseRecovering, 1, func(sec float64) {
+			measuredC = sec
+			observe(sec)
+			s.MeasuredCs = append(s.MeasuredCs, sec)
+			beginWork()
+		}, func(est float64) {
+			// Recovery abandoned after bounded retries: start computing
+			// from scratch, estimating the transfer cost from the torn
+			// attempts' observed throughput.
+			measuredC = est
 			beginWork()
 		})
 	}
@@ -379,16 +499,38 @@ func (r *runner) makeJob(idx int, model fit.Model) *condor.Job {
 				s.MBMoved += cfg.CheckpointMB * elapsed / phaseDur
 			}
 			if ph == phaseCheckpointing {
-				s.LostWork += topt
+				s.LostWork += pendingWork
 			}
 		case phaseWorking:
-			s.LostWork += elapsed
+			s.LostWork += pendingWork + elapsed
 			s.Heartbeats += int(elapsed / cfg.HeartbeatSec)
+		case phaseBackoff:
+			// Evicted while waiting to retry a transfer: any
+			// uncommitted work is lost with the machine.
+			s.LostWork += pendingWork
 		}
 		s.SessionSec = at - start
 		finalize(s)
 	}
 	return job
+}
+
+// conservativeTopt is the degraded-mode interval for a process with no
+// previously assigned schedule and no reachable manager: T_opt under
+// an exponential fit of the pooled availability archive — the
+// memoryless, most conservative member of the model family — with the
+// best available cost estimate.
+func (r *runner) conservativeTopt(planC, age float64) float64 {
+	if d, err := r.fits.conservative(); err == nil && planC > 0 {
+		m := markov.Model{Avail: d, Costs: markov.Costs{C: planC, R: planC, L: planC}}
+		if topt, _, err := m.Topt(age, markov.OptimizeOptions{}); err == nil && topt > 0 {
+			return topt
+		}
+	}
+	if planC > 0 {
+		return planC
+	}
+	return r.cfg.HeartbeatSec
 }
 
 // fitCache memoizes per-(machine, model) fits, with a pooled fallback
@@ -398,6 +540,9 @@ type fitCache struct {
 	minRecords int
 	pooled     []float64
 	cache      map[string]dist.Distribution
+	// consDist memoizes the exponential fit of the pooled archive, the
+	// degraded-mode fallback distribution.
+	consDist dist.Distribution
 }
 
 func newFitCache(history *trace.Set, minRecords int) (*fitCache, error) {
@@ -431,6 +576,20 @@ func (fc *fitCache) fitFor(machine string, model fit.Model) (dist.Distribution, 
 		return nil, err
 	}
 	fc.cache[key] = d
+	return d, nil
+}
+
+// conservative returns the exponential fit of the pooled archive,
+// fitting it on first use.
+func (fc *fitCache) conservative() (dist.Distribution, error) {
+	if fc.consDist != nil {
+		return fc.consDist, nil
+	}
+	d, err := fit.Fit(fit.ModelExponential, fc.pooled)
+	if err != nil {
+		return nil, err
+	}
+	fc.consDist = d
 	return d, nil
 }
 

@@ -341,3 +341,91 @@ func TestValidateErrors(t *testing.T) {
 		t.Error("empty campaign should error")
 	}
 }
+
+func TestRunCampaignChaosResilience(t *testing.T) {
+	// The issue's acceptance scenario, virtual-time edition: a
+	// 20-session campaign over a link that tears transfers and loses
+	// the manager must complete every session — degraded, not aborted —
+	// and report nonzero resilience counters.
+	machines, history := testbed(t, 20, 31)
+	chaos := ckptnet.ChaosLink{
+		Inner: ckptnet.CampusLink(),
+		Faults: ckptnet.LinkFaultConfig{
+			TearProb:   0.20,
+			StallProb:  0.10,
+			StallSec:   30,
+			OutageProb: 0.15,
+		},
+	}
+	run := func(link ckptnet.Link) *Campaign {
+		c, err := RunCampaign(CampaignConfig{
+			Machines:        machines,
+			History:         history,
+			Link:            link,
+			SamplesPerModel: 5,
+			Seed:            31,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	camp := run(chaos)
+	if len(camp.Samples) != 20 {
+		t.Fatalf("samples = %d, want 20 (no aborted sessions)", len(camp.Samples))
+	}
+	if camp.LinkName != "campus+chaos" {
+		t.Errorf("link = %q", camp.LinkName)
+	}
+	for i, s := range camp.Samples {
+		if s.Machine == "" || s.SessionSec <= 0 {
+			t.Errorf("sample %d did not complete: %+v", i, s)
+		}
+		if e := s.Efficiency(); e < 0 || e > 1 {
+			t.Errorf("sample %d efficiency %g", i, e)
+		}
+		// Time conservation still holds under chaos: committed + lost +
+		// transfer time never exceeds the session.
+		used := s.CommittedWork + s.LostWork + s.TransferSec
+		if used > s.SessionSec+1e-6 {
+			t.Errorf("sample %d: accounted %g > session %g", i, used, s.SessionSec)
+		}
+	}
+	retries, torn, fallbacks, backoff := camp.ChaosTotals()
+	if torn == 0 {
+		t.Error("no torn transfers at TearProb 0.20")
+	}
+	if retries == 0 || backoff <= 0 {
+		t.Errorf("no retry/backoff activity: retries=%d backoff=%g", retries, backoff)
+	}
+	if fallbacks == 0 {
+		t.Error("no schedule fallbacks at OutageProb 0.15")
+	}
+
+	// Chaos campaigns are as deterministic as clean ones.
+	camp2 := run(chaos)
+	for i := range camp.Samples {
+		a, b := camp.Samples[i], camp2.Samples[i]
+		if a.SessionSec != b.SessionSec || a.Retries != b.Retries ||
+			a.Torn != b.Torn || a.Fallbacks != b.Fallbacks || a.BackoffSec != b.BackoffSec {
+			t.Fatalf("chaos campaign not deterministic at sample %d", i)
+		}
+	}
+
+	// A clean link reports zero chaos activity, and injecting faults
+	// must not improve efficiency.
+	clean := run(ckptnet.CampusLink())
+	if r, tn, f, b := clean.ChaosTotals(); r != 0 || tn != 0 || f != 0 || b != 0 {
+		t.Errorf("clean campaign has chaos totals: %d %d %d %g", r, tn, f, b)
+	}
+	avgEff := func(c *Campaign) float64 {
+		sum := 0.0
+		for _, s := range c.Samples {
+			sum += s.Efficiency()
+		}
+		return sum / float64(len(c.Samples))
+	}
+	if ce, xe := avgEff(clean), avgEff(camp); xe > ce+0.02 {
+		t.Errorf("chaos efficiency %g implausibly above clean %g", xe, ce)
+	}
+}
