@@ -9,6 +9,7 @@ package ckptsched_test
 
 import (
 	"math/rand"
+	"strconv"
 	"sync"
 	"testing"
 
@@ -303,7 +304,7 @@ func BenchmarkAblationOptimizerBracket(b *testing.B) {
 		Costs: markov.Costs{C: 110, R: 110, L: 110},
 	}
 	for _, grid := range []int{8, 64, 256} {
-		b.Run(gridName(grid), func(b *testing.B) {
+		b.Run("grid-"+strconv.Itoa(grid), func(b *testing.B) {
 			var lastT float64
 			for b.Loop() {
 				T, _, err := m.Topt(700, markov.OptimizeOptions{GridPoints: grid})
@@ -317,17 +318,6 @@ func BenchmarkAblationOptimizerBracket(b *testing.B) {
 	}
 }
 
-func gridName(n int) string {
-	switch n {
-	case 8:
-		return "grid-8"
-	case 64:
-		return "grid-64"
-	default:
-		return "grid-256"
-	}
-}
-
 // BenchmarkAblationEMPhases measures hyperexponential EM fitting cost
 // as the phase count grows.
 func BenchmarkAblationEMPhases(b *testing.B) {
@@ -338,7 +328,7 @@ func BenchmarkAblationEMPhases(b *testing.B) {
 		data[i] = truth.Rand(rng)
 	}
 	for _, k := range []int{1, 2, 3, 4} {
-		b.Run("k="+string(rune('0'+k)), func(b *testing.B) {
+		b.Run("k="+strconv.Itoa(k), func(b *testing.B) {
 			var ll float64
 			for b.Loop() {
 				r, err := fit.Hyperexp(data, k, fit.EMOptions{})

@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -32,16 +34,61 @@ func main() {
 	csvDir := flag.String("csv", "", "also write figure series as CSV files into this directory")
 	concurrency := flag.Int("concurrency", 1, "concurrent live-experiment test processes (paper total times suggest ~4)")
 	chaos := flag.Bool("chaos", false, "shorthand for -run chaos: one live campaign under fault injection vs its clean twin")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	which := *run
 	if *chaos {
 		which = "chaos"
 	}
-	if err := runExperiments(which, *machines, *months, *samples, *seed, *csvDir, *concurrency); err != nil {
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err == nil {
+		err = runExperiments(which, *machines, *months, *samples, *seed, *csvDir, *concurrency)
+	}
+	stopProfiles()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ckpt-experiments:", err)
 		os.Exit(1)
 	}
+}
+
+// startProfiles begins CPU profiling and arranges a heap snapshot; the
+// returned stop function must run before exit (os.Exit skips defers,
+// so main sequences it explicitly).
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	stop = func() {}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return stop, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return stop, err
+		}
+		stop = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	if memPath != "" {
+		cpuStop := stop
+		stop = func() {
+			cpuStop()
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ckpt-experiments: memprofile:", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "ckpt-experiments: memprofile:", err)
+			}
+			f.Close()
+		}
+	}
+	return stop, nil
 }
 
 func runExperiments(which string, machines int, months float64, samples int, seed int64, csvDir string, concurrency int) error {

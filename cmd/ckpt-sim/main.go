@@ -11,6 +11,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"github.com/cycleharvest/ckptsched/internal/fit"
 	"github.com/cycleharvest/ckptsched/internal/markov"
@@ -26,12 +28,57 @@ func main() {
 	train := flag.Int("train", trace.DefaultTrainingSize, "training-prefix length")
 	minRec := flag.Int("min", 60, "minimum records per machine")
 	perMachine := flag.Bool("permachine", false, "print per-machine rows")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	if err := run(*path, *c, *size, *train, *minRec, *perMachine); err != nil {
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err == nil {
+		err = run(*path, *c, *size, *train, *minRec, *perMachine)
+	}
+	stopProfiles()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ckpt-sim:", err)
 		os.Exit(1)
 	}
+}
+
+// startProfiles begins CPU profiling and arranges a heap snapshot; the
+// returned stop function must run before exit (os.Exit skips defers,
+// so main sequences it explicitly).
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	stop = func() {}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return stop, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return stop, err
+		}
+		stop = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	if memPath != "" {
+		cpuStop := stop
+		stop = func() {
+			cpuStop()
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ckpt-sim: memprofile:", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "ckpt-sim: memprofile:", err)
+			}
+			f.Close()
+		}
+	}
+	return stop, nil
 }
 
 func run(path string, c, size float64, train, minRec int, perMachine bool) error {

@@ -134,3 +134,8 @@ func (c Conditional) Rand(rng *rand.Rand) float64 {
 func (c Conditional) Name() string {
 	return fmt.Sprintf("%s|age=%g", c.Base.Name(), c.Age)
 }
+
+// Memoryless implements the Memoryless capability by delegating to the
+// base: conditioning a memoryless law on age reproduces the law itself,
+// so the wrapper preserves (and must report) the property.
+func (c Conditional) Memoryless() bool { return IsMemoryless(c.Base) }

@@ -48,6 +48,27 @@ type Varer interface {
 	Var() float64
 }
 
+// Memoryless is an optional capability interface. A distribution whose
+// future-lifetime law is independent of age — the exponential family —
+// reports it by returning true. Wrappers that preserve the law (e.g.
+// Conditional) delegate to their base; wrappers that do not implement
+// the interface simply never claim the property, which is the safe
+// default.
+//
+// Consumers must detect the capability through IsMemoryless rather
+// than by inspecting Name(), so renaming a family or interposing a
+// wrapper cannot silently change scheduling behavior.
+type Memoryless interface {
+	Memoryless() bool
+}
+
+// IsMemoryless reports whether d declares itself memoryless via the
+// Memoryless capability interface.
+func IsMemoryless(d Distribution) bool {
+	m, ok := d.(Memoryless)
+	return ok && m.Memoryless()
+}
+
 // quantileByBisection inverts a CDF numerically. It is the generic
 // fallback used by families without a closed-form quantile.
 func quantileByBisection(cdf func(float64) float64, p float64) float64 {

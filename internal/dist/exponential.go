@@ -97,6 +97,10 @@ func (e Exponential) Rand(rng *rand.Rand) float64 {
 // Name implements Distribution.
 func (e Exponential) Name() string { return "exponential" }
 
+// Memoryless implements the Memoryless capability: the exponential is
+// the unique memoryless continuous lifetime law.
+func (e Exponential) Memoryless() bool { return true }
+
 // String returns a short human-readable description.
 func (e Exponential) String() string {
 	return fmt.Sprintf("Exponential(λ=%.6g)", e.Lambda)

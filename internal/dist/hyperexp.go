@@ -161,6 +161,11 @@ func (h Hyperexponential) Name() string {
 	return fmt.Sprintf("hyperexp%d", len(h.P))
 }
 
+// Memoryless implements the Memoryless capability: a one-phase
+// hyperexponential degenerates to a plain exponential; genuine
+// mixtures are age-dependent (their hazard decreases with age).
+func (h Hyperexponential) Memoryless() bool { return len(h.P) == 1 }
+
 // String returns a short human-readable description.
 func (h Hyperexponential) String() string {
 	var b strings.Builder

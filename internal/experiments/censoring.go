@@ -151,6 +151,11 @@ func RunCensoring(cfg CensoringConfig) (*CensoringResult, error) {
 	res := &CensoringResult{Config: cfg}
 	costs := markov.Costs{C: cfg.CTime, R: cfg.CTime, L: cfg.CTime}
 	simCfg := sim.Config{Costs: costs, CheckpointMB: PaperCheckpointMB}
+	// Uncensored strategy fits flow through one cache keyed
+	// (machine, strategy): every entry is distinct today, but the cache
+	// preserves the fit-once contract if the machine loop is ever
+	// parallelized or a strategy re-asks for a fit.
+	fits := fit.NewCache()
 
 	// Per-(strategy, model) accumulators.
 	type key struct {
@@ -181,7 +186,7 @@ func RunCensoring(cfg CensoringConfig) (*CensoringResult, error) {
 
 		for _, strategy := range CensoringStrategies {
 			for _, model := range fit.Models {
-				d, err := fitWithStrategy(strategy, model, durs, flags, trainLong)
+				d, err := fitWithStrategy(fits, name, strategy, model, durs, flags, trainLong)
 				if err != nil {
 					continue // strategy may be infeasible (e.g. drop leaves nothing)
 				}
@@ -219,7 +224,8 @@ func RunCensoring(cfg CensoringConfig) (*CensoringResult, error) {
 	return res, nil
 }
 
-func fitWithStrategy(s CensoringStrategy, m fit.Model, durs []float64, flags []bool, trainLong []float64) (dist.Distribution, error) {
+func fitWithStrategy(fits *fit.Cache, machine string, s CensoringStrategy, m fit.Model, durs []float64, flags []bool, trainLong []float64) (dist.Distribution, error) {
+	key := machine + "/" + s.String()
 	switch s {
 	case CensorDrop:
 		var kept []float64
@@ -228,17 +234,19 @@ func fitWithStrategy(s CensoringStrategy, m fit.Model, durs []float64, flags []b
 				kept = append(kept, d)
 			}
 		}
-		return fit.Fit(m, kept)
+		return fits.Fit(key, m, kept)
 	case CensorNaive:
-		return fit.Fit(m, durs)
+		return fits.Fit(key, m, durs)
 	case CensorAware:
+		// Censoring-aware estimation has its own entry point and stays
+		// outside the cache (Cache memoizes the exact-lifetime Fit).
 		obs := make([]fit.Observation, len(durs))
 		for i := range durs {
 			obs[i] = fit.Observation{Value: durs[i], Censored: flags[i]}
 		}
 		return fit.FitCensored(m, obs)
 	case CensorLongTrain:
-		return fit.Fit(m, trainLong)
+		return fits.Fit(key, m, trainLong)
 	}
 	return nil, fmt.Errorf("experiments: unknown strategy %v", s)
 }

@@ -105,8 +105,12 @@ func RunSensitivity(cfg SensitivityConfig) (*SensitivityResult, error) {
 	simCfg := sim.Config{Costs: costs, CheckpointMB: PaperCheckpointMB}
 
 	res := &SensitivityResult{Config: cfg}
+	// All models share one training prefix; the cache keys it once so a
+	// future parallel variant of the perturbation grid keeps the
+	// fit-once discipline for free.
+	fits := fit.NewCache()
 	for _, model := range fit.Models {
-		fitted, err := fit.Fit(model, train)
+		fitted, err := fits.Fit("train", model, train)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: sensitivity fit %v: %w", model, err)
 		}

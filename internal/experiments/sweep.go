@@ -31,6 +31,14 @@ type Sweep struct {
 // (machine, C) pair is an independent task (the hpc-parallel sweet
 // spot — coarse tasks, no shared mutable state, results written to
 // pre-sized slices).
+//
+// Each (machine, model) pair is fitted exactly once, through a shared
+// fit.Cache keyed by machine name, and the fitted distribution is
+// reused across the entire checkpoint-duration axis via sim.RunFitted.
+// The cache is single-flight, so even when several workers reach the
+// same machine at different C values simultaneously the EM fit runs
+// once and everyone else blocks on it; the fit itself is deterministic,
+// so the results are identical to the refit-every-time protocol.
 func RunSweep(w *Workload, ctimes []float64, checkpointMB float64) (*Sweep, error) {
 	if len(ctimes) == 0 {
 		ctimes = PaperCTimes
@@ -51,6 +59,7 @@ func RunSweep(w *Workload, ctimes []float64, checkpointMB float64) (*Sweep, erro
 		s.MB[model] = grid(len(ctimes), len(w.Data))
 	}
 
+	fits := fit.NewCache()
 	type task struct {
 		ci, mi int
 	}
@@ -67,17 +76,25 @@ func RunSweep(w *Workload, ctimes []float64, checkpointMB float64) (*Sweep, erro
 				md := w.Data[t.mi]
 				costs := markov.Costs{C: ctimes[t.ci], R: ctimes[t.ci], L: ctimes[t.ci]}
 				for _, model := range fit.Models {
-					run, err := sim.RunModel(md.Train, md.Test, model, sim.Config{
-						Costs:        costs,
-						CheckpointMB: checkpointMB,
-					})
-					if err != nil {
+					fail := func(err error) {
 						mu.Lock()
 						if firstErr == nil {
 							firstErr = fmt.Errorf("experiments: %s C=%g %v: %w",
 								md.Machine, ctimes[t.ci], model, err)
 						}
 						mu.Unlock()
+					}
+					d, err := fits.Fit(md.Machine, model, md.Train)
+					if err != nil {
+						fail(fmt.Errorf("fit: %w", err))
+						continue
+					}
+					run, err := sim.RunFitted(d, model, md.Test, sim.Config{
+						Costs:        costs,
+						CheckpointMB: checkpointMB,
+					})
+					if err != nil {
+						fail(err)
 						continue
 					}
 					s.Efficiency[model][t.ci][t.mi] = run.Result.Efficiency()

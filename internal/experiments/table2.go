@@ -87,24 +87,27 @@ func RunTable2(cfg Table2Config) (*Table2Result, error) {
 	first25 := durations[:trace.DefaultTrainingSize]
 
 	res := &Table2Result{Shape: cfg.Shape, Scale: cfg.Scale, N: cfg.N}
+	// Fit-once: the training sets do not depend on the checkpoint cost,
+	// so each (model, training-set) pair is fitted a single time and
+	// shared across the C-time axis through the cache.
+	fits := fit.NewCache()
+	fitFor := func(model fit.Model, all bool) (dist.Distribution, error) {
+		if model == fit.ModelWeibull {
+			return truth, nil // the exact generating model
+		}
+		if all {
+			return fits.Fit("all", model, durations)
+		}
+		return fits.Fit("first25", model, first25)
+	}
 	for _, ctime := range cfg.CTimes {
 		costs := markov.Costs{C: ctime, R: ctime, L: ctime}
 		simCfg := sim.Config{Costs: costs, CheckpointMB: PaperCheckpointMB}
 		for _, model := range fit.Models {
 			for _, all := range []bool{true, false} {
-				var d dist.Distribution
-				if model == fit.ModelWeibull {
-					d = truth // the exact generating model
-				} else {
-					data := first25
-					if all {
-						data = durations
-					}
-					var err error
-					d, err = fit.Fit(model, data)
-					if err != nil {
-						return nil, fmt.Errorf("experiments: table2 fit %v: %w", model, err)
-					}
+				d, err := fitFor(model, all)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: table2 fit %v: %w", model, err)
 				}
 				eff, err := simulateWith(d, durations, simCfg)
 				if err != nil {

@@ -12,12 +12,35 @@
 // same 18-month trace archive the occupancy monitors collected —
 // matching the paper's experimental protocol, including its
 // right-censoring artifacts (§5.3).
+//
+// # Execution model
+//
+// A campaign runs in two phases. The allocation pre-pass plays the
+// pool's discrete-event loop with "ghost" jobs — placeholders that
+// occupy machines exactly as the real test processes would but do no
+// session work — to learn every sample's placement: (machine, start
+// time, T_elapsed, eviction time). This is exact, not approximate: the
+// pool draws its RNG only on machine idle/busy transitions, an idle
+// period's length is fixed the moment it begins, and a Vanilla job
+// holds its machine from placement to owner reclaim, so the machine
+// timeline and matchmaking sequence are independent of anything a job
+// does between those two instants.
+//
+// The replay phase then simulates each sample's session — the
+// recover/work/checkpoint state machine — on a private virtual clock
+// with a private RNG derived from (campaign seed, sample index). The
+// sessions share no mutable state, so they run on a bounded worker
+// pool; because each task's RNG stream and allocation are fixed ahead
+// of time and results land in a pre-sized slice by index, the campaign
+// is bit-identical at any GOMAXPROCS and any worker count.
 package live
 
 import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"github.com/cycleharvest/ckptsched/internal/ckptnet"
 	"github.com/cycleharvest/ckptsched/internal/condor"
@@ -63,7 +86,8 @@ type CampaignConfig struct {
 	// transfer time (the simpler estimator the paper's live test
 	// process uses). The predictor learns from every completed
 	// transfer across the whole campaign, since all processes share
-	// one path to the manager.
+	// one path to the manager — which is why forecast campaigns replay
+	// their sessions in submission order rather than in parallel.
 	UseForecast bool
 	// Seed makes the campaign deterministic.
 	Seed int64
@@ -176,6 +200,29 @@ type chaosLink interface {
 	BackoffSec(attempt int, rng *rand.Rand) float64
 }
 
+// modelFor returns the model family assigned to sample idx: submissions
+// rotate across the four families exactly as the paper alternates its
+// test processes.
+func modelFor(idx int) fit.Model {
+	return fit.Models[idx%len(fit.Models)]
+}
+
+// taskSeed derives sample idx's private RNG seed from the campaign
+// seed via a splitmix64 round, so per-sample streams are decorrelated
+// and independent of execution order. This derivation is part of the
+// campaign's determinism contract: the sequence of random draws a
+// session sees depends only on (Seed, idx), never on which worker ran
+// it or when.
+func taskSeed(seed int64, idx int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(idx+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
 // RunCampaign executes the live experiment: SamplesPerModel runs for
 // each of the four models, rotating model assignment across
 // submissions exactly as the paper alternates its test processes.
@@ -183,6 +230,11 @@ type chaosLink interface {
 // simultaneously, contending for pool machines the way the paper's
 // overlapping submissions did (its per-table total time far exceeds
 // the 2-day experimental window).
+//
+// The campaign is deterministic for a fixed config: the allocation
+// pre-pass fixes every sample's placement, and each session replays on
+// a private RNG seeded from (Seed, sample index), so the result is
+// bit-identical regardless of GOMAXPROCS or scheduling order.
 func RunCampaign(cfg CampaignConfig) (*Campaign, error) {
 	cfg.setDefaults()
 	if len(cfg.Machines) == 0 {
@@ -198,30 +250,136 @@ func RunCampaign(cfg CampaignConfig) (*Campaign, error) {
 		return nil, errors.New("live: SamplesPerModel must be positive")
 	}
 
-	pool, err := condor.NewPool(cfg.Machines, cfg.Seed)
-	if err != nil {
-		return nil, err
-	}
 	fits, err := newFitCache(cfg.History, cfg.MinHistory)
 	if err != nil {
 		return nil, err
 	}
-	var predictor *forecast.BandwidthPredictor
-	if cfg.UseForecast {
-		predictor = forecast.NewBandwidthPredictor()
+
+	allocs, err := planAllocations(cfg, fits)
+	if err != nil {
+		return nil, err
 	}
 
-	total := cfg.SamplesPerModel * len(fit.Models)
-	r := &runner{
-		pool:      pool,
-		rng:       rand.New(rand.NewSource(cfg.Seed + 1)),
-		fits:      fits,
-		cfg:       cfg,
-		predictor: predictor,
-		samples:   make([]Sample, total),
-		total:     total,
+	total := len(allocs)
+	samples := make([]Sample, total)
+	chaos, _ := cfg.Link.(chaosLink)
+
+	if cfg.UseForecast {
+		// The bandwidth predictor learns from every completed transfer
+		// across the campaign, coupling the sessions; replay them
+		// sequentially in submission order so the learning sequence is
+		// well-defined (and still deterministic).
+		predictor := forecast.NewBandwidthPredictor()
+		for idx := range allocs {
+			rng := rand.New(rand.NewSource(taskSeed(cfg.Seed, idx)))
+			s, err := runSession(cfg, chaos, fits, predictor, idx, allocs[idx], rng)
+			if err != nil {
+				return nil, err
+			}
+			samples[idx] = s
+		}
+		return &Campaign{LinkName: cfg.Link.Name(), Samples: samples}, nil
 	}
-	r.chaos, _ = cfg.Link.(chaosLink)
+
+	// Sessions are independent: fan out over a bounded worker pool.
+	workers := min(runtime.GOMAXPROCS(0), total)
+	errs := make([]error, total)
+	idxc := make(chan int)
+	var wg sync.WaitGroup
+	for range workers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range idxc {
+				rng := rand.New(rand.NewSource(taskSeed(cfg.Seed, idx)))
+				samples[idx], errs[idx] = runSession(cfg, chaos, fits, nil, idx, allocs[idx], rng)
+			}
+		}()
+	}
+	for idx := range allocs {
+		idxc <- idx
+	}
+	close(idxc)
+	wg.Wait()
+	// Resolve a failure deterministically: the smallest failing index
+	// wins, independent of worker interleaving.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Campaign{LinkName: cfg.Link.Name(), Samples: samples}, nil
+}
+
+// allocation is one sample's placement, learned by the pre-pass: which
+// machine hosted it, when it started, how long the machine had been
+// idle, and when the owner reclaimed it.
+type allocation struct {
+	machine condor.Machine
+	start   float64
+	tel     float64
+	evictAt float64
+}
+
+// planAllocations plays the pool's event loop with ghost jobs to learn
+// every sample's (machine, start, T_elapsed, eviction) tuple. Ghosts
+// reproduce the real submission protocol exactly — Concurrency jobs in
+// flight, each eviction submitting the next pending sample from the
+// event loop — and occupy machines from placement to reclaim, which is
+// all the pool ever observes of a job. Model fits are validated here
+// too (first failing allocation in event order aborts, matching the
+// in-loop protocol), so the replay phase cannot fail on fits.
+func planAllocations(cfg CampaignConfig, fits *fitCache) ([]allocation, error) {
+	pool, err := condor.NewPool(cfg.Machines, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	total := cfg.SamplesPerModel * len(fit.Models)
+	allocs := make([]allocation, total)
+	clock := pool.Clock()
+
+	var (
+		nextIdx   int
+		completed int
+		failErr   error
+	)
+	var submitNext func() error
+	ghost := func(idx int) *condor.Job {
+		model := modelFor(idx)
+		job := &condor.Job{
+			Name:       fmt.Sprintf("testproc-%04d-%s", idx, model),
+			RequiresMB: cfg.RequiresMB,
+		}
+		job.OnStart = func(a condor.Alloc) {
+			allocs[idx] = allocation{machine: a.Machine, start: a.Start, tel: a.TElapsed}
+			if _, fitErr := fits.fitFor(a.Machine.Name, model); fitErr != nil && failErr == nil {
+				// A broken archive is a configuration error; abort with
+				// the first allocation that trips over it.
+				failErr = fmt.Errorf("live: sample %d (%v): %w", idx, model, fitErr)
+			}
+		}
+		job.OnEvict = func(at float64) {
+			allocs[idx].evictAt = at
+			completed++
+			// Submit the successor from the event loop (pool methods
+			// must not be called synchronously from job hooks).
+			clock.Schedule(0, func() {
+				if err := submitNext(); err != nil && failErr == nil {
+					failErr = err
+				}
+			})
+		}
+		return job
+	}
+	submitNext = func() error {
+		if nextIdx >= total {
+			return nil
+		}
+		idx := nextIdx
+		nextIdx++
+		return pool.Submit(ghost(idx))
+	}
+
 	conc := cfg.Concurrency
 	if conc <= 0 {
 		conc = 1
@@ -230,65 +388,33 @@ func RunCampaign(cfg CampaignConfig) (*Campaign, error) {
 		conc = total
 	}
 	for range conc {
-		if err := r.submitNext(); err != nil {
+		if err := submitNext(); err != nil {
 			return nil, err
 		}
 	}
-	clock := pool.Clock()
-	for r.completed < r.total && r.err == nil {
+	for completed < total && failErr == nil {
 		if !clock.Step() {
 			return nil, errors.New("live: pool ran out of events before the campaign completed")
 		}
 	}
-	if r.err != nil {
-		return nil, r.err
+	if failErr != nil {
+		return nil, failErr
 	}
-	return &Campaign{LinkName: cfg.Link.Name(), Samples: r.samples}, nil
+	return allocs, nil
 }
 
-// runner drives a campaign's test processes through the pool's event
-// loop, keeping up to Concurrency of them in flight.
-type runner struct {
-	pool      *condor.Pool
-	rng       *rand.Rand
-	fits      *fitCache
-	cfg       CampaignConfig
-	predictor *forecast.BandwidthPredictor
-	chaos     chaosLink // non-nil when the link injects faults
-
-	samples   []Sample
-	total     int
-	nextIdx   int
-	completed int
-	err       error
-}
-
-// submitNext queues the next pending test process, if any.
-func (r *runner) submitNext() error {
-	if r.nextIdx >= r.total {
-		return nil
-	}
-	idx := r.nextIdx
-	r.nextIdx++
-	model := fit.Models[idx%len(fit.Models)]
-	return r.pool.Submit(r.makeJob(idx, model))
-}
-
-// fail aborts the campaign from inside the event loop.
-func (r *runner) fail(err error) {
-	if r.err == nil {
-		r.err = err
-	}
-}
-
-// makeJob builds one test process: an event-driven state machine that
-// measures its transfers over the link, recomputes T_opt each
-// interval, heartbeats while computing, and finalizes its sample on
-// eviction. Over a chaosLink the machine gains two extra behaviors:
-// torn transfers are retried with exponential backoff (phaseBackoff),
-// and manager outages degrade the schedule to the last assigned
-// interval instead of aborting.
-func (r *runner) makeJob(idx int, model fit.Model) *condor.Job {
+// runSession simulates one test process's session — the
+// recover/work/checkpoint state machine between placement and
+// eviction — on a private virtual clock starting at 0 (session times
+// are relative; nothing in a session depends on absolute pool time).
+// It is the unit of replay-phase parallelism: everything it touches is
+// private except the concurrency-safe fit cache and, for forecast
+// campaigns, the shared predictor (in which case sessions run
+// sequentially). Over a chaosLink the machine gains two extra
+// behaviors: torn transfers are retried with exponential backoff
+// (phaseBackoff), and manager outages degrade the schedule to the last
+// assigned interval instead of aborting.
+func runSession(cfg CampaignConfig, chaos chaosLink, fits *fitCache, predictor *forecast.BandwidthPredictor, idx int, al allocation, rng *rand.Rand) (Sample, error) {
 	type phase int
 	const (
 		phaseRecovering phase = iota
@@ -299,9 +425,8 @@ func (r *runner) makeJob(idx int, model fit.Model) *condor.Job {
 
 	var (
 		s           Sample
-		d           dist.Distribution
-		start       float64
-		tel         float64
+		clock       condor.Clock
+		evicted     bool
 		measuredC   float64
 		topt        float64
 		pendingWork float64 // work computed but not yet committed by a checkpoint
@@ -310,31 +435,29 @@ func (r *runner) makeJob(idx int, model fit.Model) *condor.Job {
 		phaseDur    float64 // planned phase duration
 		pending     *condor.Event
 	)
+	model := modelFor(idx)
 	s.Model = model
-	cfg := r.cfg
-	clock := r.pool.Clock()
+	s.Machine = al.machine.Name
+	s.TElapsed = al.tel
+	tel := al.tel
+	sessionLen := al.evictAt - al.start
 	bytes := int64(cfg.CheckpointMB * ckptnet.MB)
 
-	finalize := func(sample Sample) {
-		r.samples[idx] = sample
-		r.completed++
-		// Submit the successor from the event loop (pool methods must
-		// not be called synchronously from job hooks).
-		clock.Schedule(0, func() {
-			if err := r.submitNext(); err != nil {
-				r.fail(err)
-			}
-		})
+	d, fitErr := fits.fitFor(al.machine.Name, model)
+	if fitErr != nil {
+		// Unreachable in practice: the allocation pre-pass validated
+		// this exact fit and the cache memoizes it.
+		return Sample{}, fmt.Errorf("live: sample %d (%v): %w", idx, model, fitErr)
 	}
 
 	observe := func(sec float64) {
-		if r.predictor != nil {
-			r.predictor.Observe(bytes, sec)
+		if predictor != nil {
+			predictor.Observe(bytes, sec)
 		}
 	}
 	planningC := func() float64 {
-		if r.predictor != nil {
-			if sec, err := r.predictor.PredictTransferSec(bytes); err == nil {
+		if predictor != nil {
+			if sec, err := predictor.PredictTransferSec(bytes); err == nil {
 				return sec
 			}
 		}
@@ -343,7 +466,7 @@ func (r *runner) makeJob(idx int, model fit.Model) *condor.Job {
 	// ageNow is the hosting resource's age: phases are contiguous in
 	// virtual time (including retry backoff), so age is always the
 	// allocation age plus the session's elapsed time.
-	ageNow := func() float64 { return tel + (clock.Now() - start) }
+	ageNow := func() float64 { return tel + clock.Now() }
 
 	var beginWork func()
 	var beginCheckpoint func()
@@ -357,8 +480,8 @@ func (r *runner) makeJob(idx int, model fit.Model) *condor.Job {
 	// estimated full duration, the process's best remaining cost
 	// estimate).
 	doTransfer = func(kind phase, attempt int, onDone, onFail func(sec float64)) {
-		if r.chaos == nil {
-			dur := cfg.Link.TransferTime(bytes, r.rng)
+		if chaos == nil {
+			dur := cfg.Link.TransferTime(bytes, rng)
 			ph, phaseT0, phaseDur = kind, clock.Now(), dur
 			pending = clock.Schedule(dur, func() {
 				s.TransferSec += dur
@@ -367,7 +490,7 @@ func (r *runner) makeJob(idx int, model fit.Model) *condor.Job {
 			})
 			return
 		}
-		a := r.chaos.Attempt(bytes, r.rng)
+		a := chaos.Attempt(bytes, rng)
 		ph, phaseT0, phaseDur = kind, clock.Now(), a.FullSec
 		if !a.Torn {
 			pending = clock.Schedule(a.Sec, func() {
@@ -383,12 +506,12 @@ func (r *runner) makeJob(idx int, model fit.Model) *condor.Job {
 			if a.FullSec > 0 {
 				s.MBMoved += cfg.CheckpointMB * a.Sec / a.FullSec
 			}
-			if attempt >= r.chaos.MaxAttempts() {
+			if attempt >= chaos.MaxAttempts() {
 				onFail(a.FullSec)
 				return
 			}
 			s.Retries++
-			bo := r.chaos.BackoffSec(attempt, r.rng)
+			bo := chaos.BackoffSec(attempt, rng)
 			s.BackoffSec += bo
 			ph, phaseT0, phaseDur = phaseBackoff, clock.Now(), bo
 			pending = clock.Schedule(bo, func() {
@@ -400,12 +523,12 @@ func (r *runner) makeJob(idx int, model fit.Model) *condor.Job {
 	beginWork = func() {
 		age := ageNow()
 		planC := planningC()
-		if r.chaos != nil && r.chaos.Unreachable(r.rng) {
+		if chaos != nil && chaos.Unreachable(rng) {
 			// Manager unreachable: degrade to the last assigned
 			// schedule rather than abort; a process that never got one
 			// falls back to the conservative exponential interval.
 			if topt <= 0 {
-				topt = r.conservativeTopt(planC, age)
+				topt = conservativeTopt(fits, cfg.HeartbeatSec, planC, age)
 			}
 			s.Fallbacks++
 		} else {
@@ -453,44 +576,14 @@ func (r *runner) makeJob(idx int, model fit.Model) *condor.Job {
 		})
 	}
 
-	job := &condor.Job{
-		Name:       fmt.Sprintf("testproc-%04d-%s", idx, model),
-		RequiresMB: cfg.RequiresMB,
-	}
-	job.OnStart = func(a condor.Alloc) {
-		s.Machine = a.Machine.Name
-		s.TElapsed = a.TElapsed
-		start = a.Start
-		tel = a.TElapsed
-		var fitErr error
-		d, fitErr = r.fits.fitFor(a.Machine.Name, model)
-		if fitErr != nil {
-			// Release the machine from the event loop and abort the
-			// campaign; a broken archive is a configuration error.
-			pending = clock.Schedule(0, func() {
-				_ = r.pool.Complete(job)
-				r.fail(fmt.Errorf("live: sample %d (%v): %w", idx, model, fitErr))
-			})
-			return
-		}
-		// Initial recovery transfer, timed by the process.
-		doTransfer(phaseRecovering, 1, func(sec float64) {
-			measuredC = sec
-			observe(sec)
-			s.MeasuredCs = append(s.MeasuredCs, sec)
-			beginWork()
-		}, func(est float64) {
-			// Recovery abandoned after bounded retries: start computing
-			// from scratch, estimating the transfer cost from the torn
-			// attempts' observed throughput.
-			measuredC = est
-			beginWork()
-		})
-	}
-	job.OnEvict = func(at float64) {
+	// Schedule the eviction before any session event so that, at equal
+	// timestamps, the owner's reclaim outranks session activity (FIFO
+	// tie-break) — the same precedence the pool gives it.
+	clock.Schedule(sessionLen, func() {
 		if pending != nil {
 			pending.Cancel()
 		}
+		at := clock.Now()
 		elapsed := at - phaseT0
 		switch ph {
 		case phaseRecovering, phaseCheckpointing:
@@ -509,10 +602,30 @@ func (r *runner) makeJob(idx int, model fit.Model) *condor.Job {
 			// uncommitted work is lost with the machine.
 			s.LostWork += pendingWork
 		}
-		s.SessionSec = at - start
-		finalize(s)
+		s.SessionSec = at
+		evicted = true
+	})
+
+	// Initial recovery transfer, timed by the process.
+	doTransfer(phaseRecovering, 1, func(sec float64) {
+		measuredC = sec
+		observe(sec)
+		s.MeasuredCs = append(s.MeasuredCs, sec)
+		beginWork()
+	}, func(est float64) {
+		// Recovery abandoned after bounded retries: start computing
+		// from scratch, estimating the transfer cost from the torn
+		// attempts' observed throughput.
+		measuredC = est
+		beginWork()
+	})
+
+	for !evicted && clock.Step() {
 	}
-	return job
+	if !evicted {
+		return Sample{}, fmt.Errorf("live: sample %d (%v): session ran out of events before eviction", idx, model)
+	}
+	return s, nil
 }
 
 // conservativeTopt is the degraded-mode interval for a process with no
@@ -520,8 +633,8 @@ func (r *runner) makeJob(idx int, model fit.Model) *condor.Job {
 // an exponential fit of the pooled availability archive — the
 // memoryless, most conservative member of the model family — with the
 // best available cost estimate.
-func (r *runner) conservativeTopt(planC, age float64) float64 {
-	if d, err := r.fits.conservative(); err == nil && planC > 0 {
+func conservativeTopt(fits *fitCache, heartbeatSec, planC, age float64) float64 {
+	if d, err := fits.conservative(); err == nil && planC > 0 {
 		m := markov.Model{Avail: d, Costs: markov.Costs{C: planC, R: planC, L: planC}}
 		if topt, _, err := m.Topt(age, markov.OptimizeOptions{}); err == nil && topt > 0 {
 			return topt
@@ -530,19 +643,24 @@ func (r *runner) conservativeTopt(planC, age float64) float64 {
 	if planC > 0 {
 		return planC
 	}
-	return r.cfg.HeartbeatSec
+	return heartbeatSec
 }
 
 // fitCache memoizes per-(machine, model) fits, with a pooled fallback
-// for machines lacking history.
+// for machines lacking history. It wraps the concurrency-safe
+// fit.Cache, so replay-phase workers can share it: each (machine,
+// model) pair is fitted at most once across the whole campaign, and
+// concurrent first requests single-flight instead of refitting.
 type fitCache struct {
 	history    *trace.Set
 	minRecords int
 	pooled     []float64
-	cache      map[string]dist.Distribution
-	// consDist memoizes the exponential fit of the pooled archive, the
-	// degraded-mode fallback distribution.
+	cache      *fit.Cache
+	// conservative() memoizes the exponential fit of the pooled
+	// archive, the degraded-mode fallback distribution.
+	consOnce sync.Once
 	consDist dist.Distribution
+	consErr  error
 }
 
 func newFitCache(history *trace.Set, minRecords int) (*fitCache, error) {
@@ -557,42 +675,25 @@ func newFitCache(history *trace.Set, minRecords int) (*fitCache, error) {
 		history:    history,
 		minRecords: minRecords,
 		pooled:     pooled,
-		cache:      make(map[string]dist.Distribution),
+		cache:      fit.NewCache(),
 	}, nil
 }
 
-// fitFor returns the fitted distribution for machine under model.
+// fitFor returns the fitted distribution for machine under model. Safe
+// for concurrent use.
 func (fc *fitCache) fitFor(machine string, model fit.Model) (dist.Distribution, error) {
-	key := machine + "/" + model.String()
-	if d, ok := fc.cache[key]; ok {
-		return d, nil
-	}
 	data := fc.pooled
 	if tr, ok := fc.history.Traces[machine]; ok && tr.Len() >= fc.minRecords {
 		data = tr.Durations()
 	}
-	d, err := fit.Fit(model, data)
-	if err != nil {
-		return nil, err
-	}
-	fc.cache[key] = d
-	return d, nil
+	return fc.cache.Fit(machine, model, data)
 }
 
 // conservative returns the exponential fit of the pooled archive,
-// fitting it on first use.
+// fitting it on first use. Safe for concurrent use.
 func (fc *fitCache) conservative() (dist.Distribution, error) {
-	if fc.consDist != nil {
-		return fc.consDist, nil
-	}
-	d, err := fit.Fit(fit.ModelExponential, fc.pooled)
-	if err != nil {
-		return nil, err
-	}
-	fc.consDist = d
-	return d, nil
+	fc.consOnce.Do(func() {
+		fc.consDist, fc.consErr = fit.Fit(fit.ModelExponential, fc.pooled)
+	})
+	return fc.consDist, fc.consErr
 }
-
-// runOne submits one test process and plays its session to completion
-// under the pool's virtual clock. predictor may be nil (schedule with
-// the last measured transfer cost).

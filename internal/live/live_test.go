@@ -1,7 +1,10 @@
 package live
 
 import (
+	"bytes"
+	"encoding/json"
 	"math"
+	"runtime"
 	"testing"
 
 	"github.com/cycleharvest/ckptsched/internal/ckptnet"
@@ -427,5 +430,40 @@ func TestRunCampaignChaosResilience(t *testing.T) {
 	}
 	if ce, xe := avgEff(clean), avgEff(camp); xe > ce+0.02 {
 		t.Errorf("chaos efficiency %g implausibly above clean %g", xe, ce)
+	}
+}
+
+// TestRunCampaignGOMAXPROCSDeterminism pins the campaign's parallelism
+// contract: because every replay task derives its own RNG stream and
+// writes to its own result slot, the campaign is byte-identical no
+// matter how many OS threads the worker pool actually gets.
+func TestRunCampaignGOMAXPROCSDeterminism(t *testing.T) {
+	machines, history := testbed(t, 16, 11)
+	cfg := CampaignConfig{
+		Machines:        machines,
+		History:         history,
+		Link:            ckptnet.CampusLink(),
+		CheckpointMB:    500,
+		SamplesPerModel: 4,
+		Concurrency:     3,
+		Seed:            11,
+	}
+	runAt := func(procs int) []byte {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		c, err := RunCampaign(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	serial := runAt(1)
+	parallel := runAt(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatal("campaign results differ between GOMAXPROCS=1 and GOMAXPROCS=8")
 	}
 }

@@ -190,10 +190,130 @@ var ErrDegenerate = errors.New("markov: no feasible work interval")
 // Search from Numerical Recipes).
 func (m Model) Topt(age float64, opts OptimizeOptions) (T, ratio float64, err error) {
 	opts.setDefaults()
-	f := func(t float64) float64 { return m.OverheadRatio(t, age) }
-	T, ratio = mathx.MinimizeScanGolden(f, opts.TMin, opts.TMax, opts.GridPoints, opts.Tol)
+	e := m.evaluator(age)
+	T, ratio = mathx.MinimizeScanGolden(e.ratio, opts.TMin, opts.TMax, opts.GridPoints, opts.Tol)
 	if math.IsInf(ratio, 1) || math.IsNaN(ratio) {
 		return 0, 0, ErrDegenerate
 	}
 	return T, ratio, nil
+}
+
+// warmMinSurvival bounds where the warm-start search is trusted. Deep
+// in the availability law's tail (S(age) below this), the conditional
+// Γ arithmetic divides by a vanishing survival mass: the objective
+// flattens into numerical noise, grows spurious basins, and its global
+// argmin can jump far beyond any local window — the one regime where
+// tracking the previous optimum silently diverges from the full scan.
+// The cold 64-point scan is the reference there.
+const warmMinSurvival = 1e-6
+
+// toptWarm is the warm-start variant of Topt used by BuildSchedule: it
+// seeds the search from prev, the optimal interval found at the
+// previous (nearby) age, and evaluates only a narrow window of the
+// geometric grid. ok is false when the warm bracket cannot be
+// certified — the window best sat on a window edge, the window ratio
+// was degenerate, or the age is so deep in the availability tail that
+// the objective is numerically untrustworthy — and the caller must
+// fall back to the cold Topt scan. A warm result, when ok, matches the
+// cold scan bitwise whenever T_opt has drifted by less than the window
+// width.
+func (m Model) toptWarm(age, prev float64, opts OptimizeOptions) (T, ratio float64, ok bool) {
+	opts.setDefaults()
+	e := m.evaluator(age)
+	if !(e.sAge >= warmMinSurvival) {
+		return 0, 0, false
+	}
+	T, ratio, ok = mathx.MinimizeWarmScanGolden(e.ratio, opts.TMin, opts.TMax, opts.GridPoints, opts.Tol, prev)
+	if !ok || math.IsInf(ratio, 1) || math.IsNaN(ratio) {
+		return 0, 0, false
+	}
+	return T, ratio, true
+}
+
+// gammaEvaluator computes Γ(T) at one fixed resource age with the
+// age-constant base-distribution terms — S(age), F(age), and the
+// partial moment PM(age) — hoisted out of the per-T inner loop. Every
+// T_opt search probes Γ dozens of times at the same age, and those
+// three terms cost three of the eight special-function evaluations
+// behind each probe.
+//
+// The arithmetic below reproduces Model.Gamma exactly: the same
+// base-distribution calls combined by the same expressions in the same
+// order (compare At and dist.Conditional), so optimizers driven by the
+// evaluator return bit-identical abscissae and ratios. That invariant
+// is what lets the caching claim "identical table and figure numbers";
+// any change here must preserve it or the determinism tests fail.
+type gammaEvaluator struct {
+	m      Model
+	age    float64
+	sAge   float64 // base Survival(age)
+	cdfAge float64 // base CDF(age)
+	pmAge  float64 // base PartialMoment(age)
+}
+
+// evaluator precomputes the age-fixed quantities for Γ evaluation at
+// the given age (clamped to zero like dist.NewConditional).
+func (m Model) evaluator(age float64) gammaEvaluator {
+	if age < 0 {
+		age = 0
+	}
+	return gammaEvaluator{
+		m:      m,
+		age:    age,
+		sAge:   m.Avail.Survival(age),
+		cdfAge: m.Avail.CDF(age),
+		pmAge:  m.Avail.PartialMoment(age),
+	}
+}
+
+// gamma evaluates Γ(T) with the cached age terms; it mirrors
+// Model.Gamma exactly.
+func (e gammaEvaluator) gamma(T float64) float64 {
+	if T <= 0 {
+		return math.Inf(1)
+	}
+	m := e.m
+
+	// State 0 under the future-lifetime distribution. span0 > 0, so
+	// the x<=0 guards of dist.Conditional never fire here.
+	span0 := m.Costs.C + T
+	var P01 float64
+	if e.sAge > 0 {
+		P01 = m.Avail.Survival(e.age+span0) / e.sAge
+	}
+	K01 := span0
+	P02 := 1 - P01
+	if P02 <= 0 {
+		return K01
+	}
+	var K02 float64
+	if e.sAge > 0 {
+		dF := m.Avail.CDF(e.age+span0) - e.cdfAge
+		pm := (m.Avail.PartialMoment(e.age+span0) - e.pmAge - e.age*dF) / e.sAge
+		K02 = pm / P02
+	}
+
+	// State 2 under the unconditional distribution (age has reset).
+	span2 := m.Costs.L + m.Costs.R + T
+	P21 := m.Avail.Survival(span2)
+	if P21 <= 0 {
+		return math.Inf(1)
+	}
+	K21 := span2
+	P22 := 1 - P21
+	var K22 float64
+	if P22 > 0 {
+		K22 = m.Avail.PartialMoment(span2) / P22
+	}
+	e2 := K21 + K22*P22/P21
+	return P01*K01 + P02*(K02+e2)
+}
+
+// ratio evaluates Γ(T)/T, the optimization objective.
+func (e gammaEvaluator) ratio(T float64) float64 {
+	g := e.gamma(T)
+	if math.IsInf(g, 1) {
+		return g
+	}
+	return g / T
 }

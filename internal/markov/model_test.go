@@ -316,3 +316,87 @@ func TestEfficiencyMatchesReciprocalRatio(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestGammaEvaluatorMatchesModel pins the hoisting invariant: the
+// per-search evaluator, which precomputes the age-constant
+// special-function terms, must reproduce Model.Gamma bitwise — the
+// warm-start optimizer's bit-identity argument depends on it.
+func TestGammaEvaluatorMatchesModel(t *testing.T) {
+	costs := mustCosts(t, 100, 150, 120)
+	dists := []dist.Distribution{
+		dist.NewExponential(1.0 / 9000),
+		dist.NewWeibull(0.43, 3409),
+		dist.NewHyperexponential([]float64{0.6, 0.3, 0.1}, []float64{1.0 / 500, 1.0 / 5000, 1.0 / 50000}),
+	}
+	for _, d := range dists {
+		m := Model{Avail: d, Costs: costs}
+		for _, age := range []float64{0, 1, 250, 3409, 20000} {
+			e := m.evaluator(age)
+			for _, T := range []float64{1, 30, 500, 2500, 50000} {
+				want := m.Gamma(T, age)
+				got := e.gamma(T)
+				if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+					t.Errorf("%s: gamma(T=%g, age=%g) evaluator %v != model %v",
+						d.Name(), T, age, got, want)
+				}
+				wantR := want / T
+				if gotR := e.ratio(T); gotR != wantR && !(math.IsNaN(gotR) && math.IsNaN(wantR)) {
+					t.Errorf("%s: ratio(T=%g, age=%g) evaluator %v != model %v",
+						d.Name(), T, age, gotR, wantR)
+				}
+			}
+		}
+	}
+}
+
+// TestToptWarmMatchesCold pins the warm-start contract: wherever the
+// warm window accepts, its result is bitwise identical to the cold
+// full-grid search.
+func TestToptWarmMatchesCold(t *testing.T) {
+	m := Model{Avail: dist.NewWeibull(0.43, 3409), Costs: mustCosts(t, 100, 100, 100)}
+	var opts OptimizeOptions
+	opts.setDefaults()
+	prevT := 0.0
+	age := 0.0
+	warmHits := 0
+	for i := 0; i < 40; i++ {
+		coldT, coldR, err := m.Topt(age, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prevT > 0 {
+			if T, ratio, ok := m.toptWarm(age, prevT, opts); ok {
+				warmHits++
+				if T != coldT || ratio != coldR {
+					t.Fatalf("interval %d (age %g): warm (%v, %v) != cold (%v, %v)",
+						i, age, T, ratio, coldT, coldR)
+				}
+			}
+		}
+		prevT = coldT
+		age += coldT + m.Costs.C
+	}
+	if warmHits < 30 {
+		t.Errorf("warm start accepted only %d/39 times; expected it to carry nearly every interval", warmHits)
+	}
+}
+
+// TestToptWarmDeclinesDeepTail pins the survival guard: once the
+// conditioning mass S(age) vanishes, the objective is numerical noise
+// and the warm window must hand back to the cold full-grid scan.
+func TestToptWarmDeclinesDeepTail(t *testing.T) {
+	m := Model{Avail: dist.NewWeibull(0.43, 3409), Costs: mustCosts(t, 50, 50, 50)}
+	var opts OptimizeOptions
+	opts.setDefaults()
+	// S(2e6) for Weibull(0.43, 3409) is ~1e-7, below warmMinSurvival.
+	if s := m.Avail.Survival(2e6); s >= warmMinSurvival {
+		t.Fatalf("test premise broken: S(2e6) = %g", s)
+	}
+	if _, _, ok := m.toptWarm(2e6, 5000, opts); ok {
+		t.Error("warm start accepted an age deep in the availability tail")
+	}
+	// Cold Topt still answers there.
+	if _, _, err := m.Topt(2e6, opts); err != nil {
+		t.Errorf("cold Topt failed in the tail: %v", err)
+	}
+}

@@ -2,7 +2,10 @@ package markov
 
 import (
 	"fmt"
+	"sort"
 	"strings"
+
+	"github.com/cycleharvest/ckptsched/internal/dist"
 )
 
 // Schedule is an aperiodic checkpoint schedule: the sequence of
@@ -22,6 +25,14 @@ type Schedule struct {
 	Ratios []float64
 	// Costs echoes the overhead parameters the schedule was built for.
 	Costs Costs
+
+	// bounds caches Ages[i] + Intervals[i] + Costs.C — the age at which
+	// interval i's checkpoint completes — so IntervalAt can binary-search
+	// instead of scanning. BuildSchedule fills it eagerly (its output is
+	// then safe for concurrent IntervalAt calls); schedules arriving by
+	// other routes (JSON decoding, literals) rebuild it lazily on first
+	// lookup.
+	bounds []float64
 }
 
 // Len returns the number of planned intervals.
@@ -41,17 +52,35 @@ func (s *Schedule) Horizon() float64 {
 // resource of the given age, extending the schedule's final interval
 // if age lies beyond the planned horizon. ok is false for an empty
 // schedule.
+//
+// The lookup binary-searches the cached interval-end boundaries, so a
+// 10⁴-interval aperiodic schedule answers in ~14 comparisons. For
+// BuildSchedule output the boundaries are strictly increasing (each
+// interval starts where the previous checkpoint finished), which is
+// the invariant the search relies on.
 func (s *Schedule) IntervalAt(age float64) (T float64, ok bool) {
 	n := len(s.Intervals)
 	if n == 0 {
 		return 0, false
 	}
-	for i := range n {
-		if age < s.Ages[i]+s.Intervals[i]+s.Costs.C {
-			return s.Intervals[i], true
-		}
+	if len(s.bounds) != n {
+		s.rebuildBounds()
 	}
-	return s.Intervals[n-1], true
+	i := sort.Search(n, func(j int) bool { return age < s.bounds[j] })
+	if i == n {
+		i = n - 1 // beyond the horizon: extend the final interval
+	}
+	return s.Intervals[i], true
+}
+
+// rebuildBounds recomputes the interval-end boundary cache from the
+// exported fields.
+func (s *Schedule) rebuildBounds() {
+	b := make([]float64, len(s.Intervals))
+	for i := range s.Intervals {
+		b[i] = s.Ages[i] + s.Intervals[i] + s.Costs.C
+	}
+	s.bounds = b
 }
 
 // String renders the first few intervals for human inspection.
@@ -105,32 +134,45 @@ func (m Model) BuildSchedule(startAge float64, opts ScheduleOptions) (*Schedule,
 	}
 	s := &Schedule{Costs: m.Costs}
 	age := startAge
+	prevT := 0.0
 	for len(s.Intervals) < opts.MaxIntervals {
-		T, ratio, err := m.Topt(age, opts.Optimize)
-		if err != nil {
-			if len(s.Intervals) > 0 {
-				break // keep what we have; later ages degenerate
+		// Warm-start: T_opt drifts slowly with age, so seed the search
+		// from the previous interval's optimum and evaluate only a
+		// narrow grid window. The warm bracket is discarded (cold
+		// rescan) whenever its best point lands on a window edge, so a
+		// fast-moving or multi-modal objective falls back to the full
+		// 64-point geometric scan and results never depend on the seed.
+		var (
+			T, ratio float64
+			warm     bool
+		)
+		if prevT > 0 {
+			T, ratio, warm = m.toptWarm(age, prevT, opts.Optimize)
+		}
+		if !warm {
+			var err error
+			T, ratio, err = m.Topt(age, opts.Optimize)
+			if err != nil {
+				if len(s.Intervals) > 0 {
+					break // keep what we have; later ages degenerate
+				}
+				return nil, err
 			}
-			return nil, err
 		}
 		s.Intervals = append(s.Intervals, T)
 		s.Ages = append(s.Ages, age)
 		s.Ratios = append(s.Ratios, ratio)
+		prevT = T
 		age += T + m.Costs.C
 		if age >= opts.Horizon {
 			break
 		}
-		if memoryless(m.Avail) {
+		if dist.IsMemoryless(m.Avail) {
 			// All further intervals are identical; IntervalAt extends
 			// the last interval indefinitely.
 			break
 		}
 	}
+	s.rebuildBounds()
 	return s, nil
-}
-
-// memoryless reports whether d is an exponential distribution (the
-// only memoryless continuous lifetime law).
-func memoryless(d interface{ Name() string }) bool {
-	return d.Name() == "exponential"
 }

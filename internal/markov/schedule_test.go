@@ -2,6 +2,7 @@ package markov
 
 import (
 	"encoding/json"
+	"math/rand"
 	"strings"
 	"testing"
 
@@ -189,5 +190,117 @@ func TestBuildScheduleDegenerate(t *testing.T) {
 		Optimize: OptimizeOptions{TMin: 1, TMax: 1000},
 	}); err == nil {
 		t.Error("expected error for degenerate model")
+	}
+}
+
+// linearIntervalAt is the pre-binary-search reference implementation:
+// scan intervals front to back and return the first one whose
+// checkpoint has not yet completed at the given age.
+func linearIntervalAt(s *Schedule, age float64) (float64, bool) {
+	n := len(s.Intervals)
+	if n == 0 {
+		return 0, false
+	}
+	for i := 0; i < n; i++ {
+		if age < s.Ages[i]+s.Intervals[i]+s.Costs.C {
+			return s.Intervals[i], true
+		}
+	}
+	return s.Intervals[n-1], true
+}
+
+func TestIntervalAtEdgeCases(t *testing.T) {
+	m := Model{Avail: dist.NewWeibull(0.43, 3409), Costs: mustCosts(t, 100, 100, 100)}
+	s, err := m.BuildSchedule(0, ScheduleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() < 3 {
+		t.Fatalf("need an aperiodic schedule, got %d intervals", s.Len())
+	}
+
+	// An age exactly on an interval-end boundary belongs to the NEXT
+	// interval: the boundary is the instant interval i's checkpoint
+	// completes, which is also Ages[i+1].
+	for i := 0; i < s.Len()-1; i++ {
+		bound := s.Ages[i] + s.Intervals[i] + s.Costs.C
+		if bound != s.Ages[i+1] {
+			t.Fatalf("interval %d boundary %g != next age %g", i, bound, s.Ages[i+1])
+		}
+		T, ok := s.IntervalAt(bound)
+		if !ok || T != s.Intervals[i+1] {
+			t.Errorf("IntervalAt(boundary %d = %g) = %g, want next interval %g",
+				i, bound, T, s.Intervals[i+1])
+		}
+		// Just below the boundary it is still interval i.
+		T, ok = s.IntervalAt(bound * (1 - 1e-12))
+		if !ok || T != s.Intervals[i] {
+			t.Errorf("IntervalAt(just under boundary %d) = %g, want %g", i, T, s.Intervals[i])
+		}
+	}
+
+	// At and beyond the horizon the final interval extends.
+	last := s.Intervals[s.Len()-1]
+	for _, age := range []float64{s.Horizon(), s.Horizon() + 1, s.Horizon() * 100} {
+		if T, ok := s.IntervalAt(age); !ok || T != last {
+			t.Errorf("IntervalAt(%g) = %g, %v; want extension of final interval %g", age, T, ok, last)
+		}
+	}
+
+	// Empty schedule: no interval, ok=false, and no panic.
+	var empty Schedule
+	if T, ok := empty.IntervalAt(0); ok || T != 0 {
+		t.Errorf("empty IntervalAt = %g, %v", T, ok)
+	}
+
+	// Negative age (before the schedule's frame) falls in interval 0.
+	if T, ok := s.IntervalAt(-5); !ok || T != s.Intervals[0] {
+		t.Errorf("IntervalAt(-5) = %g, want %g", T, s.Intervals[0])
+	}
+}
+
+// TestIntervalAtMatchesLinearScan cross-checks the binary search
+// against the original linear scan over many schedules and ages,
+// including schedules that arrived via JSON (whose boundary cache must
+// be rebuilt lazily).
+func TestIntervalAtMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	costs := []float64{50, 100, 500}
+	startAges := []float64{0, 100, 2500}
+	for _, c := range costs {
+		for _, startAge := range startAges {
+			m := Model{Avail: dist.NewWeibull(0.43, 3409), Costs: mustCosts(t, c, c, c)}
+			built, err := m.BuildSchedule(startAge, ScheduleOptions{Horizon: 40000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Round-trip through JSON so one of the two schedules starts
+			// with no boundary cache.
+			data, err := json.Marshal(built)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var decoded Schedule
+			if err := json.Unmarshal(data, &decoded); err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range []*Schedule{built, &decoded} {
+				for trial := 0; trial < 500; trial++ {
+					age := rng.Float64() * 2 * s.Horizon()
+					if trial%10 == 0 && s.Len() > 0 {
+						// Mix in exact boundaries: the adversarial inputs
+						// for an off-by-one in the search predicate.
+						i := rng.Intn(s.Len())
+						age = s.Ages[i] + s.Intervals[i] + s.Costs.C
+					}
+					gotT, gotOK := s.IntervalAt(age)
+					wantT, wantOK := linearIntervalAt(s, age)
+					if gotT != wantT || gotOK != wantOK {
+						t.Fatalf("C=%g startAge=%g age=%g: binary search %g,%v != linear %g,%v",
+							c, startAge, age, gotT, gotOK, wantT, wantOK)
+					}
+				}
+			}
+		}
 	}
 }

@@ -75,3 +75,73 @@ func MinimizeScanGolden(f func(float64) float64, lo, hi float64, n int, tol floa
 	}
 	return grid[best], bestF
 }
+
+// warmWindow is the half-width, in grid cells, of the window
+// MinimizeWarmScanGolden evaluates around the previous optimum.
+const warmWindow = 2
+
+// MinimizeWarmScanGolden is the warm-start variant of
+// MinimizeScanGolden. Instead of evaluating the full n-point geometric
+// grid it evaluates only a ±warmWindow-cell window of the same grid
+// centred on the cell nearest prev — a minimizer previously found for a
+// nearby objective — and then refines with the identical Golden Section
+// step over the identical bracket.
+//
+// ok reports whether the window certified a bracket: it is false (and
+// x, fx are meaningless) when the window best lands on a window edge,
+// in which case the true grid minimum may lie outside the window and
+// the caller must fall back to the cold MinimizeScanGolden scan.
+//
+// When ok is true and the full-grid argmin lies inside the window —
+// which holds whenever the optimum drifts by less than warmWindow grid
+// cells between calls, as T_opt(age) does between adjacent schedule
+// intervals — the result is bit-identical to the cold scan: the window
+// reproduces the cold grid's abscissae by the same lo·ratio^i
+// recurrence, and the refinement bracket, tolerance, and acceptance
+// comparison are the same.
+func MinimizeWarmScanGolden(f func(float64) float64, lo, hi float64, n int, tol, prev float64) (x, fx float64, ok bool) {
+	if n < 3 {
+		n = 3
+	}
+	if lo <= 0 {
+		lo = 1e-9
+	}
+	if hi <= lo {
+		hi = lo * 2
+	}
+	if !(prev > 0) {
+		return 0, 0, false
+	}
+	ratio := math.Pow(hi/lo, 1/float64(n-1))
+	center := int(math.Round(math.Log(prev/lo) / math.Log(ratio)))
+	wlo := max(0, center-warmWindow)
+	whi := min(n-1, center+warmWindow)
+	if whi-wlo < 2 {
+		return 0, 0, false
+	}
+	// Rebuild the grid prefix by the same repeated multiplication the
+	// cold scan uses, so the evaluated abscissae match it bitwise.
+	grid := make([]float64, whi+1)
+	g := lo
+	for i := range grid {
+		grid[i] = g
+		g *= ratio
+	}
+	best := -1
+	bestF := math.Inf(1)
+	for i := wlo; i <= whi; i++ {
+		if v := f(grid[i]); v < bestF {
+			best, bestF = i, v
+		}
+	}
+	if best <= wlo || best >= whi {
+		return 0, 0, false
+	}
+	a := grid[best-1]
+	b := grid[best+1]
+	gx, gfx := GoldenSection(f, a, b, tol*math.Max(1, a))
+	if gfx <= bestF {
+		return gx, gfx, true
+	}
+	return grid[best], bestF, true
+}

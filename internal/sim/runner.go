@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"github.com/cycleharvest/ckptsched/internal/dist"
 	"github.com/cycleharvest/ckptsched/internal/fit"
 	"github.com/cycleharvest/ckptsched/internal/markov"
 )
@@ -27,6 +28,16 @@ func RunModel(train, test []float64, model fit.Model, cfg Config) (MachineRun, e
 	if err != nil {
 		return MachineRun{}, fmt.Errorf("sim: fit %v: %w", model, err)
 	}
+	return RunFitted(d, model, test, cfg)
+}
+
+// RunFitted is RunModel with the fitting stage factored out: it builds
+// the schedule and replays the experimental durations for an
+// already-estimated availability distribution. The fit-once sweep in
+// internal/experiments uses it to share one fit.Cache entry across the
+// whole checkpoint-duration axis; the result is identical to RunModel
+// on the same fit.
+func RunFitted(d dist.Distribution, model fit.Model, test []float64, cfg Config) (MachineRun, error) {
 	m := markov.Model{Avail: d, Costs: cfg.Costs}
 
 	// Plan at least as far as the longest availability period so the
