@@ -585,3 +585,56 @@ func BenchmarkBuildSchedule(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkParallelRun measures the event-calendar engine of the §5.2
+// parallel-workload simulator at small and large herd sizes; the link
+// scales with the herd so per-worker dynamics (and thus events per
+// worker) stay comparable and the per-event cost's O(log W) scaling is
+// what the w64→w1024 ratio exposes. BENCH_seed.json gates regressions.
+func BenchmarkParallelRun(b *testing.B) {
+	avail := dist.NewWeibull(0.43, 3409)
+	for _, w := range []int{64, 1024} {
+		b.Run("w"+strconv.Itoa(w), func(b *testing.B) {
+			cfg := parallel.Config{
+				Workers:      w,
+				Avail:        avail,
+				ScheduleDist: avail,
+				LinkMBps:     2 * float64(w),
+				CheckpointMB: 500,
+				Duration:     24 * 3600,
+				Seed:         11,
+			}
+			var eff float64
+			b.ResetTimer()
+			for b.Loop() {
+				res, err := parallel.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				eff = res.Efficiency
+			}
+			b.ReportMetric(eff, "efficiency")
+		})
+	}
+}
+
+// BenchmarkHyperexpEM measures the hyperexponential EM fit on a
+// 2000-sample, 3-phase workload — the hot loop the flattened
+// responsibility matrix (one contiguous k×n slice) speeds up.
+func BenchmarkHyperexpEM(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	truth := dist.NewHyperexponential(
+		[]float64{0.6, 0.3, 0.1},
+		[]float64{1.0 / 300, 1.0 / 3000, 1.0 / 30000},
+	)
+	data := make([]float64, 2000)
+	for i := range data {
+		data[i] = truth.Rand(rng)
+	}
+	b.ResetTimer()
+	for b.Loop() {
+		if _, err := fit.Hyperexp(data, 3, fit.EMOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -3,16 +3,24 @@
 // future-work scenario of colliding checkpoints — comparing
 // availability models and coordination policies.
 //
+// Cells of the (model × stagger) grid run concurrently on a bounded
+// worker pool, and -seeds replicates each cell on independent
+// splitmix64-derived RNG streams so the efficiency column carries a
+// 95% confidence half-width instead of a single-seed point estimate.
+// Output is byte-identical for a fixed flag set regardless of
+// -maxprocs or GOMAXPROCS.
+//
 // Usage:
 //
 //	ckpt-parallel [-workers 16] [-link 5] [-mb 500] [-hours 72] \
-//	    [-shape 0.43] [-scale 3409] [-seed 42]
+//	    [-shape 0.43] [-scale 3409] [-seed 42] [-seeds 1] [-maxprocs N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"github.com/cycleharvest/ckptsched/internal/dist"
 	"github.com/cycleharvest/ckptsched/internal/parallel"
@@ -25,51 +33,84 @@ func main() {
 	hours := flag.Float64("hours", 72, "simulated horizon, hours")
 	shape := flag.Float64("shape", 0.43, "machine availability Weibull shape")
 	scale := flag.Float64("scale", 3409, "machine availability Weibull scale, s")
-	seed := flag.Int64("seed", 42, "simulation seed")
+	seed := flag.Int64("seed", 42, "base simulation seed")
+	seeds := flag.Int("seeds", 1, "independent replicates per cell (95% CI when > 1)")
+	maxprocs := flag.Int("maxprocs", runtime.GOMAXPROCS(0), "concurrent simulation cells")
 	flag.Parse()
 
-	if err := run(*workers, *link, *mb, *hours, *shape, *scale, *seed); err != nil {
+	if err := run(*workers, *link, *mb, *hours, *shape, *scale, *seed, *seeds, *maxprocs); err != nil {
 		fmt.Fprintln(os.Stderr, "ckpt-parallel:", err)
 		os.Exit(1)
 	}
 }
 
-func run(workers int, link, mb, hours, shape, scale float64, seed int64) error {
+func run(workers int, link, mb, hours, shape, scale float64, seed int64, seeds, maxprocs int) error {
 	avail := dist.NewWeibull(shape, scale)
 	expFit := dist.NewExponential(1 / avail.Mean())
-	base := parallel.Config{
-		Workers:      workers,
-		Avail:        avail,
-		LinkMBps:     link,
-		CheckpointMB: mb,
-		Duration:     hours * 3600,
-		Seed:         seed,
-	}
-	fmt.Printf("%d processes, %g MB images, shared %g MB/s link (solo transfer %.0f s), %g h horizon\n\n",
-		workers, mb, link, mb/link, hours)
-	fmt.Printf("%-12s %-8s %10s %10s %12s %9s %12s %12s\n",
-		"model", "stagger", "efficiency", "commits", "network MB", "stretch", "collisions", "queue-wait s")
-	for _, sc := range []struct {
-		name string
-		d    dist.Distribution
-	}{
-		{"exponential", expFit},
-		{"weibull", avail},
-	} {
-		for _, pol := range []parallel.StaggerPolicy{
+	grid, err := parallel.RunGrid(parallel.GridConfig{
+		Base: parallel.Config{
+			Workers:      workers,
+			Avail:        avail,
+			LinkMBps:     link,
+			CheckpointMB: mb,
+			Duration:     hours * 3600,
+		},
+		Models: []parallel.GridModel{
+			{Name: "exponential", Dist: expFit},
+			{Name: "weibull", Dist: avail},
+		},
+		Staggers: []parallel.StaggerPolicy{
 			parallel.StaggerNone, parallel.StaggerToken, parallel.StaggerJitter,
-		} {
-			cfg := base
-			cfg.ScheduleDist = sc.d
-			cfg.Stagger = pol
-			res, err := parallel.Run(cfg)
-			if err != nil {
-				return err
-			}
-			fmt.Printf("%-12s %-8s %10.3f %10d %12.0f %8.2fx %12d %12.0f\n",
-				sc.name, pol, res.Efficiency, res.Commits, res.MBMoved,
-				res.CollisionStretch(), res.Collisions, res.QueueWaitSec)
+		},
+		Seeds:    seeds,
+		Seed:     seed,
+		MaxProcs: maxprocs,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%d processes, %g MB images, shared %g MB/s link (solo transfer %.0f s), %g h horizon",
+		workers, mb, link, mb/link, hours)
+	if seeds > 1 {
+		fmt.Printf(", %d seeds (±95%% CI)", seeds)
+	}
+	fmt.Printf("\n\n")
+	effWidth := 10
+	if seeds > 1 {
+		effWidth = 16
+	}
+	fmt.Printf("%-12s %-8s %*s %10s %12s %9s %12s %12s\n",
+		"model", "stagger", effWidth, "efficiency", "commits", "network MB", "stretch", "collisions", "queue-wait s")
+	for i := range grid.Cells {
+		c := &grid.Cells[i]
+		eff := c.Efficiency()
+		effCol := fmt.Sprintf("%.3f", eff.Mean)
+		if seeds > 1 {
+			effCol = fmt.Sprintf("%.3f±%.3f", eff.Mean, eff.HalfWidth)
 		}
+		mean := func(f func(parallel.Result) float64) float64 { return c.Metric(f).Mean }
+		fmt.Printf("%-12s %-8s %*s %10.0f %12.0f %8.2fx %12.0f %12.0f\n",
+			c.Model, c.Stagger, effWidth, effCol,
+			mean(func(r parallel.Result) float64 { return float64(r.Commits) }),
+			mean(func(r parallel.Result) float64 { return r.MBMoved }),
+			mean(parallel.Result.CollisionStretch),
+			mean(func(r parallel.Result) float64 { return float64(r.Collisions) }),
+			mean(func(r parallel.Result) float64 { return r.QueueWaitSec }),
+		)
+	}
+	if fb := sumFallbacks(grid); fb > 0 {
+		fmt.Printf("\nschedule fallbacks: %d intervals served beyond the planned schedule\n", fb)
 	}
 	return nil
+}
+
+func sumFallbacks(g *parallel.Grid) int {
+	n := 0
+	for _, c := range g.Cells {
+		for _, r := range c.Results {
+			n += r.ScheduleFallbacks
+		}
+	}
+	return n
 }

@@ -176,10 +176,10 @@ func HyperexpCensored(obs []Observation, k int, opts EMOptions) (EMResult, error
 		lamMax = 1e3
 		pMin   = 1e-12
 	)
-	gamma := make([][]float64, k)
-	for i := range gamma {
-		gamma[i] = make([]float64, n)
-	}
+	// Flat row-major k×n responsibility matrix, as in Hyperexp: one
+	// contiguous backing slice for cache locality, loop order
+	// untouched so fits stay bitwise identical.
+	gamma := make([]float64, k*n)
 	prevLL := math.Inf(-1)
 	iters := 0
 	converged := false
@@ -195,7 +195,7 @@ func HyperexpCensored(obs []Observation, k int, opts EMOptions) (EMResult, error
 				} else {
 					g = p[i] * lam[i] * math.Exp(-lam[i]*o.Value) // density
 				}
-				gamma[i][j] = g
+				gamma[i*n+j] = g
 				den += g
 			}
 			if den <= 0 {
@@ -206,26 +206,27 @@ func HyperexpCensored(obs []Observation, k int, opts EMOptions) (EMResult, error
 					}
 				}
 				for i := range k {
-					gamma[i][j] = 0
+					gamma[i*n+j] = 0
 				}
-				gamma[slow][j] = 1
+				gamma[slow*n+j] = 1
 				ll += math.Log(pMin)
 				continue
 			}
 			for i := range k {
-				gamma[i][j] /= den
+				gamma[i*n+j] /= den
 			}
 			ll += math.Log(den)
 		}
 		for i := range k {
 			var sg, sgx float64
+			row := gamma[i*n : (i+1)*n]
 			for j, o := range xs {
-				sg += gamma[i][j]
+				sg += row[j]
 				life := o.Value
 				if o.Censored {
 					life += 1 / lam[i] // expected residual within phase i
 				}
-				sgx += gamma[i][j] * life
+				sgx += row[j] * life
 			}
 			p[i] = math.Max(sg/float64(n), pMin)
 			if sgx <= 0 {

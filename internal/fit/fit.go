@@ -323,10 +323,13 @@ func Hyperexp(data []float64, k int, opts EMOptions) (EMResult, error) {
 		pMin   = 1e-12
 	)
 
-	gamma := make([][]float64, k)
-	for i := range gamma {
-		gamma[i] = make([]float64, n)
-	}
+	// Responsibility matrix, one contiguous row-major k×n slice:
+	// gamma[i*n+j] is phase i's responsibility for observation j. The
+	// M step walks each row sequentially, so one backing array keeps
+	// the EM inner loops on consecutive cache lines; the loop order is
+	// unchanged from the [][]float64 version, so fits are bitwise
+	// identical.
+	gamma := make([]float64, k*n)
 	prevLL := math.Inf(-1)
 	iters := 0
 	converged := false
@@ -338,7 +341,7 @@ func Hyperexp(data []float64, k int, opts EMOptions) (EMResult, error) {
 			den := 0.0
 			for i := range k {
 				g := p[i] * lam[i] * math.Exp(-lam[i]*x)
-				gamma[i][j] = g
+				gamma[i*n+j] = g
 				den += g
 			}
 			if den <= 0 {
@@ -351,23 +354,24 @@ func Hyperexp(data []float64, k int, opts EMOptions) (EMResult, error) {
 					}
 				}
 				for i := range k {
-					gamma[i][j] = 0
+					gamma[i*n+j] = 0
 				}
-				gamma[slow][j] = 1
+				gamma[slow*n+j] = 1
 				ll += math.Log(pMin)
 				continue
 			}
 			for i := range k {
-				gamma[i][j] /= den
+				gamma[i*n+j] /= den
 			}
 			ll += math.Log(den)
 		}
 		// M step.
 		for i := range k {
 			var sg, sgx float64
+			row := gamma[i*n : (i+1)*n]
 			for j, x := range xs {
-				sg += gamma[i][j]
-				sgx += gamma[i][j] * x
+				sg += row[j]
+				sgx += row[j] * x
 			}
 			p[i] = math.Max(sg/float64(n), pMin)
 			if sgx <= 0 {

@@ -59,18 +59,34 @@ func (s *Schedule) Horizon() float64 {
 // interval starts where the previous checkpoint finished), which is
 // the invariant the search relies on.
 func (s *Schedule) IntervalAt(age float64) (T float64, ok bool) {
+	T, _, ok = s.Lookup(age)
+	return T, ok
+}
+
+// Lookup is IntervalAt plus provenance: extended reports whether age
+// lies beyond the planned horizon, in which case the returned interval
+// is the final planned one extended indefinitely. Consumers that reuse
+// one schedule across a long simulation (internal/parallel) use the
+// flag to count how often they ran off the plan instead of silently
+// treating extensions as planned intervals. For a memoryless model
+// BuildSchedule plans a single interval on purpose, so extensions are
+// the expected steady state there, not a fallback.
+//
+// Like IntervalAt, Lookup on BuildSchedule output is safe for
+// concurrent use (the boundary cache is filled eagerly).
+func (s *Schedule) Lookup(age float64) (T float64, extended, ok bool) {
 	n := len(s.Intervals)
 	if n == 0 {
-		return 0, false
+		return 0, false, false
 	}
 	if len(s.bounds) != n {
 		s.rebuildBounds()
 	}
 	i := sort.Search(n, func(j int) bool { return age < s.bounds[j] })
 	if i == n {
-		i = n - 1 // beyond the horizon: extend the final interval
+		return s.Intervals[n-1], true, true
 	}
-	return s.Intervals[i], true
+	return s.Intervals[i], false, true
 }
 
 // rebuildBounds recomputes the interval-end boundary cache from the

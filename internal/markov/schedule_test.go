@@ -304,3 +304,45 @@ func TestIntervalAtMatchesLinearScan(t *testing.T) {
 		}
 	}
 }
+
+// TestLookupExtendedFlag pins the provenance Lookup adds over
+// IntervalAt: the extended flag is set exactly for ages at or beyond
+// the planned horizon, and the returned interval always agrees with
+// IntervalAt.
+func TestLookupExtendedFlag(t *testing.T) {
+	m := Model{Avail: dist.NewWeibull(0.43, 3409), Costs: mustCosts(t, 100, 100, 100)}
+	s, err := m.BuildSchedule(0, ScheduleOptions{Horizon: 40000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() < 3 {
+		t.Fatalf("need an aperiodic schedule, got %d intervals", s.Len())
+	}
+	for _, tc := range []struct {
+		age  float64
+		want bool
+	}{
+		{0, false},
+		{s.Ages[s.Len()-1], false},
+		{s.Horizon() * (1 - 1e-12), false},
+		{s.Horizon(), true},
+		{s.Horizon() + 1, true},
+		{s.Horizon() * 100, true},
+	} {
+		T, extended, ok := s.Lookup(tc.age)
+		if !ok {
+			t.Fatalf("Lookup(%g) not ok", tc.age)
+		}
+		if extended != tc.want {
+			t.Errorf("Lookup(%g) extended = %v, want %v", tc.age, extended, tc.want)
+		}
+		if wantT, wantOK := s.IntervalAt(tc.age); T != wantT || !wantOK {
+			t.Errorf("Lookup(%g) T = %g disagrees with IntervalAt %g", tc.age, T, wantT)
+		}
+	}
+
+	var empty Schedule
+	if T, extended, ok := empty.Lookup(0); ok || extended || T != 0 {
+		t.Errorf("empty Lookup = %g, %v, %v; want 0, false, false", T, extended, ok)
+	}
+}

@@ -1,0 +1,134 @@
+package parallel
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"github.com/cycleharvest/ckptsched/internal/dist"
+)
+
+func testGridConfig(seeds, maxProcs int) GridConfig {
+	avail := dist.NewWeibull(0.43, 3409)
+	return GridConfig{
+		Base: Config{
+			Workers:      6,
+			Avail:        avail,
+			LinkMBps:     5,
+			CheckpointMB: 500,
+			Duration:     12 * 3600,
+		},
+		Models: []GridModel{
+			{Name: "exponential", Dist: dist.NewExponential(1 / avail.Mean())},
+			{Name: "weibull", Dist: avail},
+		},
+		Staggers: []StaggerPolicy{StaggerNone, StaggerToken, StaggerJitter},
+		Seeds:    seeds,
+		Seed:     42,
+		MaxProcs: maxProcs,
+	}
+}
+
+func TestRunGridShape(t *testing.T) {
+	g, err := RunGrid(testGridConfig(3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Cells) != 6 || g.Seeds != 3 {
+		t.Fatalf("grid shape: %d cells, %d seeds", len(g.Cells), g.Seeds)
+	}
+	// Model-major, stagger-minor row order (the ckpt-parallel table).
+	if g.Cells[0].Model != "exponential" || g.Cells[3].Model != "weibull" ||
+		g.Cells[1].Stagger != StaggerToken {
+		t.Fatalf("cell order wrong: %+v", g.Cells)
+	}
+	for _, c := range g.Cells {
+		if len(c.Results) != 3 {
+			t.Fatalf("cell %s/%s has %d results", c.Model, c.Stagger, len(c.Results))
+		}
+		// Independent replicate streams must differ.
+		if c.Results[0] == c.Results[1] && c.Results[1] == c.Results[2] {
+			t.Errorf("cell %s/%s replicates identical — seed derivation broken", c.Model, c.Stagger)
+		}
+		ci := c.Efficiency()
+		if ci.Mean <= 0 || ci.Mean >= 1 || ci.HalfWidth <= 0 || ci.N != 3 {
+			t.Errorf("cell %s/%s efficiency CI %+v", c.Model, c.Stagger, ci)
+		}
+	}
+}
+
+// TestRunGridDeterminism pins the contract the flag name promises: a
+// fixed GridConfig yields byte-identical results at any GOMAXPROCS and
+// any pool width.
+func TestRunGridDeterminism(t *testing.T) {
+	prev := runtime.GOMAXPROCS(1)
+	serial, err := RunGrid(testGridConfig(3, 1))
+	runtime.GOMAXPROCS(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prev = runtime.GOMAXPROCS(8)
+	wide, err := RunGrid(testGridConfig(3, 8))
+	runtime.GOMAXPROCS(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(serial, wide) {
+		t.Fatalf("grid results depend on concurrency:\nserial: %+v\nwide:   %+v", serial, wide)
+	}
+}
+
+// TestRunGridMatchesRun pins schedule sharing: a grid cell's replicate
+// equals a standalone Run with the same derived seed.
+func TestRunGridMatchesRun(t *testing.T) {
+	cfg := testGridConfig(2, 4)
+	g, err := RunGrid(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cell 4 = weibull/token; flat task index = 4*Seeds + 1.
+	cell := g.Cells[4]
+	c := cfg.Base
+	c.ScheduleDist = cfg.Models[1].Dist
+	c.Stagger = StaggerToken
+	c.Seed = gridSeed(cfg.Seed, 4*cfg.Seeds+1)
+	want, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.Results[1] != want {
+		t.Fatalf("grid cell diverged from standalone Run:\ngrid: %+v\nrun:  %+v", cell.Results[1], want)
+	}
+}
+
+func TestRunGridErrors(t *testing.T) {
+	avail := dist.NewExponential(0.001)
+	ok := testGridConfig(1, 1)
+
+	noModels := ok
+	noModels.Models = nil
+	if _, err := RunGrid(noModels); err == nil {
+		t.Error("no models should error")
+	}
+
+	noStaggers := ok
+	noStaggers.Staggers = nil
+	if _, err := RunGrid(noStaggers); err == nil {
+		t.Error("no staggers should error")
+	}
+
+	nilDist := ok
+	nilDist.Models = []GridModel{{Name: "broken"}}
+	if _, err := RunGrid(nilDist); err == nil {
+		t.Error("nil model dist should error")
+	}
+
+	badBase := ok
+	badBase.Base.Workers = 0
+	badBase.Models = []GridModel{{Name: "exp", Dist: avail}}
+	if _, err := RunGrid(badBase); err == nil {
+		t.Error("invalid base should error")
+	}
+}

@@ -1,0 +1,150 @@
+package parallel
+
+// Event kinds order simultaneous events: an eviction kills the process
+// before any same-instant completion is credited (the engine's
+// failure-dominates rule), and a transfer completion beats a work-interval
+// completion so the link frees up before a new transfer claims it.
+// Remaining ties break by worker index, matching the old engine's
+// worker-order batch firing.
+const (
+	kindFail uint8 = iota
+	kindXfer
+	kindWork
+)
+
+// eventLess is the total order on events: time, then kind, then worker
+// index. Both the heap engine and the linear-scan reference
+// implementation select events with exactly this comparison, so the
+// two stay bit-for-bit interchangeable.
+func eventLess(t1 float64, k1 uint8, id1 int, t2 float64, k2 uint8, id2 int) bool {
+	if t1 != t2 {
+		return t1 < t2
+	}
+	if k1 != k2 {
+		return k1 < k2
+	}
+	return id1 < id2
+}
+
+// eventHeap is an indexed binary min-heap over worker ids, ordered by
+// (key, kind, id) via eventLess. The index (pos) gives O(log n)
+// decrease-key, increase-key and remove by worker id — the operations
+// a discrete-event calendar needs when a failure reschedules a
+// worker's pending event or cancels its in-flight transfer.
+//
+// The engine runs two instances: one keyed by wall-clock time (per
+// worker, the earlier of its failure and work-interval completion) and
+// one keyed by cumulative processor-sharing service (per in-flight
+// transfer, the service mark at which it completes — invariant under
+// link-rate changes, which is what makes per-event cost O(log W)).
+type eventHeap struct {
+	ids  []int     // heap slot -> worker id
+	pos  []int     // worker id -> heap slot, -1 if absent
+	key  []float64 // worker id -> sort key (seconds or MB of service)
+	kind []uint8   // worker id -> event kind
+}
+
+func newEventHeap(n int) *eventHeap {
+	h := &eventHeap{
+		ids:  make([]int, 0, n),
+		pos:  make([]int, n),
+		key:  make([]float64, n),
+		kind: make([]uint8, n),
+	}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	return h
+}
+
+func (h *eventHeap) Len() int { return len(h.ids) }
+
+func (h *eventHeap) Contains(id int) bool { return h.pos[id] >= 0 }
+
+// Min returns the earliest event without removing it.
+func (h *eventHeap) Min() (id int, key float64, kind uint8, ok bool) {
+	if len(h.ids) == 0 {
+		return 0, 0, 0, false
+	}
+	id = h.ids[0]
+	return id, h.key[id], h.kind[id], true
+}
+
+// Update inserts id with the given key, or repositions it if already
+// present (covers both decrease-key and increase-key).
+func (h *eventHeap) Update(id int, key float64, kind uint8) {
+	h.key[id] = key
+	h.kind[id] = kind
+	if i := h.pos[id]; i >= 0 {
+		if !h.up(i) {
+			h.down(i)
+		}
+		return
+	}
+	h.ids = append(h.ids, id)
+	h.pos[id] = len(h.ids) - 1
+	h.up(len(h.ids) - 1)
+}
+
+// Remove deletes id from the heap; absent ids are a no-op.
+func (h *eventHeap) Remove(id int) {
+	i := h.pos[id]
+	if i < 0 {
+		return
+	}
+	last := len(h.ids) - 1
+	h.swap(i, last)
+	h.ids = h.ids[:last]
+	h.pos[id] = -1
+	if i < last {
+		if !h.up(i) {
+			h.down(i)
+		}
+	}
+}
+
+func (h *eventHeap) less(i, j int) bool {
+	a, b := h.ids[i], h.ids[j]
+	return eventLess(h.key[a], h.kind[a], a, h.key[b], h.kind[b], b)
+}
+
+func (h *eventHeap) swap(i, j int) {
+	h.ids[i], h.ids[j] = h.ids[j], h.ids[i]
+	h.pos[h.ids[i]] = i
+	h.pos[h.ids[j]] = j
+}
+
+// up sifts slot i toward the root, reporting whether it moved.
+func (h *eventHeap) up(i int) bool {
+	moved := false
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+		moved = true
+	}
+	return moved
+}
+
+// down sifts slot i toward the leaves.
+func (h *eventHeap) down(i int) {
+	n := len(h.ids)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		child := left
+		if right := left + 1; right < n && h.less(right, left) {
+			child = right
+		}
+		if !h.less(child, i) {
+			return
+		}
+		h.swap(i, child)
+		i = child
+	}
+}

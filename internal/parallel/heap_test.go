@@ -1,0 +1,166 @@
+package parallel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// popAll drains the heap via Min+Remove, returning ids in order.
+func popAll(h *eventHeap) []int {
+	var out []int
+	for {
+		id, _, _, ok := h.Min()
+		if !ok {
+			return out
+		}
+		h.Remove(id)
+		out = append(out, id)
+	}
+}
+
+func TestHeapOrdering(t *testing.T) {
+	h := newEventHeap(5)
+	h.Update(0, 30, kindWork)
+	h.Update(1, 10, kindFail)
+	h.Update(2, 20, kindXfer)
+	h.Update(3, 5, kindWork)
+	h.Update(4, 15, kindFail)
+	want := []int{3, 1, 4, 2, 0}
+	got := popAll(h)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHeapDecreaseKey(t *testing.T) {
+	h := newEventHeap(4)
+	for i := range 4 {
+		h.Update(i, float64(10+i), kindFail)
+	}
+	// Decrease the last worker's key below everyone else.
+	h.Update(3, 1, kindFail)
+	if id, key, _, _ := h.Min(); id != 3 || key != 1 {
+		t.Fatalf("after decrease-key Min = (%d, %g), want (3, 1)", id, key)
+	}
+	// Increase it back past the rest.
+	h.Update(3, 99, kindFail)
+	got := popAll(h)
+	want := []int{0, 1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("after increase-key pop order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHeapRemove(t *testing.T) {
+	h := newEventHeap(6)
+	for i := range 6 {
+		h.Update(i, float64(i), kindFail)
+	}
+	h.Remove(0) // root
+	h.Remove(3) // middle
+	h.Remove(5) // leaf
+	h.Remove(5) // absent: no-op
+	if h.Contains(0) || h.Contains(3) || h.Contains(5) {
+		t.Fatal("removed ids still present")
+	}
+	got := popAll(h)
+	want := []int{1, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("pop = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestHeapSimultaneousEvents pins the failure-dominates tie-break: at
+// one instant, failures fire before transfer completions, transfer
+// completions before work completions, and same-kind ties fire in
+// worker-index order.
+func TestHeapSimultaneousEvents(t *testing.T) {
+	h := newEventHeap(6)
+	h.Update(0, 42, kindWork)
+	h.Update(1, 42, kindFail)
+	h.Update(2, 42, kindXfer)
+	h.Update(3, 42, kindFail)
+	h.Update(4, 42, kindXfer)
+	h.Update(5, 42, kindWork)
+	want := []int{1, 3, 2, 4, 0, 5}
+	got := popAll(h)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("simultaneous-event order = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestHeapRandomOps drives the heap with random update/remove
+// operations against a naive model and checks Min agrees after every
+// step — the invariant the DES engine relies on.
+func TestHeapRandomOps(t *testing.T) {
+	const n = 32
+	rng := rand.New(rand.NewSource(17))
+	h := newEventHeap(n)
+	key := make([]float64, n)
+	kind := make([]uint8, n)
+	present := make([]bool, n)
+
+	modelMin := func() (int, bool) {
+		best := -1
+		for i := range n {
+			if !present[i] {
+				continue
+			}
+			if best < 0 || eventLess(key[i], kind[i], i, key[best], kind[best], best) {
+				best = i
+			}
+		}
+		return best, best >= 0
+	}
+
+	for step := range 5000 {
+		id := rng.Intn(n)
+		switch rng.Intn(4) {
+		case 0: // remove
+			h.Remove(id)
+			present[id] = false
+		default: // insert or rekey (decrease and increase both exercised)
+			k := math.Floor(rng.Float64()*50) / 2 // coarse grid to force ties
+			kd := uint8(rng.Intn(3))
+			h.Update(id, k, kd)
+			key[id], kind[id], present[id] = k, kd, true
+		}
+		wantID, wantOK := modelMin()
+		gotID, gotKey, gotKind, gotOK := h.Min()
+		if gotOK != wantOK {
+			t.Fatalf("step %d: Min ok = %v, want %v", step, gotOK, wantOK)
+		}
+		if !wantOK {
+			continue
+		}
+		if gotID != wantID || gotKey != key[wantID] || gotKind != kind[wantID] {
+			t.Fatalf("step %d: Min = (%d, %g, %d), want (%d, %g, %d)",
+				step, gotID, gotKey, gotKind, wantID, key[wantID], kind[wantID])
+		}
+		if h.Len() != countTrue(present) {
+			t.Fatalf("step %d: Len = %d, want %d", step, h.Len(), countTrue(present))
+		}
+	}
+}
+
+func countTrue(bs []bool) int {
+	n := 0
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n
+}

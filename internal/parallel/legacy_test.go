@@ -1,0 +1,239 @@
+package parallel
+
+// runLegacy is a verbatim retention of the pre-event-calendar engine —
+// O(Workers) scans per event, a per-event transfer drain loop, and a
+// cold model.Topt call for every interval of every worker — kept only
+// so the characterization tests can quantify how the schedule-reuse
+// engine shifts results versus the old per-interval-T_opt path (see
+// TestLegacyEquivalence*). Do not use it for anything else; it falls
+// over long before realistic herd sizes.
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/cycleharvest/ckptsched/internal/markov"
+)
+
+type legacyWorker struct {
+	state      wstate
+	availStart float64
+	failAt     float64
+	workEnd    float64
+	topt       float64
+	bytesLeft  float64
+	totalMB    float64
+	started    float64
+	collided   bool
+	// Queue bookkeeping (StaggerToken).
+	queuedSince  float64
+	queueSeq     int
+	wantRecovery bool
+}
+
+func runLegacy(cfg Config) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	solo := cfg.CheckpointMB / cfg.LinkMBps
+	model := markov.Model{
+		Avail: cfg.ScheduleDist,
+		Costs: markov.Costs{C: solo, R: solo, L: solo},
+	}
+	toptAt := func(age float64) float64 {
+		T, _, err := model.Topt(age, markov.OptimizeOptions{})
+		if err != nil {
+			return solo // degenerate model: keep minimal progress
+		}
+		if cfg.Stagger == StaggerJitter {
+			T *= 1 + 0.3*rng.Float64()
+		}
+		return T
+	}
+
+	var res Result
+	res.SoloTransferSec = solo
+	var transferDurations []float64
+	queueSeq := 0
+
+	ws := make([]*legacyWorker, cfg.Workers)
+	now := 0.0
+
+	transferring := func() int {
+		n := 0
+		for _, w := range ws {
+			if w.state == wRecovering || w.state == wTransferring {
+				n++
+			}
+		}
+		return n
+	}
+
+	var startTransfer func(w *legacyWorker, at float64, isRecovery bool)
+	startTransfer = func(w *legacyWorker, at float64, isRecovery bool) {
+		if cfg.Stagger == StaggerToken && transferring() > 0 {
+			w.state = wQueued
+			w.queuedSince = at
+			w.queueSeq = queueSeq
+			queueSeq++
+			w.wantRecovery = isRecovery
+			return
+		}
+		if isRecovery {
+			w.state = wRecovering
+		} else {
+			w.state = wTransferring
+		}
+		w.bytesLeft = cfg.CheckpointMB
+		w.totalMB = cfg.CheckpointMB
+		w.started = at
+		w.collided = false
+	}
+
+	dequeue := func(at float64) {
+		if cfg.Stagger != StaggerToken {
+			return
+		}
+		var next *legacyWorker
+		for _, w := range ws {
+			if w.state == wQueued && (next == nil || w.queueSeq < next.queueSeq) {
+				next = w
+			}
+		}
+		if next == nil {
+			return
+		}
+		res.QueueWaitSec += at - next.queuedSince
+		startTransfer(next, at, next.wantRecovery)
+	}
+
+	finishTransfer := func(w *legacyWorker, at float64) {
+		res.MBMoved += w.totalMB
+		transferDurations = append(transferDurations, at-w.started)
+		if w.collided {
+			res.Collisions++
+		}
+		if w.state == wTransferring {
+			res.CommittedWork += w.topt
+			res.Commits++
+		}
+		age := at - w.availStart
+		w.topt = toptAt(age)
+		w.state = wWorking
+		w.workEnd = at + w.topt
+		w.collided = false
+		dequeue(at)
+	}
+
+	fail := func(w *legacyWorker, at float64) {
+		res.Failures++
+		heldToken := false
+		switch w.state {
+		case wWorking:
+			res.LostWork += w.topt - (w.workEnd - at)
+		case wTransferring:
+			res.LostWork += w.topt
+			res.MBMoved += w.totalMB - w.bytesLeft
+			heldToken = true
+		case wRecovering:
+			res.MBMoved += w.totalMB - w.bytesLeft
+			heldToken = true
+		case wQueued:
+			res.QueueWaitSec += at - w.queuedSince
+			if !w.wantRecovery {
+				res.LostWork += w.topt
+			}
+		}
+		w.state = wWorking
+		w.availStart = at
+		w.failAt = at + cfg.Avail.Rand(rng)
+		if heldToken {
+			dequeue(at)
+		}
+		startTransfer(w, at, true)
+	}
+
+	for i := range ws {
+		ws[i] = &legacyWorker{
+			availStart: 0,
+			failAt:     cfg.Avail.Rand(rng),
+			state:      wWorking,
+		}
+	}
+	for _, w := range ws {
+		startTransfer(w, 0, true)
+	}
+
+	for now < cfg.Duration {
+		n := transferring()
+		if n > res.MaxConcurrent {
+			res.MaxConcurrent = n
+		}
+		if n > 1 {
+			for _, w := range ws {
+				if w.state == wRecovering || w.state == wTransferring {
+					w.collided = true
+				}
+			}
+		}
+		rate := cfg.LinkMBps / math.Max(1, float64(n))
+
+		next := cfg.Duration
+		for _, w := range ws {
+			switch w.state {
+			case wRecovering, wTransferring:
+				if t := now + w.bytesLeft/rate; t < next {
+					next = t
+				}
+			case wWorking:
+				if w.workEnd < next {
+					next = w.workEnd
+				}
+			}
+			if w.failAt < next {
+				next = w.failAt
+			}
+		}
+		dt := next - now
+
+		for _, w := range ws {
+			if w.state == wRecovering || w.state == wTransferring {
+				w.bytesLeft -= rate * dt
+			}
+		}
+		now = next
+		if now >= cfg.Duration {
+			break
+		}
+
+		for _, w := range ws {
+			if w.failAt <= now+1e-9 {
+				fail(w, now)
+				continue
+			}
+			switch w.state {
+			case wRecovering, wTransferring:
+				if w.bytesLeft <= 1e-9 {
+					finishTransfer(w, now)
+				}
+			case wWorking:
+				if w.workEnd <= now+1e-9 {
+					startTransfer(w, now, false)
+				}
+			}
+		}
+	}
+
+	total := float64(cfg.Workers) * cfg.Duration
+	res.Efficiency = res.CommittedWork / total
+	if len(transferDurations) > 0 {
+		sum := 0.0
+		for _, d := range transferDurations {
+			sum += d
+		}
+		res.MeanTransferSec = sum / float64(len(transferDurations))
+	}
+	return res, nil
+}

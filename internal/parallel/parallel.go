@@ -13,6 +13,13 @@
 // the cost the schedule assumed. Heavy-tailed models "parallelize the
 // overhead by incurring it as lost execution work and not sequential
 // network load" (§5.2), which this simulator quantifies.
+//
+// The simulator is an event-calendar discrete-event engine: an indexed
+// min-heap of per-worker events plus a service-mark heap for in-flight
+// transfers give O(log Workers) cost per event, so herds of thousands
+// of processes simulate in seconds (see DESIGN.md §10). Checkpoint
+// intervals come from one markov.Schedule built per availability
+// model and shared by every worker, with jitter applied on top.
 package parallel
 
 import (
@@ -79,6 +86,19 @@ type Config struct {
 	Seed int64
 }
 
+func (cfg Config) validate() error {
+	if cfg.Workers <= 0 {
+		return fmt.Errorf("parallel: need workers > 0, got %d", cfg.Workers)
+	}
+	if cfg.Avail == nil || cfg.ScheduleDist == nil {
+		return errors.New("parallel: need Avail and ScheduleDist")
+	}
+	if cfg.LinkMBps <= 0 || cfg.CheckpointMB <= 0 || cfg.Duration <= 0 {
+		return errors.New("parallel: LinkMBps, CheckpointMB and Duration must be positive")
+	}
+	return nil
+}
+
 // Result summarizes one simulation.
 type Result struct {
 	// Efficiency is committed work over total process-time
@@ -104,6 +124,14 @@ type Result struct {
 	// QueueWaitSec is total time processes spent waiting for the
 	// transfer token (StaggerToken only).
 	QueueWaitSec float64
+	// ScheduleFallbacks counts work intervals that could not be served
+	// from the planned schedule: the model was degenerate at build
+	// time (the interval degrades to the solo transfer cost, keeping
+	// minimal progress), or a non-memoryless schedule ran past its
+	// planned horizon and extended its final interval. Memoryless
+	// models plan a single interval by design; extending it is the
+	// steady state, not a fallback.
+	ScheduleFallbacks int
 }
 
 // CollisionStretch reports how much collisions lengthened the average
@@ -130,244 +158,347 @@ type worker struct {
 	failAt     float64 // when the owner reclaims the machine
 	workEnd    float64 // when the current interval completes (wWorking)
 	topt       float64 // current interval length
-	bytesLeft  float64 // MB remaining (transfer states)
+	target     float64 // cumulative service mark at which the transfer completes
 	totalMB    float64 // MB of the current transfer
 	started    float64 // transfer start time
-	collided   bool    // transfer ever shared the link
 	// Queue bookkeeping (StaggerToken).
 	queuedSince  float64
-	queueSeq     int
+	queueSeq     int  // bumped per enqueue; stale FIFO entries are skipped
 	wantRecovery bool // queued transfer is a recovery (no work at stake)
 }
 
-// Run simulates the parallel job.
-func Run(cfg Config) (Result, error) {
-	if cfg.Workers <= 0 {
-		return Result{}, fmt.Errorf("parallel: need workers > 0, got %d", cfg.Workers)
+// movedMB reports how much of w's in-flight transfer has crossed the
+// link, given the current cumulative service mark.
+func movedMB(w *worker, svc float64) float64 {
+	left := w.target - svc
+	if left < 0 {
+		left = 0
 	}
-	if cfg.Avail == nil || cfg.ScheduleDist == nil {
-		return Result{}, errors.New("parallel: need Avail and ScheduleDist")
+	if left > w.totalMB {
+		left = w.totalMB
 	}
-	if cfg.LinkMBps <= 0 || cfg.CheckpointMB <= 0 || cfg.Duration <= 0 {
-		return Result{}, errors.New("parallel: LinkMBps, CheckpointMB and Duration must be positive")
-	}
+	return w.totalMB - left
+}
 
-	rng := rand.New(rand.NewSource(cfg.Seed))
+// scheduleFor builds the checkpoint schedule shared by every worker of
+// a run: one markov.BuildSchedule per (ScheduleDist, Costs) pair, with
+// intervals served by Schedule.Lookup at each worker's actual age. A
+// nil return means the model was degenerate at age zero; the engine
+// then degrades every interval to the solo transfer cost and counts it
+// in Result.ScheduleFallbacks.
+func scheduleFor(cfg Config) *markov.Schedule {
 	solo := cfg.CheckpointMB / cfg.LinkMBps
-	// Schedules assume the solo transfer cost, as a real deployment
-	// measuring one process at a time would.
 	model := markov.Model{
 		Avail: cfg.ScheduleDist,
 		Costs: markov.Costs{C: solo, R: solo, L: solo},
 	}
-	toptAt := func(age float64) float64 {
-		T, _, err := model.Topt(age, markov.OptimizeOptions{})
-		if err != nil {
-			return solo // degenerate model: keep minimal progress
-		}
-		if cfg.Stagger == StaggerJitter {
-			T *= 1 + 0.3*rng.Float64()
-		}
-		return T
+	// Plan out to the simulated horizon: a worker's age never exceeds
+	// the run duration, so extensions only happen when MaxIntervals
+	// truncates the plan (counted as fallbacks) or the model is
+	// memoryless (periodic by design).
+	s, err := model.BuildSchedule(0, markov.ScheduleOptions{Horizon: cfg.Duration})
+	if err != nil {
+		return nil
 	}
+	return s
+}
 
-	var res Result
-	res.SoloTransferSec = solo
-	var transferDurations []float64
-	queueSeq := 0
-
-	ws := make([]*worker, cfg.Workers)
-	now := 0.0
-
-	transferring := func() int {
-		n := 0
-		for _, w := range ws {
-			if w.state == wRecovering || w.state == wTransferring {
-				n++
-			}
-		}
-		return n
+// Run simulates the parallel job.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
 	}
+	return runScheduled(cfg, scheduleFor(cfg))
+}
 
-	// startTransfer either begins the transfer or, under the token
-	// policy with a busy link, parks the worker in the queue.
-	startTransfer := func(w *worker, at float64, isRecovery bool) {
-		if cfg.Stagger == StaggerToken && transferring() > 0 {
-			w.state = wQueued
-			w.queuedSince = at
-			w.queueSeq = queueSeq
-			queueSeq++
-			w.wantRecovery = isRecovery
-			return
-		}
-		if isRecovery {
-			w.state = wRecovering
-		} else {
-			w.state = wTransferring
-		}
-		w.bytesLeft = cfg.CheckpointMB
-		w.totalMB = cfg.CheckpointMB
-		w.started = at
-		w.collided = false
+type queueEntry struct{ id, seq int }
+
+// engine is the event-calendar simulation state. Transfers progress
+// under processor sharing, tracked in "service" units: svc is the
+// cumulative MB a hypothetical always-active transfer would have
+// received since t=0, advancing at LinkMBps/max(1, nActive). A
+// transfer starting at service mark s completes at mark s +
+// CheckpointMB regardless of how the rate changes in between, so
+// completion order is fixed at start time and the service-keyed heap
+// never needs rekeying — the rate-change bookkeeping reduces to
+// advancing one (svc, svcAt) pair per event.
+type engine struct {
+	cfg        Config
+	rng        *rand.Rand
+	res        Result
+	sched      *markov.Schedule
+	memoryless bool
+	solo       float64
+
+	ws []worker
+
+	timeEv *eventHeap // per worker: earlier of failure and work-end (wall clock)
+	xferEv *eventHeap // per in-flight transfer: completion service mark
+
+	svc     float64 // cumulative per-transfer service (MB)
+	svcAt   float64 // wall-clock time svc was advanced to
+	nActive int     // concurrent transfers (recoveries included)
+
+	lastMulti float64 // last instant the link was shared; seeds collision counting
+
+	queue []queueEntry // token-policy FIFO
+	qHead int
+
+	xferSum   float64 // streaming mean of completed transfer durations
+	xferCount int
+
+	now float64
+}
+
+// newEngine initializes the simulation state shared by the heap engine
+// and the linear-scan reference engine: workers drawn their first
+// lifetimes in index order, then initial recoveries started (the token
+// policy serializes even these).
+func newEngine(cfg Config, sched *markov.Schedule) *engine {
+	e := &engine{
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		sched:      sched,
+		memoryless: dist.IsMemoryless(cfg.ScheduleDist),
+		solo:       cfg.CheckpointMB / cfg.LinkMBps,
+		ws:         make([]worker, cfg.Workers),
+		timeEv:     newEventHeap(cfg.Workers),
+		xferEv:     newEventHeap(cfg.Workers),
+		lastMulti:  math.Inf(-1),
 	}
-
-	// dequeue hands the free token to the longest-waiting queued
-	// worker (StaggerToken only).
-	dequeue := func(at float64) {
-		if cfg.Stagger != StaggerToken {
-			return
-		}
-		var next *worker
-		for _, w := range ws {
-			if w.state == wQueued && (next == nil || w.queueSeq < next.queueSeq) {
-				next = w
-			}
-		}
-		if next == nil {
-			return
-		}
-		res.QueueWaitSec += at - next.queuedSince
-		startTransfer(next, at, next.wantRecovery)
-	}
-
-	finishTransfer := func(w *worker, at float64) {
-		res.MBMoved += w.totalMB
-		transferDurations = append(transferDurations, at-w.started)
-		if w.collided {
-			res.Collisions++
-		}
-		if w.state == wTransferring {
-			res.CommittedWork += w.topt
-			res.Commits++
-		}
-		// Recovery or checkpoint done: begin the next work interval.
-		age := at - w.availStart
-		w.topt = toptAt(age)
-		w.state = wWorking
-		w.workEnd = at + w.topt
-		w.collided = false
-		dequeue(at)
-	}
-
-	fail := func(w *worker, at float64) {
-		res.Failures++
-		heldToken := false
-		switch w.state {
-		case wWorking:
-			res.LostWork += w.topt - (w.workEnd - at)
-		case wTransferring:
-			res.LostWork += w.topt
-			res.MBMoved += w.totalMB - w.bytesLeft
-			heldToken = true
-		case wRecovering:
-			res.MBMoved += w.totalMB - w.bytesLeft
-			heldToken = true
-		case wQueued:
-			res.QueueWaitSec += at - w.queuedSince
-			if !w.wantRecovery {
-				res.LostWork += w.topt // interval done but never stored
-			}
-		}
-		// The machine comes back immediately in a fresh availability
-		// period (busy gaps affect neither the link nor efficiency-of-
-		// occupied-time accounting) and the process restarts with a
-		// recovery.
-		w.state = wWorking // neutral until startTransfer assigns one
-		w.availStart = at
-		w.failAt = at + cfg.Avail.Rand(rng)
-		if heldToken {
-			// The token is free now; waiting workers go first, and the
-			// failed process joins the back of the queue.
-			dequeue(at)
-		}
-		startTransfer(w, at, true)
-	}
-
-	for i := range ws {
-		ws[i] = &worker{
+	e.res.SoloTransferSec = e.solo
+	for i := range e.ws {
+		e.ws[i] = worker{
 			availStart: 0,
-			failAt:     cfg.Avail.Rand(rng),
+			failAt:     cfg.Avail.Rand(e.rng),
 			state:      wWorking, // neutral until startTransfer assigns one
 		}
 	}
-	// Initial recoveries (the token policy serializes even these).
-	for _, w := range ws {
-		startTransfer(w, 0, true)
+	for i := range e.ws {
+		e.startTransfer(i, true)
 	}
+	return e
+}
 
-	for now < cfg.Duration {
-		n := transferring()
-		if n > res.MaxConcurrent {
-			res.MaxConcurrent = n
-		}
-		if n > 1 {
-			for _, w := range ws {
-				if w.state == wRecovering || w.state == wTransferring {
-					w.collided = true
-				}
-			}
-		}
-		rate := cfg.LinkMBps / math.Max(1, float64(n)) // MB/s per transfer
+// fire advances the clock to t and processes the selected event.
+func (e *engine) fire(id int, kind uint8, t float64) {
+	e.advance(t)
+	switch kind {
+	case kindFail:
+		e.fail(id)
+	case kindXfer:
+		e.finishTransfer(id)
+	case kindWork:
+		e.startTransfer(id, false)
+	}
+	if e.nActive > 1 {
+		e.lastMulti = e.now
+	}
+}
 
-		// Next event: earliest of transfer completions, work
-		// completions, and failures.
-		next := cfg.Duration
-		for _, w := range ws {
-			switch w.state {
-			case wRecovering, wTransferring:
-				if t := now + w.bytesLeft/rate; t < next {
-					next = t
-				}
-			case wWorking:
-				if w.workEnd < next {
-					next = w.workEnd
-				}
-			}
-			if w.failAt < next {
-				next = w.failAt
-			}
-		}
-		dt := next - now
+// finish closes the books and returns the result.
+func (e *engine) finish() Result {
+	total := float64(e.cfg.Workers) * e.cfg.Duration
+	e.res.Efficiency = e.res.CommittedWork / total
+	if e.xferCount > 0 {
+		e.res.MeanTransferSec = e.xferSum / float64(e.xferCount)
+	}
+	return e.res
+}
 
-		// Drain in-flight transfers.
-		for _, w := range ws {
-			if w.state == wRecovering || w.state == wTransferring {
-				w.bytesLeft -= rate * dt
-			}
-		}
-		now = next
-		if now >= cfg.Duration {
+// runScheduled runs the heap engine against a prebuilt schedule (which
+// RunGrid shares across every cell of one model column).
+func runScheduled(cfg Config, sched *markov.Schedule) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	e := newEngine(cfg, sched)
+	for {
+		id, t, kind, ok := e.timeEv.Min()
+		if !ok {
 			break
 		}
-
-		// Fire every event due now (failures dominate simultaneous
-		// completions — the eviction kills the process first).
-		for _, w := range ws {
-			if w.failAt <= now+1e-9 {
-				fail(w, now)
-				continue
+		if xid, target, _, xok := e.xferEv.Min(); xok {
+			xt := e.svcAt + (target-e.svc)/e.rate()
+			if xt < e.now {
+				xt = e.now // guard the last-ulp of service arithmetic
 			}
-			switch w.state {
-			case wRecovering, wTransferring:
-				if w.bytesLeft <= 1e-9 {
-					finishTransfer(w, now)
-				}
-			case wWorking:
-				if w.workEnd <= now+1e-9 {
-					startTransfer(w, now, false)
-				}
+			if eventLess(xt, kindXfer, xid, t, kind, id) {
+				id, t, kind = xid, xt, kindXfer
 			}
 		}
-	}
-
-	total := float64(cfg.Workers) * cfg.Duration
-	res.Efficiency = res.CommittedWork / total
-	if len(transferDurations) > 0 {
-		sum := 0.0
-		for _, d := range transferDurations {
-			sum += d
+		if t >= e.cfg.Duration {
+			break
 		}
-		res.MeanTransferSec = sum / float64(len(transferDurations))
+		e.fire(id, kind, t)
 	}
-	return res, nil
+	return e.finish(), nil
+}
+
+// rate is the per-transfer processor-sharing rate in MB/s.
+func (e *engine) rate() float64 {
+	return e.cfg.LinkMBps / math.Max(1, float64(e.nActive))
+}
+
+// advance moves the clock to t, accruing service at the rate that has
+// been in effect since the last event.
+func (e *engine) advance(t float64) {
+	if e.nActive > 0 {
+		e.svc += (t - e.svcAt) * e.rate()
+	}
+	e.svcAt = t
+	e.now = t
+}
+
+// retime refreshes id's wall-clock calendar entry: the earlier of its
+// failure and (when working) its interval completion, failure winning
+// exact ties.
+func (e *engine) retime(id int) {
+	w := &e.ws[id]
+	if w.state == wWorking && w.workEnd < w.failAt {
+		e.timeEv.Update(id, w.workEnd, kindWork)
+		return
+	}
+	e.timeEv.Update(id, w.failAt, kindFail)
+}
+
+// intervalAt serves the next work interval for a worker whose
+// availability period has reached the given age.
+func (e *engine) intervalAt(age float64) float64 {
+	T := e.solo
+	if e.sched != nil {
+		t, extended, ok := e.sched.Lookup(age)
+		switch {
+		case !ok:
+			e.res.ScheduleFallbacks++
+		case extended && !e.memoryless:
+			T = t
+			e.res.ScheduleFallbacks++
+		default:
+			T = t
+		}
+	} else {
+		e.res.ScheduleFallbacks++
+	}
+	if e.cfg.Stagger == StaggerJitter {
+		T *= 1 + 0.3*e.rng.Float64()
+	}
+	return T
+}
+
+// startTransfer either begins the transfer or, under the token policy
+// with a busy link, parks the worker in the FIFO queue.
+func (e *engine) startTransfer(id int, isRecovery bool) {
+	w := &e.ws[id]
+	if e.cfg.Stagger == StaggerToken && e.nActive > 0 {
+		w.state = wQueued
+		w.queuedSince = e.now
+		w.queueSeq++
+		w.wantRecovery = isRecovery
+		e.queue = append(e.queue, queueEntry{id, w.queueSeq})
+		e.retime(id)
+		return
+	}
+	if isRecovery {
+		w.state = wRecovering
+	} else {
+		w.state = wTransferring
+	}
+	w.totalMB = e.cfg.CheckpointMB
+	w.started = e.now
+	w.target = e.svc + e.cfg.CheckpointMB
+	e.nActive++
+	if e.nActive > e.res.MaxConcurrent {
+		e.res.MaxConcurrent = e.nActive
+	}
+	if e.nActive > 1 {
+		e.lastMulti = e.now
+	}
+	e.xferEv.Update(id, w.target, kindXfer)
+	e.retime(id)
+}
+
+// dequeue hands the free token to the longest-waiting queued worker
+// (StaggerToken only). Entries whose worker failed while queued are
+// stale (the failure re-enqueued it with a new sequence number) and
+// are skipped.
+func (e *engine) dequeue() {
+	if e.cfg.Stagger != StaggerToken {
+		return
+	}
+	for e.qHead < len(e.queue) {
+		qe := e.queue[e.qHead]
+		e.qHead++
+		w := &e.ws[qe.id]
+		if w.state != wQueued || w.queueSeq != qe.seq {
+			continue
+		}
+		e.res.QueueWaitSec += e.now - w.queuedSince
+		e.startTransfer(qe.id, w.wantRecovery)
+		return
+	}
+	e.queue = e.queue[:0]
+	e.qHead = 0
+}
+
+func (e *engine) finishTransfer(id int) {
+	w := &e.ws[id]
+	e.res.MBMoved += w.totalMB
+	e.xferSum += e.now - w.started
+	e.xferCount++
+	if e.lastMulti >= w.started {
+		e.res.Collisions++
+	}
+	if w.state == wTransferring {
+		e.res.CommittedWork += w.topt
+		e.res.Commits++
+	}
+	e.xferEv.Remove(id)
+	e.nActive--
+	// Recovery or checkpoint done: begin the next work interval.
+	age := e.now - w.availStart
+	w.topt = e.intervalAt(age)
+	w.state = wWorking
+	w.workEnd = e.now + w.topt
+	e.retime(id)
+	e.dequeue()
+}
+
+func (e *engine) fail(id int) {
+	w := &e.ws[id]
+	e.res.Failures++
+	heldLink := false
+	switch w.state {
+	case wWorking:
+		e.res.LostWork += w.topt - (w.workEnd - e.now)
+	case wTransferring:
+		e.res.LostWork += w.topt
+		e.res.MBMoved += movedMB(w, e.svc)
+		heldLink = true
+	case wRecovering:
+		e.res.MBMoved += movedMB(w, e.svc)
+		heldLink = true
+	case wQueued:
+		e.res.QueueWaitSec += e.now - w.queuedSince
+		if !w.wantRecovery {
+			e.res.LostWork += w.topt // interval done but never stored
+		}
+	}
+	if heldLink {
+		e.xferEv.Remove(id)
+		e.nActive--
+	}
+	// The machine comes back immediately in a fresh availability
+	// period (busy gaps affect neither the link nor efficiency-of-
+	// occupied-time accounting) and the process restarts with a
+	// recovery.
+	w.state = wWorking // neutral until startTransfer assigns one
+	w.availStart = e.now
+	w.failAt = e.now + e.cfg.Avail.Rand(e.rng)
+	if heldLink {
+		// The token is free now; waiting workers go first, and the
+		// failed process joins the back of the queue.
+		e.dequeue()
+	}
+	e.startTransfer(id, true)
 }

@@ -1,0 +1,72 @@
+package parallel
+
+import (
+	"math"
+
+	"github.com/cycleharvest/ckptsched/internal/markov"
+)
+
+// runReference is the O(Workers)-per-event twin of Run, retained as
+// the oracle for the property tests: it shares the engine's event
+// handlers and float arithmetic but selects each next event by linear
+// scan over the worker array, never consulting the event heaps. A
+// bookkeeping bug in the indexed heaps (a missed decrease-key, a stale
+// entry after Remove, a broken tie-break) therefore shows up as a
+// Result divergence between Run and runReference on the same seed,
+// while both engines stay bit-for-bit identical when the heaps are
+// correct.
+//
+// Transfer candidates are compared in service space — (target, id),
+// exactly the xferEv key order — and only the winner is converted to
+// wall-clock time, mirroring the heap engine so the conversion's
+// rounding cannot reorder events between the two.
+func runReference(cfg Config, sched *markov.Schedule) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	e := newEngine(cfg, sched)
+	for {
+		// Wall-clock candidates: per worker, the earlier of its failure
+		// and (when working) its interval completion, failure winning
+		// exact ties — the retime rule.
+		id, t, kind := -1, math.Inf(1), kindFail
+		for i := range e.ws {
+			w := &e.ws[i]
+			ct, ck := w.failAt, kindFail
+			if w.state == wWorking && w.workEnd < w.failAt {
+				ct, ck = w.workEnd, kindWork
+			}
+			if id < 0 || eventLess(ct, ck, i, t, kind, id) {
+				id, t, kind = i, ct, ck
+			}
+		}
+		if id < 0 {
+			break
+		}
+		// In-flight transfer with the smallest completion service mark.
+		xid, xTarget := -1, 0.0
+		for i := range e.ws {
+			w := &e.ws[i]
+			if w.state != wTransferring && w.state != wRecovering {
+				continue
+			}
+			if xid < 0 || w.target < xTarget {
+				xid, xTarget = i, w.target
+			}
+		}
+		if xid >= 0 {
+			xt := e.svcAt + (xTarget-e.svc)/e.rate()
+			if xt < e.now {
+				xt = e.now
+			}
+			if eventLess(xt, kindXfer, xid, t, kind, id) {
+				id, t, kind = xid, xt, kindXfer
+			}
+		}
+		if t >= e.cfg.Duration {
+			break
+		}
+		e.fire(id, kind, t)
+	}
+	return e.finish(), nil
+}
