@@ -20,6 +20,7 @@ import (
 	"github.com/cycleharvest/ckptsched/internal/live"
 	"github.com/cycleharvest/ckptsched/internal/markov"
 	"github.com/cycleharvest/ckptsched/internal/mathx"
+	"github.com/cycleharvest/ckptsched/internal/obs"
 	"github.com/cycleharvest/ckptsched/internal/parallel"
 	"github.com/cycleharvest/ckptsched/internal/sim"
 )
@@ -615,6 +616,27 @@ func BenchmarkParallelRun(b *testing.B) {
 			}
 			b.ReportMetric(eff, "efficiency")
 		})
+	}
+}
+
+// BenchmarkObsNilRegistry pins the obs package's off switch: resolving
+// metrics from a nil registry and mutating the resulting nil metrics
+// must stay allocation-free and a few ns per call, because every
+// instrumented subsystem runs through this path when no -metrics or
+// -stats flag is given. BENCH_seed.json gates regressions.
+func BenchmarkObsNilRegistry(b *testing.B) {
+	var reg *obs.Registry
+	c := reg.Counter("bench_nil_total", "")
+	g := reg.Gauge("bench_nil_gauge", "")
+	h := reg.Histogram("bench_nil_seconds", "", obs.DefBuckets)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for b.Loop() {
+		c.Inc()
+		c.Add(3)
+		g.Set(7)
+		g.SetMax(9)
+		h.Observe(0.25)
 	}
 }
 

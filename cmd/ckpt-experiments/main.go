@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +24,10 @@ import (
 
 	"github.com/cycleharvest/ckptsched/internal/ckptnet"
 	"github.com/cycleharvest/ckptsched/internal/experiments"
+	"github.com/cycleharvest/ckptsched/internal/fit"
+	"github.com/cycleharvest/ckptsched/internal/markov"
+	"github.com/cycleharvest/ckptsched/internal/obs"
+	"github.com/cycleharvest/ckptsched/internal/parallel"
 )
 
 func main() {
@@ -36,17 +41,30 @@ func main() {
 	chaos := flag.Bool("chaos", false, "shorthand for -run chaos: one live campaign under fault injection vs its clean twin")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	statsDump := flag.Bool("stats", false, "print the final metrics-registry snapshot as JSON on stderr")
 	flag.Parse()
 
 	which := *run
 	if *chaos {
 		which = "chaos"
 	}
+	var reg *obs.Registry
+	if *statsDump {
+		reg = obs.NewRegistry()
+		fit.Instrument(reg)
+		markov.Instrument(reg)
+		parallel.Instrument(reg)
+	}
 	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
 	if err == nil {
 		err = runExperiments(which, *machines, *months, *samples, *seed, *csvDir, *concurrency)
 	}
 	stopProfiles()
+	if *statsDump {
+		if serr := json.NewEncoder(os.Stderr).Encode(reg.Snapshot()); serr != nil && err == nil {
+			err = serr
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ckpt-experiments:", err)
 		os.Exit(1)

@@ -7,6 +7,11 @@
 //
 //	ckpt-mgr -addr 127.0.0.1:7419 -model hyperexp2 -params 0.6,0.4,0.01,0.0001 [-mb 500]
 //	ckpt-mgr -addr :7419 -trace traces.csv -model weibull
+//	ckpt-mgr -addr :7419 -trace traces.csv -model weibull -metrics 127.0.0.1:9090
+//
+// With -metrics, the manager serves its live counters as a Prometheus
+// text page at /metrics and as JSON at /debug/vars (see DESIGN.md §11
+// for the metric-name contract).
 //
 // With -trace, parameters are fitted per connecting job: the job ID is
 // expected to be "<machine>/<n>" and the machine's recorded history is
@@ -16,8 +21,11 @@ package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -28,6 +36,7 @@ import (
 	"github.com/cycleharvest/ckptsched/internal/ckptnet"
 	"github.com/cycleharvest/ckptsched/internal/core"
 	"github.com/cycleharvest/ckptsched/internal/fit"
+	"github.com/cycleharvest/ckptsched/internal/obs"
 	"github.com/cycleharvest/ckptsched/internal/trace"
 )
 
@@ -46,12 +55,33 @@ func main() {
 	faultReset := flag.Int64("fault-reset-bytes", 0, "fault injection: reset each armed connection after N bytes")
 	faultEvery := flag.Int("fault-reset-every", 1, "fault injection: arm the reset on every Nth connection")
 	faultSeed := flag.Int64("fault-seed", 1, "fault injection: deterministic seed")
+	metricsAddr := flag.String("metrics", "", "serve Prometheus /metrics and expvar /debug/vars on this address (e.g. 127.0.0.1:9090)")
 	flag.Parse()
 
 	opts := ckptnet.Options{
 		HelloTimeout:   *helloTO,
 		IdleTimeout:    *idleTO,
 		HeartbeatGrace: *grace,
+	}
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		opts.Metrics = reg
+		fit.Instrument(reg)
+		obs.PublishExpvar("ckptsched", reg)
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		mux.Handle("/debug/vars", expvar.Handler())
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ckpt-mgr: metrics listener:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics on http://%s/metrics (expvar at /debug/vars)\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "ckpt-mgr: metrics server:", err)
+			}
+		}()
 	}
 	if *faultDrop > 0 || *faultCorrupt > 0 || *faultReset > 0 {
 		fi := ckptnet.NewFaultInjector(ckptnet.FaultConfig{

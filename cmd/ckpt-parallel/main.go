@@ -17,12 +17,15 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 
 	"github.com/cycleharvest/ckptsched/internal/dist"
+	"github.com/cycleharvest/ckptsched/internal/markov"
+	"github.com/cycleharvest/ckptsched/internal/obs"
 	"github.com/cycleharvest/ckptsched/internal/parallel"
 )
 
@@ -36,9 +39,22 @@ func main() {
 	seed := flag.Int64("seed", 42, "base simulation seed")
 	seeds := flag.Int("seeds", 1, "independent replicates per cell (95% CI when > 1)")
 	maxprocs := flag.Int("maxprocs", runtime.GOMAXPROCS(0), "concurrent simulation cells")
+	statsDump := flag.Bool("stats", false, "print the final metrics-registry snapshot as JSON on stderr")
 	flag.Parse()
 
-	if err := run(*workers, *link, *mb, *hours, *shape, *scale, *seed, *seeds, *maxprocs); err != nil {
+	var reg *obs.Registry
+	if *statsDump {
+		reg = obs.NewRegistry()
+		parallel.Instrument(reg)
+		markov.Instrument(reg)
+	}
+	err := run(*workers, *link, *mb, *hours, *shape, *scale, *seed, *seeds, *maxprocs)
+	if *statsDump {
+		if serr := json.NewEncoder(os.Stderr).Encode(reg.Snapshot()); serr != nil && err == nil {
+			err = serr
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ckpt-parallel:", err)
 		os.Exit(1)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -16,6 +17,7 @@ import (
 
 	"github.com/cycleharvest/ckptsched/internal/fit"
 	"github.com/cycleharvest/ckptsched/internal/markov"
+	"github.com/cycleharvest/ckptsched/internal/obs"
 	"github.com/cycleharvest/ckptsched/internal/sim"
 	"github.com/cycleharvest/ckptsched/internal/stats"
 	"github.com/cycleharvest/ckptsched/internal/trace"
@@ -30,13 +32,25 @@ func main() {
 	perMachine := flag.Bool("permachine", false, "print per-machine rows")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	statsDump := flag.Bool("stats", false, "print the final metrics-registry snapshot as JSON on stderr")
 	flag.Parse()
 
+	var reg *obs.Registry
+	if *statsDump {
+		reg = obs.NewRegistry()
+		fit.Instrument(reg)
+		markov.Instrument(reg)
+	}
 	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
 	if err == nil {
 		err = run(*path, *c, *size, *train, *minRec, *perMachine)
 	}
 	stopProfiles()
+	if *statsDump {
+		if serr := json.NewEncoder(os.Stderr).Encode(reg.Snapshot()); serr != nil && err == nil {
+			err = serr
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ckpt-sim:", err)
 		os.Exit(1)

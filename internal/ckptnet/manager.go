@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/cycleharvest/ckptsched/internal/fit"
+	"github.com/cycleharvest/ckptsched/internal/obs"
 )
 
 // Assigner decides which availability model a connecting test process
@@ -58,6 +59,10 @@ type Options struct {
 	// WrapConn, when set, wraps every accepted connection — the hook
 	// the FaultInjector uses.
 	WrapConn func(net.Conn) net.Conn
+	// Metrics, when set, receives the manager's counters, the active-
+	// session gauge, and the heartbeat-gap histogram (names in DESIGN.md
+	// §11). Nil leaves instrumentation off at zero cost.
+	Metrics *obs.Registry
 }
 
 func (o *Options) setDefaults() {
@@ -95,6 +100,7 @@ type ImageRecord struct {
 type Manager struct {
 	assigner Assigner
 	opts     Options
+	metrics  managerMetrics
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -122,6 +128,7 @@ func NewManagerOpts(a Assigner, opts Options) (*Manager, error) {
 	return &Manager{
 		assigner: a,
 		opts:     opts,
+		metrics:  newManagerMetrics(opts.Metrics),
 		byJob:    make(map[string]*SessionLog),
 		images:   make(map[string]ImageRecord),
 		conns:    make(map[net.Conn]struct{}),
@@ -290,6 +297,7 @@ func (m *Manager) sessionFor(h Hello, a Assign) (log *SessionLog, resumed bool) 
 	}
 	m.sessions = append(m.sessions, l)
 	m.byJob[h.JobID] = l
+	m.metrics.sessions.Inc()
 	return l, false
 }
 
@@ -322,12 +330,14 @@ func (m *Manager) serve(conn net.Conn) {
 		m.opts.HeartbeatGrace, m.opts.MinFrameTimeout, m.opts.IdleTimeout)
 
 	log, resumed := m.sessionFor(hello, assign)
+	m.metrics.active.Add(1)
+	defer m.metrics.active.Add(-1)
 	if resumed {
-		log.Add(EvRetry, float64(hello.Attempt))
+		m.record(log, EvRetry, float64(hello.Attempt))
 	} else {
-		log.Add(EvConnected, hello.TElapsed)
+		m.record(log, EvConnected, hello.TElapsed)
 	}
-	defer log.Add(EvDisconnected, 0)
+	defer m.record(log, EvDisconnected, 0)
 
 	if err := WriteFrame(rw, MsgAssign, assign); err != nil {
 		return
@@ -348,13 +358,14 @@ func (m *Manager) serve(conn net.Conn) {
 		return
 	}
 	if err := WriteData(rw, recBytes); err != nil {
-		log.Add(EvRecoveryInterrupted, 0)
+		m.record(log, EvRecoveryInterrupted, 0)
 		return
 	}
-	log.Add(EvRecoveryDone, 0)
+	m.record(log, EvRecoveryDone, 0)
 
 	// Event loop: heartbeats, T_opt reports, checkpoints — until the
 	// connection drops (eviction) or the stream turns to garbage.
+	var lastHB time.Time
 	for {
 		var raw struct {
 			Topt      float64 `json:"topt"`
@@ -368,23 +379,30 @@ func (m *Manager) serve(conn net.Conn) {
 		t, err := ReadFrame(rw, &raw)
 		if err != nil {
 			if errors.Is(err, ErrMalformedFrame) {
-				log.Add(EvTornFrame, 0)
+				m.record(log, EvTornFrame, 0)
 			}
 			return
 		}
 		switch t {
 		case MsgTopt:
-			log.Add(EvTopt, raw.Topt)
+			m.record(log, EvTopt, raw.Topt)
 			if raw.Fallback {
-				log.Add(EvFallback, raw.Topt)
+				m.record(log, EvFallback, raw.Topt)
 			}
 		case MsgHeartbeat:
-			log.Add(EvHeartbeat, raw.Elapsed)
+			if h := m.metrics.hbGap; h != nil {
+				now := time.Now()
+				if !lastHB.IsZero() {
+					h.Observe(now.Sub(lastHB).Seconds())
+				}
+				lastHB = now
+			}
+			m.record(log, EvHeartbeat, raw.Elapsed)
 		case MsgCheckpointBegin:
 			got, crc, err := ReadDataCRC(rw, raw.Bytes)
 			if err != nil {
 				if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
-					log.Add(EvCheckpointInterrupted, float64(got))
+					m.record(log, EvCheckpointInterrupted, float64(got))
 				}
 				return
 			}
@@ -393,21 +411,21 @@ func (m *Manager) serve(conn net.Conn) {
 				// tell the process so it can retry over this connection
 				// (the stream is still frame-aligned — we consumed
 				// exactly the announced byte count).
-				log.Add(EvTornFrame, float64(got))
+				m.record(log, EvTornFrame, float64(got))
 				if err := WriteFrame(rw, MsgCheckpointNack, struct{}{}); err != nil {
 					return
 				}
 				continue
 			}
 			m.commitImage(hello.JobID, raw.Bytes, crc)
-			log.Add(EvCheckpointDone, 0)
+			m.record(log, EvCheckpointDone, 0)
 			if err := WriteFrame(rw, MsgCheckpointAck, struct{}{}); err != nil {
 				return
 			}
 		default:
 			// Unknown frame type: the stream lost alignment (a dropped
 			// control frame left raw data where a header should be).
-			log.Add(EvTornFrame, 0)
+			m.record(log, EvTornFrame, 0)
 			return
 		}
 	}

@@ -1,0 +1,134 @@
+package ckptnet
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/cycleharvest/ckptsched/internal/fit"
+	"github.com/cycleharvest/ckptsched/internal/obs"
+)
+
+// TestManagerMetricsReconcile drives real sessions end to end and
+// checks the registry against the summed per-session summaries — the
+// contract that makes the /metrics page trustworthy: every counter
+// equals the corresponding Summary field aggregated over Sessions().
+func TestManagerMetricsReconcile(t *testing.T) {
+	reg := obs.NewRegistry()
+	mgr, err := NewManagerOpts(
+		StaticAssigner(fit.ModelExponential, []float64{1.0 / 9000}, 256*1024),
+		Options{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := mgr.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+
+	const procs = 4
+	errs := make(chan error, procs)
+	for i := range procs {
+		go func(i int) {
+			_, err := RunProcess(context.Background(), ProcessConfig{
+				Addr:         addr.String(),
+				JobID:        fmt.Sprintf("recon/%d", i),
+				TimeScale:    1e-4,
+				MaxIntervals: 3,
+			})
+			errs <- err
+		}(i)
+	}
+	for range procs {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Wait for every session to finalize (EvDisconnected recorded) so
+	// the counters are quiescent.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		done := 0
+		for _, s := range mgr.Sessions() {
+			if last, ok := s.LastEvent(); ok && last.Kind == EvDisconnected {
+				done++
+			}
+		}
+		if done == procs {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d sessions finalized", done, procs)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	var want Summary
+	for _, s := range mgr.Sessions() {
+		sum := s.Summarize()
+		want.Recoveries += sum.Recoveries
+		want.Checkpoints += sum.Checkpoints
+		want.Interrupted += sum.Interrupted
+		want.Heartbeats += sum.Heartbeats
+		want.ToptReports += sum.ToptReports
+		want.BytesMoved += sum.BytesMoved
+		want.Retries += sum.Retries
+		want.TornFrames += sum.TornFrames
+		want.Fallbacks += sum.Fallbacks
+	}
+
+	snap := reg.Snapshot()
+	checks := []struct {
+		name string
+		want uint64
+	}{
+		{"ckptnet_sessions_total", procs},
+		{"ckptnet_recoveries_total", uint64(want.Recoveries)},
+		{"ckptnet_checkpoints_total", uint64(want.Checkpoints)},
+		{"ckptnet_interrupted_transfers_total", uint64(want.Interrupted)},
+		{"ckptnet_heartbeats_total", uint64(want.Heartbeats)},
+		{"ckptnet_topt_reports_total", uint64(want.ToptReports)},
+		{"ckptnet_bytes_moved_total", uint64(want.BytesMoved)},
+		{"ckptnet_retries_total", uint64(want.Retries)},
+		{"ckptnet_torn_frames_total", uint64(want.TornFrames)},
+		{"ckptnet_fallbacks_total", uint64(want.Fallbacks)},
+	}
+	for _, c := range checks {
+		if got := snap.Counters[c.name]; got != c.want {
+			t.Errorf("%s = %d, want %d (summaries)", c.name, got, c.want)
+		}
+	}
+	if got := snap.Gauges["ckptnet_active_sessions"]; got != 0 {
+		t.Errorf("active sessions after drain = %d, want 0", got)
+	}
+	// Each session heartbeats at least twice, so gap observations exist.
+	hb := snap.Histograms["ckptnet_heartbeat_gap_seconds"]
+	if want.Heartbeats > procs && hb.Count == 0 {
+		t.Error("heartbeat gap histogram recorded nothing")
+	}
+}
+
+// TestManagerWithoutMetricsIsNoop pins the off switch: a manager built
+// without a registry runs the same sessions with all-nil metrics.
+func TestManagerWithoutMetricsIsNoop(t *testing.T) {
+	mgr, err := NewManager(StaticAssigner(fit.ModelExponential, []float64{1.0 / 9000}, 64*1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := mgr.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	if _, err := RunProcess(context.Background(), ProcessConfig{
+		Addr: addr.String(), JobID: "off", TimeScale: 1e-4, MaxIntervals: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if mgr.metrics.recoveries.Value() != 0 || mgr.metrics.hbGap.Count() != 0 {
+		t.Error("nil metrics accumulated values")
+	}
+}

@@ -2,6 +2,7 @@ package fit
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"github.com/cycleharvest/ckptsched/internal/dist"
 )
@@ -36,6 +37,10 @@ type cacheKey struct {
 
 type cacheEntry struct {
 	once sync.Once
+	// done flips to true after once completes; it classifies later
+	// callers as cache hits (entry finished) versus single-flight
+	// waits (entry still in flight) without holding the cache lock.
+	done atomic.Bool
 	d    dist.Distribution
 	err  error
 }
@@ -60,7 +65,22 @@ func (c *Cache) Fit(key string, model Model, data []float64) (dist.Distribution,
 		c.entries[k] = e
 	}
 	c.mu.Unlock()
-	e.once.Do(func() { e.d, e.err = Fit(model, data) })
+	switch {
+	case !ok:
+		metrics.cacheMisses.Inc()
+	case e.done.Load():
+		metrics.cacheHits.Inc()
+	default:
+		// The entry exists but its fit has not finished: this caller is
+		// about to block inside once.Do behind the in-flight fit. (The
+		// fit may finish between the Load and the Do — the wait is then
+		// momentary, but it still raced an in-flight estimate.)
+		metrics.cacheWaits.Inc()
+	}
+	e.once.Do(func() {
+		e.d, e.err = Fit(model, data)
+		e.done.Store(true)
+	})
 	return e.d, e.err
 }
 

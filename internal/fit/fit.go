@@ -389,5 +389,7 @@ func Hyperexp(data []float64, k int, opts EMOptions) (EMResult, error) {
 	}
 
 	h := dist.NewHyperexponential(p, lam)
+	metrics.emFits.Inc()
+	metrics.emIters.Add(uint64(iters))
 	return EMResult{Dist: h, LogLik: prevLL, Iters: iters, Converg: converged}, nil
 }

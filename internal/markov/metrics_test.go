@@ -1,0 +1,56 @@
+package markov
+
+import (
+	"testing"
+
+	"github.com/cycleharvest/ckptsched/internal/dist"
+	"github.com/cycleharvest/ckptsched/internal/obs"
+)
+
+// TestBuildScheduleMetrics pins the schedule-search accounting: every
+// planned interval is either a warm-start hit or a cold scan, and the
+// golden-eval counter tracks the objective probes behind them.
+func TestBuildScheduleMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	Instrument(reg)
+	defer Instrument(nil)
+
+	m := Model{Avail: dist.NewWeibull(0.43, 3409), Costs: mustCosts(t, 100, 100, 100)}
+	s, err := m.BuildSchedule(0, ScheduleOptions{Horizon: 24 * 3600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["markov_schedule_builds_total"]; got != 1 {
+		t.Errorf("builds = %d, want 1", got)
+	}
+	warm := snap.Counters["markov_warm_hits_total"]
+	cold := snap.Counters["markov_cold_scans_total"]
+	if int(warm+cold) != s.Len() {
+		t.Errorf("warm %d + cold %d != %d intervals", warm, cold, s.Len())
+	}
+	if cold < 1 {
+		t.Error("the first interval always cold-scans")
+	}
+	if warm == 0 {
+		t.Error("a slowly drifting Weibull schedule should warm-start some intervals")
+	}
+	if evals := snap.Counters["markov_golden_evals_total"]; evals < warm+cold {
+		t.Errorf("golden evals = %d, expected at least one per search", evals)
+	}
+
+	// Instrumentation must not change the schedule itself.
+	Instrument(nil)
+	plain, err := m.BuildSchedule(0, ScheduleOptions{Horizon: 24 * 3600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Len() != s.Len() {
+		t.Fatalf("instrumented schedule has %d intervals, plain has %d", s.Len(), plain.Len())
+	}
+	for i := range plain.Intervals {
+		if plain.Intervals[i] != s.Intervals[i] || plain.Ratios[i] != s.Ratios[i] {
+			t.Fatalf("interval %d differs under instrumentation", i)
+		}
+	}
+}

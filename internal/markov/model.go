@@ -191,7 +191,13 @@ var ErrDegenerate = errors.New("markov: no feasible work interval")
 func (m Model) Topt(age float64, opts OptimizeOptions) (T, ratio float64, err error) {
 	opts.setDefaults()
 	e := m.evaluator(age)
-	T, ratio = mathx.MinimizeScanGolden(e.ratio, opts.TMin, opts.TMax, opts.GridPoints, opts.Tol)
+	f := e.ratio
+	if c := metrics.goldenEvals; c != nil {
+		var n uint64
+		defer func() { c.Add(n) }()
+		f = countedRatio(f, &n)
+	}
+	T, ratio = mathx.MinimizeScanGolden(f, opts.TMin, opts.TMax, opts.GridPoints, opts.Tol)
 	if math.IsInf(ratio, 1) || math.IsNaN(ratio) {
 		return 0, 0, ErrDegenerate
 	}
@@ -223,7 +229,13 @@ func (m Model) toptWarm(age, prev float64, opts OptimizeOptions) (T, ratio float
 	if !(e.sAge >= warmMinSurvival) {
 		return 0, 0, false
 	}
-	T, ratio, ok = mathx.MinimizeWarmScanGolden(e.ratio, opts.TMin, opts.TMax, opts.GridPoints, opts.Tol, prev)
+	f := e.ratio
+	if c := metrics.goldenEvals; c != nil {
+		var n uint64
+		defer func() { c.Add(n) }()
+		f = countedRatio(f, &n)
+	}
+	T, ratio, ok = mathx.MinimizeWarmScanGolden(f, opts.TMin, opts.TMax, opts.GridPoints, opts.Tol, prev)
 	if !ok || math.IsInf(ratio, 1) || math.IsNaN(ratio) {
 		return 0, 0, false
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"github.com/cycleharvest/ckptsched/internal/dist"
 )
@@ -28,11 +29,13 @@ type Schedule struct {
 
 	// bounds caches Ages[i] + Intervals[i] + Costs.C — the age at which
 	// interval i's checkpoint completes — so IntervalAt can binary-search
-	// instead of scanning. BuildSchedule fills it eagerly (its output is
-	// then safe for concurrent IntervalAt calls); schedules arriving by
-	// other routes (JSON decoding, literals) rebuild it lazily on first
-	// lookup.
-	bounds []float64
+	// instead of scanning. BuildSchedule fills it eagerly; schedules
+	// arriving by other routes (JSON decoding, literals) build it on
+	// first lookup, guarded by boundsOnce so concurrent Lookup calls on
+	// a decoded schedule never race on the rebuild. The exported fields
+	// are treated as immutable once the first Lookup runs.
+	boundsOnce sync.Once
+	bounds     []float64
 }
 
 // Len returns the number of planned intervals.
@@ -72,22 +75,28 @@ func (s *Schedule) IntervalAt(age float64) (T float64, ok bool) {
 // BuildSchedule plans a single interval on purpose, so extensions are
 // the expected steady state there, not a fallback.
 //
-// Like IntervalAt, Lookup on BuildSchedule output is safe for
-// concurrent use (the boundary cache is filled eagerly).
+// Lookup (and IntervalAt) is safe for concurrent use on any schedule:
+// BuildSchedule output carries an eagerly built boundary cache, and a
+// schedule that arrived by JSON decoding or literal construction
+// builds it exactly once under a sync.Once on first lookup.
 func (s *Schedule) Lookup(age float64) (T float64, extended, ok bool) {
 	n := len(s.Intervals)
 	if n == 0 {
 		return 0, false, false
 	}
-	if len(s.bounds) != n {
-		s.rebuildBounds()
-	}
+	s.ensureBounds()
 	i := sort.Search(n, func(j int) bool { return age < s.bounds[j] })
 	if i == n {
 		return s.Intervals[n-1], true, true
 	}
 	return s.Intervals[i], false, true
 }
+
+// ensureBounds builds the boundary cache exactly once. Both
+// BuildSchedule (eagerly) and Lookup (lazily, for decoded schedules)
+// funnel through the same Once, so the cache is never written twice
+// and never written concurrently with a read.
+func (s *Schedule) ensureBounds() { s.boundsOnce.Do(s.rebuildBounds) }
 
 // rebuildBounds recomputes the interval-end boundary cache from the
 // exported fields.
@@ -151,6 +160,7 @@ func (m Model) BuildSchedule(startAge float64, opts ScheduleOptions) (*Schedule,
 	s := &Schedule{Costs: m.Costs}
 	age := startAge
 	prevT := 0.0
+	warmHits, coldScans := 0, 0
 	for len(s.Intervals) < opts.MaxIntervals {
 		// Warm-start: T_opt drifts slowly with age, so seed the search
 		// from the previous interval's optimum and evaluate only a
@@ -165,7 +175,10 @@ func (m Model) BuildSchedule(startAge float64, opts ScheduleOptions) (*Schedule,
 		if prevT > 0 {
 			T, ratio, warm = m.toptWarm(age, prevT, opts.Optimize)
 		}
-		if !warm {
+		if warm {
+			warmHits++
+		} else {
+			coldScans++
 			var err error
 			T, ratio, err = m.Topt(age, opts.Optimize)
 			if err != nil {
@@ -189,6 +202,9 @@ func (m Model) BuildSchedule(startAge float64, opts ScheduleOptions) (*Schedule,
 			break
 		}
 	}
-	s.rebuildBounds()
+	s.ensureBounds()
+	metrics.builds.Inc()
+	metrics.warmHits.Add(uint64(warmHits))
+	metrics.coldScans.Add(uint64(coldScans))
 	return s, nil
 }

@@ -1,0 +1,82 @@
+package markov
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"github.com/cycleharvest/ckptsched/internal/dist"
+)
+
+// TestDecodedScheduleConcurrentLookup is the regression test for the
+// lazy boundary-rebuild race: a JSON-decoded schedule arrives with an
+// empty bounds cache, and before the sync.Once guard two goroutines
+// calling Lookup simultaneously both saw len(s.bounds) != n and raced
+// on the rebuild (caught by -race, and capable of serving a lookup
+// from a half-written slice). Eight goroutines hammer one decoded
+// schedule and every answer must match a warmed reference.
+func TestDecodedScheduleConcurrentLookup(t *testing.T) {
+	m := Model{Avail: dist.NewWeibull(0.43, 3409), Costs: mustCosts(t, 100, 100, 100)}
+	built, err := m.BuildSchedule(0, ScheduleOptions{Horizon: 24 * 3600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built.Len() < 3 {
+		t.Fatalf("want an aperiodic schedule with several intervals, got %d", built.Len())
+	}
+
+	blob, err := json.Marshal(built)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Schedule
+	if err := json.Unmarshal(blob, &decoded); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference answers from the already-warmed builder output.
+	horizon := built.Horizon()
+	ages := make([]float64, 0, 512)
+	for i := 0; i < 512; i++ {
+		ages = append(ages, horizon*1.25*float64(i)/511)
+	}
+	want := make([]float64, len(ages))
+	for i, age := range ages {
+		T, ok := built.IntervalAt(age)
+		if !ok {
+			t.Fatalf("reference lookup failed at age %g", age)
+		}
+		want[i] = T
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 50; rep++ {
+				// Stagger the starting index so the goroutines hit the
+				// first (cache-building) lookup at different ages.
+				for i := range ages {
+					j := (i + g*len(ages)/goroutines) % len(ages)
+					T, extended, ok := decoded.Lookup(ages[j])
+					if !ok || T != want[j] {
+						errs <- "lookup mismatch"
+						return
+					}
+					if wantExt := ages[j] >= horizon; extended != wantExt {
+						errs <- "extended flag mismatch"
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}

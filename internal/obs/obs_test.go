@@ -1,0 +1,279 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "jobs")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	if again := r.Counter("jobs_total", "jobs"); again != c {
+		t.Error("re-registration did not return the same counter")
+	}
+
+	g := r.Gauge("depth", "queue depth")
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Errorf("gauge = %d, want 5", g.Value())
+	}
+	g.SetMax(3)
+	if g.Value() != 5 {
+		t.Error("SetMax lowered the gauge")
+	}
+	g.SetMax(11)
+	if g.Value() != 11 {
+		t.Errorf("SetMax = %d, want 11", g.Value())
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+// TestHistogramBucketBoundaries pins the inclusive-upper-bound ("le")
+// semantics, including observations landing exactly on a bound and in
+// the +Inf overflow slot.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram([]float64{1, 5, 10})
+	for _, v := range []float64{0.5, 1, 1.0000001, 5, 7, 10, 11, math.Inf(1)} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	want := []uint64{2, 2, 2, 2} // (-inf,1], (1,5], (5,10], (10,+inf)
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (all: %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 8 {
+		t.Errorf("count = %d, want 8", s.Count)
+	}
+	if !math.IsInf(s.Sum, 1) {
+		t.Errorf("sum = %g, want +Inf", s.Sum)
+	}
+
+	// NaN must not corrupt a finite bucket: it lands in +Inf.
+	h2 := NewHistogram([]float64{1})
+	h2.Observe(math.NaN())
+	if s2 := h2.snapshot(); s2.Counts[0] != 0 || s2.Counts[1] != 1 {
+		t.Errorf("NaN bucketed as %v", s2.Counts)
+	}
+}
+
+func TestHistogramRejectsUnsortedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unsorted bounds did not panic")
+		}
+	}()
+	NewHistogram([]float64{1, 1})
+}
+
+// TestSnapshotDeterminism requires two registries populated in
+// different orders to JSON-encode byte-identically.
+func TestSnapshotDeterminism(t *testing.T) {
+	build := func(order []string) *Registry {
+		r := NewRegistry()
+		for _, name := range order {
+			r.Counter(name, "help for "+name)
+		}
+		r.Gauge("zz_gauge", "").Set(3)
+		r.Histogram("hh_seconds", "", []float64{1, 2}).Observe(1.5)
+		r.Counter(order[0], "").Add(2)
+		return r
+	}
+	a := build([]string{"b_total", "a_total", "c_total"})
+	b := build([]string{"c_total", "b_total", "a_total"})
+	// Equalize the values (order[0] differs above).
+	a.Counter("c_total", "").Add(2)
+	b.Counter("b_total", "").Add(2)
+
+	ja, err := json.Marshal(a.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := json.Marshal(b.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja, jb) {
+		t.Errorf("snapshots differ:\n%s\n%s", ja, jb)
+	}
+
+	var ta, tb bytes.Buffer
+	if err := a.WriteText(&ta); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteText(&tb); err != nil {
+		t.Fatal(err)
+	}
+	if ta.String() != tb.String() {
+		t.Errorf("text expositions differ:\n%s\n%s", ta.String(), tb.String())
+	}
+}
+
+// TestWriteTextGolden pins the Prometheus text format byte-for-byte —
+// the exposition is a stable contract (DESIGN.md §11).
+func TestWriteTextGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ckpt_retries_total", "Session resumptions.").Add(3)
+	r.Gauge("ckpt_active_sessions", "Live sessions.").Set(2)
+	h := r.Histogram("ckpt_gap_seconds", "Heartbeat gaps.", []float64{0.5, 2.5})
+	h.Observe(0.25)
+	h.Observe(0.25)
+	h.Observe(1)
+	h.Observe(100)
+
+	const want = `# HELP ckpt_active_sessions Live sessions.
+# TYPE ckpt_active_sessions gauge
+ckpt_active_sessions 2
+# HELP ckpt_gap_seconds Heartbeat gaps.
+# TYPE ckpt_gap_seconds histogram
+ckpt_gap_seconds_bucket{le="0.5"} 2
+ckpt_gap_seconds_bucket{le="2.5"} 3
+ckpt_gap_seconds_bucket{le="+Inf"} 4
+ckpt_gap_seconds_sum 101.5
+ckpt_gap_seconds_count 4
+# HELP ckpt_retries_total Session resumptions.
+# TYPE ckpt_retries_total counter
+ckpt_retries_total 3
+`
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != want {
+		t.Errorf("text exposition:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+func TestHandlerServesText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total", "").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "hits_total 1") {
+		t.Errorf("body = %q", rec.Body.String())
+	}
+}
+
+func TestExpvarVar(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("n_total", "").Add(9)
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(r.ExpvarVar().String()), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["n_total"] != 9 {
+		t.Errorf("expvar snapshot = %+v", snap)
+	}
+}
+
+// TestNilRegistryAndMetrics pins the off switch: every operation on a
+// nil registry or nil metric is a safe no-op and expositions render
+// empty.
+func TestNilRegistryAndMetrics(t *testing.T) {
+	var r *Registry
+	c := r.Counter("a_total", "")
+	g := r.Gauge("b", "")
+	h := r.Histogram("c_seconds", "", DefBuckets)
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry returned live metrics")
+	}
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(1)
+	g.SetMax(9)
+	h.Observe(0.1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil metrics accumulated state")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil || buf.Len() != 0 {
+		t.Errorf("nil WriteText = %q, %v", buf.String(), err)
+	}
+	if s := r.Snapshot(); s.Counters != nil || s.Gauges != nil || s.Histograms != nil {
+		t.Errorf("nil Snapshot = %+v", s)
+	}
+}
+
+// TestNilFastPathAllocationFree proves the contractual property the
+// gated benchmarks depend on: instrumentation against a nil registry
+// allocates nothing.
+func TestNilFastPathAllocationFree(t *testing.T) {
+	var r *Registry
+	c := r.Counter("a_total", "")
+	g := r.Gauge("b", "")
+	h := r.Histogram("c_seconds", "", DefBuckets)
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(2)
+		g.Set(1)
+		g.SetMax(2)
+		h.Observe(0.5)
+	})
+	if allocs != 0 {
+		t.Errorf("nil fast path allocates %.1f objects per op", allocs)
+	}
+}
+
+func TestConcurrentMutation(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n_total", "")
+	g := r.Gauge("peak", "")
+	h := r.Histogram("v", "", []float64{10, 100})
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.SetMax(int64(w*per + i))
+				h.Observe(float64(i % 200))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if g.Value() != workers*per-1 {
+		t.Errorf("gauge max = %d, want %d", g.Value(), workers*per-1)
+	}
+	if h.Count() != workers*per {
+		t.Errorf("histogram count = %d", h.Count())
+	}
+	s := h.snapshot()
+	var total uint64
+	for _, n := range s.Counts {
+		total += n
+	}
+	if total != h.Count() {
+		t.Errorf("bucket sum %d != count %d", total, h.Count())
+	}
+}

@@ -42,6 +42,7 @@ type eventHeap struct {
 	pos  []int     // worker id -> heap slot, -1 if absent
 	key  []float64 // worker id -> sort key (seconds or MB of service)
 	kind []uint8   // worker id -> event kind
+	ops  uint64    // Update/Remove mutations, flushed to obs by finish
 }
 
 func newEventHeap(n int) *eventHeap {
@@ -73,6 +74,7 @@ func (h *eventHeap) Min() (id int, key float64, kind uint8, ok bool) {
 // Update inserts id with the given key, or repositions it if already
 // present (covers both decrease-key and increase-key).
 func (h *eventHeap) Update(id int, key float64, kind uint8) {
+	h.ops++
 	h.key[id] = key
 	h.kind[id] = kind
 	if i := h.pos[id]; i >= 0 {
@@ -92,6 +94,7 @@ func (h *eventHeap) Remove(id int) {
 	if i < 0 {
 		return
 	}
+	h.ops++
 	last := len(h.ids) - 1
 	h.swap(i, last)
 	h.ids = h.ids[:last]

@@ -247,6 +247,8 @@ type engine struct {
 	xferSum   float64 // streaming mean of completed transfer durations
 	xferCount int
 
+	svcClamps int // transfer timestamps pinned to now by the last-ulp guard
+
 	now float64
 }
 
@@ -296,13 +298,19 @@ func (e *engine) fire(id int, kind uint8, t float64) {
 	}
 }
 
-// finish closes the books and returns the result.
+// finish closes the books, flushes the run's local tallies to the
+// registry in a handful of atomic adds, and returns the result.
 func (e *engine) finish() Result {
 	total := float64(e.cfg.Workers) * e.cfg.Duration
 	e.res.Efficiency = e.res.CommittedWork / total
 	if e.xferCount > 0 {
 		e.res.MeanTransferSec = e.xferSum / float64(e.xferCount)
 	}
+	metrics.runs.Inc()
+	metrics.heapOps.Add(e.timeEv.ops + e.xferEv.ops)
+	metrics.fallbacks.Add(uint64(e.res.ScheduleFallbacks))
+	metrics.svcResets.Add(uint64(e.svcClamps))
+	metrics.linkPeak.SetMax(int64(e.res.MaxConcurrent))
 	return e.res
 }
 
@@ -322,6 +330,7 @@ func runScheduled(cfg Config, sched *markov.Schedule) (Result, error) {
 			xt := e.svcAt + (target-e.svc)/e.rate()
 			if xt < e.now {
 				xt = e.now // guard the last-ulp of service arithmetic
+				e.svcClamps++
 			}
 			if eventLess(xt, kindXfer, xid, t, kind, id) {
 				id, t, kind = xid, xt, kindXfer

@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"path/filepath"
 	"strconv"
 	"time"
 )
@@ -65,7 +67,7 @@ func ReadCSV(r io.Reader) (*Set, error) {
 		if len(row) != 3 && len(row) != 4 {
 			return nil, fmt.Errorf("trace: csv line %d: want 3 or 4 columns, got %d", line, len(row))
 		}
-		if line == 1 && row[0] == "machine" {
+		if line == 1 && isHeader(row) {
 			continue // header
 		}
 		start, err := strconv.ParseInt(row[1], 10, 64)
@@ -75,6 +77,12 @@ func ReadCSV(r io.Reader) (*Set, error) {
 		dur, err := strconv.ParseFloat(row[2], 64)
 		if err != nil {
 			return nil, fmt.Errorf("trace: csv line %d: bad duration %q: %w", line, row[2], err)
+		}
+		if math.IsNaN(dur) || math.IsInf(dur, 0) {
+			// ParseFloat happily accepts "NaN" and "+Inf", and dur < 0 is
+			// false for NaN — without this check one corrupt monitor row
+			// poisons every downstream fit with NaN parameters.
+			return nil, fmt.Errorf("trace: csv line %d: non-finite duration %q", line, row[2])
 		}
 		if dur < 0 {
 			return nil, fmt.Errorf("trace: csv line %d: negative duration %g", line, dur)
@@ -95,17 +103,61 @@ func ReadCSV(r io.Reader) (*Set, error) {
 	return set, nil
 }
 
-// SaveCSV writes the set to a file path.
+// isHeader reports whether row is the full WriteCSV header line
+// (censored column optional). Requiring every column name to match —
+// not just the first — keeps a headerless file whose first machine is
+// literally named "machine" from silently losing its first record.
+func isHeader(row []string) bool {
+	if row[0] != "machine" || row[1] != "start_unix" || row[2] != "duration_s" {
+		return false
+	}
+	return len(row) == 3 || row[3] == "censored"
+}
+
+// SaveCSV writes the set to a file path atomically: the rows go to a
+// temp file in the same directory, fsynced, then renamed over path, so
+// a crash mid-write never leaves a torn trace archive — the same
+// commit discipline the checkpoint manager applies to image records.
 func SaveCSV(path string, s *Set) error {
-	f, err := os.Create(path)
+	return saveAtomic(path, func(w io.Writer) error { return WriteCSV(w, s) })
+}
+
+// saveAtomic commits write's output to path via temp file + rename.
+// On any error the previous contents of path are untouched and the
+// temp file is removed.
+func saveAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
-	if err := WriteCSV(f, s); err != nil {
+	tmp := f.Name()
+	fail := func(err error) error {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := write(f); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Best-effort directory sync so the rename itself is durable; some
+	// filesystems reject fsync on directories, which is fine.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
 }
 
 // LoadCSV reads a set from a file path.

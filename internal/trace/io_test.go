@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestReadCSVRejectsNonFiniteDurations is the regression test for the
+// NaN/Inf hole: strconv.ParseFloat accepts "NaN" and "+Inf", and the
+// old `dur < 0` guard is false for NaN, so a corrupt monitor log used
+// to poison every downstream fit. The error must carry the line
+// number.
+func TestReadCSVRejectsNonFiniteDurations(t *testing.T) {
+	cases := []struct{ name, in, wantLine string }{
+		{"NaN", "m,100,NaN\n", "line 1"},
+		{"+Inf", "m,100,+Inf\n", "line 1"},
+		{"-Inf", "m,100,-Inf\n", "line 1"},
+		{"Inf later row", "m,100,5\nm,200,Inf\n", "line 2"},
+		{"NaN with censored", "m,100,nan,1\n", "line 1"},
+	}
+	for _, c := range cases {
+		_, err := ReadCSV(strings.NewReader(c.in))
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "non-finite") || !strings.Contains(err.Error(), c.wantLine) {
+			t.Errorf("%s: error %q should mention non-finite duration and %s", c.name, err, c.wantLine)
+		}
+	}
+}
+
+// TestReadCSVHeaderCollision is the regression test for the header
+// heuristic: a headerless file whose first machine is literally named
+// "machine" must keep its first record. Only the full WriteCSV header
+// row is skipped.
+func TestReadCSVHeaderCollision(t *testing.T) {
+	s, err := ReadCSV(strings.NewReader("machine,100,5\nmachine,300,7\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, ok := s.Traces["machine"]
+	if !ok || tr.Len() != 2 {
+		t.Fatalf("machine-named trace lost records: %+v", s.Traces)
+	}
+	if tr.Records[0].Duration != 5 || tr.Records[1].Duration != 7 {
+		t.Errorf("records = %+v", tr.Records)
+	}
+
+	// Real headers — with and without the censored column — still skip.
+	for _, in := range []string{
+		"machine,start_unix,duration_s,censored\nm,100,5,0\n",
+		"machine,start_unix,duration_s\nm,100,5\n",
+	} {
+		s, err := ReadCSV(strings.NewReader(in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(s.Traces) != 1 || s.Traces["m"].Len() != 1 {
+			t.Errorf("header not skipped for %q: %+v", in, s.Traces)
+		}
+	}
+
+	// A partial header-like row is data, and its non-numeric start must
+	// error rather than be silently dropped.
+	if _, err := ReadCSV(strings.NewReader("machine,start_unix,other\n")); err == nil {
+		t.Error("near-header row silently accepted")
+	}
+}
+
+// TestSaveCSVAtomic verifies the temp-file + rename commit: a write
+// that fails mid-stream leaves the previous archive intact and no temp
+// litter behind.
+func TestSaveCSVAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "traces.csv")
+
+	s := NewSet()
+	s.Add("m", Record{Start: ts(10), Duration: 42})
+	if err := SaveCSV(path, s); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fail the write partway through and check nothing changed.
+	boom := errors.New("disk full")
+	err = saveAtomic(path, func(w io.Writer) error {
+		if _, err := io.WriteString(w, "machine,start_unix,"); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("saveAtomic error = %v, want %v", err, boom)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != string(before) {
+		t.Errorf("failed write tore the archive:\nbefore %q\nafter  %q", before, after)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "traces.csv" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Errorf("temp litter left behind: %v", names)
+	}
+
+	// A successful save replaces the contents.
+	s2 := NewSet()
+	s2.Add("n", Record{Start: ts(20), Duration: 7})
+	if err := SaveCSV(path, s2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Traces["n"] == nil || got.Traces["n"].Records[0].Duration != 7 {
+		t.Errorf("replacement save lost data: %+v", got.Traces)
+	}
+
+	// Saving into a missing directory errors without creating files.
+	if err := SaveCSV(filepath.Join(dir, "missing", "t.csv"), s); err == nil {
+		t.Error("save into missing directory should error")
+	}
+}
