@@ -640,6 +640,24 @@ func BenchmarkObsNilRegistry(b *testing.B) {
 	}
 }
 
+// BenchmarkObsNilTracer pins the tracer's off switch the same way:
+// spans, instants and attributes through a nil *obs.Tracer must stay
+// allocation-free, because every traced subsystem (manager sessions,
+// simulator periods, schedule builds) runs through this path when no
+// -trace flag is given. BENCH_seed.json gates regressions.
+func BenchmarkObsNilTracer(b *testing.B) {
+	var tr *obs.Tracer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for b.Loop() {
+		sp := tr.StartSpan(1, 1, "bench").SetAttr(obs.AttrStr("k", "v"))
+		tr.Event(1, 1, "bench.event", obs.AttrInt("n", 42))
+		tr.SpanAt(1, 1, "bench.at", 0, 1, obs.AttrFloat("f", 0.5))
+		tr.EventAt(1, 1, "bench.event.at", 2, obs.AttrBool("ok", true))
+		sp.End()
+	}
+}
+
 // BenchmarkHyperexpEM measures the hyperexponential EM fit on a
 // 2000-sample, 3-phase workload — the hot loop the flattened
 // responsibility matrix (one contiguous k×n slice) speeds up.

@@ -6,9 +6,12 @@
 // Usage:
 //
 //	ckpt-experiments [-run all|table1|table2|table3|table4|table5|figure3|figure4|validate] \
-//	    [-machines 80] [-months 18] [-samples 85] [-seed 2005]
+//	    [-machines 80] [-months 18] [-samples 85] [-seed 2005] [-trace out.json]
 //
-// Results print to stdout in the paper's layouts.
+// Results print to stdout in the paper's layouts. -trace writes a
+// Chrome-trace (Perfetto-loadable) timeline of every live-campaign
+// session and every schedule build; a .jsonl suffix selects the
+// compact line format that ckpt-report timeline replays.
 package main
 
 import (
@@ -38,6 +41,7 @@ func main() {
 	seed := flag.Int64("seed", 2005, "workload seed")
 	csvDir := flag.String("csv", "", "also write figure series as CSV files into this directory")
 	concurrency := flag.Int("concurrency", 1, "concurrent live-experiment test processes (paper total times suggest ~4)")
+	tracePath := flag.String("trace", "", "write an execution timeline to this file (.json Chrome trace, .jsonl compact)")
 	chaos := flag.Bool("chaos", false, "shorthand for -run chaos: one live campaign under fault injection vs its clean twin")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -57,7 +61,7 @@ func main() {
 	}
 	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
 	if err == nil {
-		err = runExperiments(which, *machines, *months, *samples, *seed, *csvDir, *concurrency)
+		err = runExperiments(which, *machines, *months, *samples, *seed, *csvDir, *concurrency, *tracePath)
 	}
 	stopProfiles()
 	if *statsDump {
@@ -109,8 +113,23 @@ func startProfiles(cpuPath, memPath string) (stop func(), err error) {
 	return stop, nil
 }
 
-func runExperiments(which string, machines int, months float64, samples int, seed int64, csvDir string, concurrency int) error {
+func runExperiments(which string, machines int, months float64, samples int, seed int64, csvDir string, concurrency int, tracePath string) error {
 	which = strings.ToLower(which)
+	// One tracer serves the whole invocation: schedule builds claim
+	// lanes in markov's reserved band, and each live campaign gets its
+	// own TraceCampaignStride-wide block of sample lanes.
+	var tracer *obs.Tracer
+	var nextTraceBase uint64
+	traceBase := func(slots uint64) uint64 {
+		b := nextTraceBase
+		nextTraceBase += slots * experiments.TraceCampaignStride
+		return b
+	}
+	if tracePath != "" {
+		tracer = obs.NewTracer(obs.TracerOptions{FullFidelity: true})
+		markov.Trace(tracer)
+		defer markov.Trace(nil)
+	}
 	want := func(names ...string) bool {
 		if which == "all" {
 			return true
@@ -195,6 +214,8 @@ func runExperiments(which string, machines int, months float64, samples int, see
 				SamplesPerModel: samples,
 				Concurrency:     concurrency,
 				Seed:            seed + 4,
+				Tracer:          tracer,
+				TracePidBase:    traceBase(1),
 			})
 		if err != nil {
 			return err
@@ -213,9 +234,11 @@ func runExperiments(which string, machines int, months float64, samples int, see
 
 	if want("chaos") {
 		res, err := experiments.RunChaos(experiments.ChaosConfig{
-			Workload: w,
-			Link:     ckptnet.CampusLink(),
-			Seed:     seed + 6,
+			Workload:     w,
+			Link:         ckptnet.CampusLink(),
+			Seed:         seed + 6,
+			Tracer:       tracer,
+			TracePidBase: traceBase(2),
 		})
 		if err != nil {
 			return err
@@ -250,13 +273,15 @@ func runExperiments(which string, machines int, months float64, samples int, see
 				SamplesPerModel: samples / 2, // the paper's WAN table has ~half the samples
 				Concurrency:     concurrency,
 				Seed:            seed + 5,
+				Tracer:          tracer,
+				TracePidBase:    traceBase(1),
 			})
 		if err != nil {
 			return err
 		}
 		fmt.Println(experiments.RenderLiveTable(t5))
 	}
-	return nil
+	return tracer.WriteFile(tracePath)
 }
 
 // writeCSV writes content into dir/name, creating dir; empty dir means

@@ -6,21 +6,30 @@
 // Usage:
 //
 //	ckpt-mgr -addr 127.0.0.1:7419 -model hyperexp2 -params 0.6,0.4,0.01,0.0001 [-mb 500]
-//	ckpt-mgr -addr :7419 -trace traces.csv -model weibull
-//	ckpt-mgr -addr :7419 -trace traces.csv -model weibull -metrics 127.0.0.1:9090
+//	ckpt-mgr -addr :7419 -archive traces.csv -model weibull
+//	ckpt-mgr -addr :7419 -archive traces.csv -model weibull -metrics 127.0.0.1:9090 -trace out.json
 //
 // With -metrics, the manager serves its live counters as a Prometheus
-// text page at /metrics and as JSON at /debug/vars (see DESIGN.md §11
-// for the metric-name contract).
+// text page at /metrics, as JSON at /debug/vars (see DESIGN.md §11
+// for the metric-name contract), a liveness probe at /healthz, and
+// the flight recorder's last-N trace events as Chrome-trace JSON at
+// /debug/trace/snapshot. The HTTP server shuts down gracefully when
+// the manager closes.
 //
-// With -trace, parameters are fitted per connecting job: the job ID is
-// expected to be "<machine>/<n>" and the machine's recorded history is
-// used (pooled history when the machine is unknown). The manager runs
-// until interrupted, then prints per-session summaries.
+// With -trace, every session's timeline (transfers, retries, torn
+// frames, heartbeats, chaos injections) is written to the file on
+// shutdown as a Chrome trace (Perfetto-loadable); a .jsonl suffix
+// selects the compact line format that ckpt-report timeline replays.
+//
+// With -archive, parameters are fitted per connecting job: the job ID
+// is expected to be "<machine>/<n>" and the machine's recorded history
+// is used (pooled history when the machine is unknown). The manager
+// runs until interrupted, then prints per-session summaries.
 package main
 
 import (
 	"context"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
@@ -43,8 +52,9 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7419", "listen address")
 	model := flag.String("model", "weibull", "model family to assign")
-	params := flag.String("params", "", "explicit comma-separated parameters (omit to fit from -trace)")
-	tracePath := flag.String("trace", "", "trace CSV to fit per-machine parameters from")
+	params := flag.String("params", "", "explicit comma-separated parameters (omit to fit from -archive)")
+	archivePath := flag.String("archive", "", "trace CSV to fit per-machine parameters from")
+	tracePath := flag.String("trace", "", "write an execution timeline to this file on shutdown (.json Chrome trace, .jsonl compact)")
 	mb := flag.Float64("mb", 500, "checkpoint image size, MB")
 	out := flag.String("out", "", "write session logs (JSON lines) here on shutdown")
 	helloTO := flag.Duration("hello-timeout", 30*time.Second, "deadline for a new connection's first frame")
@@ -55,7 +65,7 @@ func main() {
 	faultReset := flag.Int64("fault-reset-bytes", 0, "fault injection: reset each armed connection after N bytes")
 	faultEvery := flag.Int("fault-reset-every", 1, "fault injection: arm the reset on every Nth connection")
 	faultSeed := flag.Int64("fault-seed", 1, "fault injection: deterministic seed")
-	metricsAddr := flag.String("metrics", "", "serve Prometheus /metrics and expvar /debug/vars on this address (e.g. 127.0.0.1:9090)")
+	metricsAddr := flag.String("metrics", "", "serve Prometheus /metrics, expvar /debug/vars, /healthz and /debug/trace/snapshot on this address (e.g. 127.0.0.1:9090)")
 	flag.Parse()
 
 	opts := ckptnet.Options{
@@ -63,25 +73,33 @@ func main() {
 		IdleTimeout:    *idleTO,
 		HeartbeatGrace: *grace,
 	}
+	var reg *obs.Registry
 	if *metricsAddr != "" {
-		reg := obs.NewRegistry()
+		reg = obs.NewRegistry()
 		opts.Metrics = reg
 		fit.Instrument(reg)
-		obs.PublishExpvar("ckptsched", reg)
-		mux := http.NewServeMux()
-		mux.Handle("/metrics", reg.Handler())
-		mux.Handle("/debug/vars", expvar.Handler())
-		ln, err := net.Listen("tcp", *metricsAddr)
+		if expvar.Get("ckptsched") == nil {
+			obs.PublishExpvar("ckptsched", reg)
+		}
+	}
+	// The flight recorder runs whenever anyone can see it: with -trace
+	// (full-fidelity file sink) or with -metrics (ring snapshot at
+	// /debug/trace/snapshot).
+	if *tracePath != "" || *metricsAddr != "" {
+		opts.Tracer = obs.NewTracer(obs.TracerOptions{
+			FullFidelity: *tracePath != "",
+			Metrics:      reg,
+		})
+	}
+	var ms *metricsServer
+	if *metricsAddr != "" {
+		var err error
+		ms, err = startMetricsServer(*metricsAddr, reg, opts.Tracer)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ckpt-mgr: metrics listener:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("metrics on http://%s/metrics (expvar at /debug/vars)\n", ln.Addr())
-		go func() {
-			if err := http.Serve(ln, mux); err != nil {
-				fmt.Fprintln(os.Stderr, "ckpt-mgr: metrics server:", err)
-			}
-		}()
+		fmt.Printf("metrics on http://%s/metrics (expvar at /debug/vars, liveness at /healthz, flight recorder at /debug/trace/snapshot)\n", ms.Addr())
 	}
 	if *faultDrop > 0 || *faultCorrupt > 0 || *faultReset > 0 {
 		fi := ckptnet.NewFaultInjector(ckptnet.FaultConfig{
@@ -90,16 +108,70 @@ func main() {
 			CorruptProb:     *faultCorrupt,
 			ResetAfterBytes: *faultReset,
 			ResetEvery:      *faultEvery,
+			Tracer:          opts.Tracer,
 		})
 		opts.WrapConn = fi.Wrap
 	}
-	if err := run(*addr, *model, *params, *tracePath, *mb, *out, opts); err != nil {
+	if err := run(*addr, *model, *params, *archivePath, *mb, *out, *tracePath, opts, ms); err != nil {
 		fmt.Fprintln(os.Stderr, "ckpt-mgr:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, modelName, params, tracePath string, mb float64, out string, opts ckptnet.Options) error {
+// metricsServer is the optional observability HTTP server; it lives
+// until Shutdown, which drains in-flight scrapes before returning.
+type metricsServer struct {
+	srv  *http.Server
+	ln   net.Listener
+	done chan struct{}
+}
+
+// startMetricsServer binds addr and serves the observability mux:
+// Prometheus /metrics, expvar /debug/vars, a /healthz liveness probe,
+// and (when a tracer is attached) the flight recorder's ring as
+// Chrome-trace JSON at /debug/trace/snapshot.
+func startMetricsServer(addr string, reg *obs.Registry, tracer *obs.Tracer) (*metricsServer, error) {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	if tracer != nil {
+		mux.Handle("/debug/trace/snapshot", tracer.SnapshotHandler())
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	ms := &metricsServer{
+		srv:  &http.Server{Handler: mux},
+		ln:   ln,
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(ms.done)
+		if err := ms.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "ckpt-mgr: metrics server:", err)
+		}
+	}()
+	return ms, nil
+}
+
+// Addr is the bound listen address (useful with ":0").
+func (ms *metricsServer) Addr() net.Addr { return ms.ln.Addr() }
+
+// Shutdown gracefully stops the server: no new connections, in-flight
+// requests drain until ctx expires, and the serve goroutine has exited
+// by the time it returns.
+func (ms *metricsServer) Shutdown(ctx context.Context) error {
+	err := ms.srv.Shutdown(ctx)
+	<-ms.done
+	return err
+}
+
+func run(addr, modelName, params, archivePath string, mb float64, out, traceOut string, opts ckptnet.Options, ms *metricsServer) error {
 	m, err := ckptsched.ParseModel(modelName)
 	if err != nil {
 		return err
@@ -117,8 +189,8 @@ func run(addr, modelName, params, tracePath string, mb float64, out string, opts
 			return err
 		}
 		assigner = ckptnet.StaticAssigner(m, vals, bytes)
-	case tracePath != "":
-		set, err := trace.LoadCSV(tracePath)
+	case archivePath != "":
+		set, err := trace.LoadCSV(archivePath)
 		if err != nil {
 			return err
 		}
@@ -143,7 +215,7 @@ func run(addr, modelName, params, tracePath string, mb float64, out string, opts
 			return ckptnet.Assign{Model: m, Params: fitted, CheckpointBytes: bytes, HeartbeatSec: 10}, nil
 		})
 	default:
-		return fmt.Errorf("need -params or -trace")
+		return fmt.Errorf("need -params or -archive")
 	}
 
 	mgr, err := ckptnet.NewManagerOpts(assigner, opts)
@@ -162,6 +234,17 @@ func run(addr, modelName, params, tracePath string, mb float64, out string, opts
 	// handles the non-signal path and waits for sessions to drain.
 	<-ctx.Done()
 	if err := mgr.Close(); err != nil {
+		return err
+	}
+	if ms != nil {
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		err := ms.Shutdown(sctx)
+		cancel()
+		if err != nil {
+			return err
+		}
+	}
+	if err := opts.Tracer.WriteFile(traceOut); err != nil {
 		return err
 	}
 

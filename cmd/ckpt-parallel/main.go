@@ -13,7 +13,14 @@
 // Usage:
 //
 //	ckpt-parallel [-workers 16] [-link 5] [-mb 500] [-hours 72] \
-//	    [-shape 0.43] [-scale 3409] [-seed 42] [-seeds 1] [-maxprocs N]
+//	    [-shape 0.43] [-scale 3409] [-seed 42] [-seeds 1] [-maxprocs N] \
+//	    [-trace out.json]
+//
+// -trace writes a Chrome-trace (Perfetto-loadable) timeline of every
+// cell's transfers, failures and per-run summary, one lane per
+// (model, stagger, replicate) task; a .jsonl suffix selects the
+// compact line format that ckpt-report timeline replays. The trace,
+// like the table, is byte-identical at any pool width.
 package main
 
 import (
@@ -39,6 +46,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "base simulation seed")
 	seeds := flag.Int("seeds", 1, "independent replicates per cell (95% CI when > 1)")
 	maxprocs := flag.Int("maxprocs", runtime.GOMAXPROCS(0), "concurrent simulation cells")
+	tracePath := flag.String("trace", "", "write an execution timeline to this file (.json Chrome trace, .jsonl compact)")
 	statsDump := flag.Bool("stats", false, "print the final metrics-registry snapshot as JSON on stderr")
 	flag.Parse()
 
@@ -48,7 +56,7 @@ func main() {
 		parallel.Instrument(reg)
 		markov.Instrument(reg)
 	}
-	err := run(*workers, *link, *mb, *hours, *shape, *scale, *seed, *seeds, *maxprocs)
+	err := run(*workers, *link, *mb, *hours, *shape, *scale, *seed, *seeds, *maxprocs, *tracePath)
 	if *statsDump {
 		if serr := json.NewEncoder(os.Stderr).Encode(reg.Snapshot()); serr != nil && err == nil {
 			err = serr
@@ -60,9 +68,15 @@ func main() {
 	}
 }
 
-func run(workers int, link, mb, hours, shape, scale float64, seed int64, seeds, maxprocs int) error {
+func run(workers int, link, mb, hours, shape, scale float64, seed int64, seeds, maxprocs int, tracePath string) error {
 	avail := dist.NewWeibull(shape, scale)
 	expFit := dist.NewExponential(1 / avail.Mean())
+	var tracer *obs.Tracer
+	if tracePath != "" {
+		tracer = obs.NewTracer(obs.TracerOptions{FullFidelity: true})
+		markov.Trace(tracer)
+		defer markov.Trace(nil)
+	}
 	grid, err := parallel.RunGrid(parallel.GridConfig{
 		Base: parallel.Config{
 			Workers:      workers,
@@ -70,6 +84,7 @@ func run(workers int, link, mb, hours, shape, scale float64, seed int64, seeds, 
 			LinkMBps:     link,
 			CheckpointMB: mb,
 			Duration:     hours * 3600,
+			Trace:        tracer,
 		},
 		Models: []parallel.GridModel{
 			{Name: "exponential", Dist: expFit},
@@ -118,7 +133,7 @@ func run(workers int, link, mb, hours, shape, scale float64, seed int64, seeds, 
 	if fb := sumFallbacks(grid); fb > 0 {
 		fmt.Printf("\nschedule fallbacks: %d intervals served beyond the planned schedule\n", fb)
 	}
-	return nil
+	return tracer.WriteFile(tracePath)
 }
 
 func sumFallbacks(g *parallel.Grid) int {

@@ -7,6 +7,13 @@
 // Usage:
 //
 //	ckpt-report -log sessions.jsonl [-persession]
+//	ckpt-report timeline -trace out.json [-pid 3] [-width 60] [-markdown]
+//
+// The timeline subcommand replays an execution trace (Chrome-trace
+// JSON or compact JSONL, as written by the -trace flag of ckpt-mgr,
+// ckpt-sim, ckpt-parallel and ckpt-experiments) into per-lane
+// timelines of transfers, retries, torn frames, heartbeat gaps,
+// fallbacks and T_opt recomputations.
 package main
 
 import (
@@ -19,6 +26,21 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "timeline" {
+		fs := flag.NewFlagSet("timeline", flag.ExitOnError)
+		var opts timelineOptions
+		fs.StringVar(&opts.tracePath, "trace", "", "execution trace file (.json Chrome trace or .jsonl)")
+		fs.Uint64Var(&opts.pid, "pid", 0, "render only this lane (0 = all)")
+		fs.IntVar(&opts.width, "width", 60, "timeline bar width, columns")
+		fs.BoolVar(&opts.markdown, "markdown", false, "emit markdown tables instead of ASCII bars")
+		fs.Parse(os.Args[2:])
+		if err := runTimeline(opts, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "ckpt-report timeline:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	path := flag.String("log", "", "JSON-lines session log")
 	perSession := flag.Bool("persession", false, "print one row per session")
 	flag.Parse()

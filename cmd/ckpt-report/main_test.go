@@ -1,12 +1,16 @@
 package main
 
 import (
+	"bytes"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"github.com/cycleharvest/ckptsched/internal/ckptnet"
 	"github.com/cycleharvest/ckptsched/internal/fit"
+	"github.com/cycleharvest/ckptsched/internal/obs"
 )
 
 func writeTestLog(t *testing.T) string {
@@ -65,5 +69,94 @@ func TestRunReportErrors(t *testing.T) {
 	}
 	if err := run(empty, false); err == nil {
 		t.Error("empty log should error")
+	}
+}
+
+// writeTestTrace records a two-lane trace through the real tracer and
+// serializes it with the given extension (".json" or ".jsonl").
+func writeTestTrace(t *testing.T, ext string) string {
+	t.Helper()
+	tr := obs.NewTracer(obs.TracerOptions{FullFidelity: true})
+	tr.SpanAt(1, 1, "session", 0, 900,
+		obs.AttrStr("job", "m1/1"), obs.AttrStr("model", "weibull"))
+	tr.SpanAt(1, 1, "transfer.recovery", 0, 100,
+		obs.AttrStr("outcome", "done"), obs.AttrFloat("mb", 500))
+	tr.EventAt(1, 1, "topt", 100, obs.AttrFloat("t_opt", 350))
+	tr.SpanAt(1, 1, "transfer.checkpoint", 450, 110,
+		obs.AttrStr("outcome", "done"), obs.AttrFloat("mb", 500))
+	tr.EventAt(1, 1, "torn_frame", 600, obs.AttrStr("cause", "crc"))
+	tr.EventAt(1, 1, "retry", 610, obs.AttrInt("attempt", 2))
+	tr.EventAt(1, 1, "heartbeat.gap", 700, obs.AttrFloat("gap_s", 45))
+	tr.SpanAt(2, 1, "session", 0, 300, obs.AttrStr("job", "m2/2"))
+	tr.EventAt(2, 1, "fallback", 120, obs.AttrStr("cause", "unreachable"))
+
+	path := filepath.Join(t.TempDir(), "trace"+ext)
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunTimeline pins the acceptance contract: the timeline renders
+// transfer, retry and heartbeat-gap events, one lane per pid, from
+// both serialization formats.
+func TestRunTimeline(t *testing.T) {
+	for _, ext := range []string{".json", ".jsonl"} {
+		path := writeTestTrace(t, ext)
+		var buf bytes.Buffer
+		if err := runTimeline(timelineOptions{tracePath: path, width: 40}, &buf); err != nil {
+			t.Fatalf("%s: %v", ext, err)
+		}
+		out := buf.String()
+		for _, want := range []string{
+			"lane 1:", "lane 2:",
+			"transfer.recovery", "transfer.checkpoint",
+			"retry attempt=2", "heartbeat.gap gap_s=45",
+			"torn_frame cause=crc", "fallback cause=unreachable",
+			"topt t_opt=350",
+			"transfers=2", "retries=1", "hb-gaps=1",
+		} {
+			if !strings.Contains(out, want) {
+				t.Errorf("%s timeline missing %q:\n%s", ext, want, out)
+			}
+		}
+	}
+}
+
+// TestRunTimelineMarkdownAndFilter covers the -markdown table shape
+// and the -pid lane filter.
+func TestRunTimelineMarkdownAndFilter(t *testing.T) {
+	path := writeTestTrace(t, ".json")
+	var buf bytes.Buffer
+	err := runTimeline(timelineOptions{tracePath: path, pid: 2, markdown: true}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "### Lane 2:") || strings.Contains(out, "Lane 1:") {
+		t.Errorf("pid filter broken:\n%s", out)
+	}
+	if !strings.Contains(out, "| t (s) | dur (s) | event | detail |") {
+		t.Errorf("markdown header missing:\n%s", out)
+	}
+	if err := runTimeline(timelineOptions{tracePath: path, pid: 99}, &buf); err == nil {
+		t.Error("unknown lane should error")
+	}
+}
+
+func TestRunTimelineErrors(t *testing.T) {
+	if err := runTimeline(timelineOptions{}, io.Discard); err == nil {
+		t.Error("missing -trace should error")
+	}
+	missing := filepath.Join(t.TempDir(), "missing.json")
+	if err := runTimeline(timelineOptions{tracePath: missing}, io.Discard); err == nil {
+		t.Error("missing file should error")
+	}
+	garbage := filepath.Join(t.TempDir(), "garbage.json")
+	if err := os.WriteFile(garbage, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runTimeline(timelineOptions{tracePath: garbage}, io.Discard); err == nil {
+		t.Error("garbage trace should error")
 	}
 }

@@ -1,0 +1,254 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/cycleharvest/ckptsched/internal/obs"
+)
+
+// timelineOptions parameterizes the timeline subcommand.
+type timelineOptions struct {
+	tracePath string
+	pid       uint64 // 0 = all lanes
+	width     int    // bar width in columns
+	markdown  bool
+}
+
+// lane is one pid's worth of trace events: a session, a live sample, a
+// grid replicate, or a schedule build — the tracer's unit of isolation.
+type lane struct {
+	pid    uint64
+	events []obs.TraceEvent
+	lo, hi float64
+}
+
+// runTimeline renders the per-lane timelines of a trace file
+// (Chrome-trace JSON or compact JSONL; obs.ReadTrace sniffs which)
+// onto w: a time-scaled bar per record in ASCII mode, a table in
+// markdown mode, plus a per-lane event census.
+func runTimeline(opts timelineOptions, w io.Writer) error {
+	if opts.tracePath == "" {
+		return fmt.Errorf("missing -trace")
+	}
+	f, err := os.Open(opts.tracePath)
+	if err != nil {
+		return err
+	}
+	events, err := obs.ReadTrace(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	lanes := groupLanes(events, opts.pid)
+	if len(lanes) == 0 {
+		if opts.pid != 0 {
+			return fmt.Errorf("no events on lane %d in %s", opts.pid, opts.tracePath)
+		}
+		return fmt.Errorf("no events in %s", opts.tracePath)
+	}
+	if opts.width < 16 {
+		opts.width = 60
+	}
+	for _, ln := range lanes {
+		if opts.markdown {
+			renderLaneMarkdown(w, ln)
+		} else {
+			renderLaneASCII(w, ln, opts.width)
+		}
+	}
+	return nil
+}
+
+// groupLanes buckets events by pid in canonical order. pid 0 keeps
+// every lane.
+func groupLanes(events []obs.TraceEvent, pid uint64) []lane {
+	byPid := make(map[uint64]*lane)
+	var order []uint64
+	for _, ev := range events {
+		if pid != 0 && ev.Pid != pid {
+			continue
+		}
+		ln, ok := byPid[ev.Pid]
+		if !ok {
+			ln = &lane{pid: ev.Pid, lo: ev.Ts, hi: ev.Ts}
+			byPid[ev.Pid] = ln
+			order = append(order, ev.Pid)
+		}
+		ln.events = append(ln.events, ev)
+		if ev.Ts < ln.lo {
+			ln.lo = ev.Ts
+		}
+		if end := ev.Ts + ev.Dur; end > ln.hi {
+			ln.hi = end
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	lanes := make([]lane, 0, len(order))
+	for _, p := range order {
+		ln := byPid[p]
+		sort.SliceStable(ln.events, func(i, j int) bool {
+			a, b := ln.events[i], ln.events[j]
+			if a.Ts != b.Ts {
+				return a.Ts < b.Ts
+			}
+			return a.Tid < b.Tid
+		})
+		lanes = append(lanes, *ln)
+	}
+	return lanes
+}
+
+// laneTitle is the lane's root record: its longest span, falling back
+// to the first event.
+func laneTitle(ln lane) string {
+	best := ln.events[0]
+	for _, ev := range ln.events {
+		if ev.Phase == obs.PhaseSpan && ev.Dur > best.Dur {
+			best = ev
+		}
+	}
+	title := best.Name
+	if d := attrsString(best.Attrs); d != "" {
+		title += " " + d
+	}
+	return title
+}
+
+// census counts the record kinds the timeline is read for.
+func census(ln lane) string {
+	counts := map[string]int{}
+	for _, ev := range ln.events {
+		switch ev.Name {
+		case "transfer.checkpoint", "transfer.recovery":
+			counts["transfers"]++
+		case "retry":
+			counts["retries"]++
+		case "torn_frame":
+			counts["torn"]++
+		case "heartbeat.gap":
+			counts["hb-gaps"]++
+		case "fallback":
+			counts["fallbacks"]++
+		case "topt", "markov.topt":
+			counts["topt"]++
+		case "chaos.drop", "chaos.partial", "chaos.corrupt", "chaos.reset", "chaos.stall":
+			counts["chaos"]++
+		case "evicted", "fail":
+			counts["evictions"]++
+		}
+	}
+	keys := []string{"transfers", "topt", "retries", "torn", "hb-gaps", "fallbacks", "chaos", "evictions"}
+	var parts []string
+	for _, k := range keys {
+		if counts[k] > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", k, counts[k]))
+		}
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return strings.Join(parts, " ")
+}
+
+func renderLaneASCII(w io.Writer, ln lane, width int) {
+	fmt.Fprintf(w, "lane %d: %s  [%s, %s]\n", ln.pid, laneTitle(ln),
+		fmtSeconds(ln.lo), fmtSeconds(ln.hi))
+	span := ln.hi - ln.lo
+	for _, ev := range ln.events {
+		bar := make([]byte, width)
+		for i := range bar {
+			bar[i] = ' '
+		}
+		pos := func(t float64) int {
+			if span <= 0 {
+				return 0
+			}
+			p := int(float64(width) * (t - ln.lo) / span)
+			if p >= width {
+				p = width - 1
+			}
+			if p < 0 {
+				p = 0
+			}
+			return p
+		}
+		detail := ev.Name
+		if d := attrsString(ev.Attrs); d != "" {
+			detail += " " + d
+		}
+		if ev.Phase == obs.PhaseSpan {
+			s, e := pos(ev.Ts), pos(ev.Ts+ev.Dur)
+			if e <= s {
+				e = s + 1
+			}
+			for i := s; i < e && i < width; i++ {
+				bar[i] = '='
+			}
+			fmt.Fprintf(w, "  %12s %8s |%s| %s\n",
+				fmtSeconds(ev.Ts), fmtSeconds(ev.Dur), bar, detail)
+		} else {
+			bar[pos(ev.Ts)] = '*'
+			fmt.Fprintf(w, "  %12s %8s |%s| %s\n", fmtSeconds(ev.Ts), "", bar, detail)
+		}
+	}
+	if c := census(ln); c != "" {
+		fmt.Fprintf(w, "  -- %s\n", c)
+	}
+	fmt.Fprintln(w)
+}
+
+func renderLaneMarkdown(w io.Writer, ln lane) {
+	fmt.Fprintf(w, "### Lane %d: %s\n\n", ln.pid, laneTitle(ln))
+	fmt.Fprintln(w, "| t (s) | dur (s) | event | detail |")
+	fmt.Fprintln(w, "|---:|---:|---|---|")
+	for _, ev := range ln.events {
+		dur := ""
+		if ev.Phase == obs.PhaseSpan {
+			dur = fmtSeconds(ev.Dur)
+		}
+		fmt.Fprintf(w, "| %s | %s | %s | %s |\n",
+			fmtSeconds(ev.Ts), dur, ev.Name, attrsString(ev.Attrs))
+	}
+	if c := census(ln); c != "" {
+		fmt.Fprintf(w, "\n%s\n", c)
+	}
+	fmt.Fprintln(w)
+}
+
+// attrsString renders attributes as space-separated k=v pairs in
+// emission order.
+func attrsString(attrs []obs.Attr) string {
+	parts := make([]string, 0, len(attrs))
+	for _, a := range attrs {
+		var v string
+		switch x := a.Value().(type) {
+		case string:
+			v = x
+		case bool:
+			v = strconv.FormatBool(x)
+		case float64:
+			// Integer-valued attrs (bytes, attempts, seq) read better
+			// undecorated than in %g scientific notation.
+			if x == math.Trunc(x) && math.Abs(x) < 1e15 {
+				v = strconv.FormatInt(int64(x), 10)
+			} else {
+				v = strconv.FormatFloat(x, 'g', -1, 64)
+			}
+		default:
+			v = fmt.Sprint(x)
+		}
+		parts = append(parts, a.Key+"="+v)
+	}
+	return strings.Join(parts, " ")
+}
+
+// fmtSeconds renders a timestamp or duration compactly.
+func fmtSeconds(s float64) string {
+	return strconv.FormatFloat(s, 'f', 1, 64) + "s"
+}

@@ -2,9 +2,15 @@
 // discrete-event checkpoint simulator and reports per-machine and
 // aggregate efficiency and network load for each availability model.
 //
+// With no -avail file it simulates a synthetic pool drawn from the
+// paper's Table 2 law (Weibull k=0.43, λ=3409), reproducible via
+// -seed. With -trace it writes a Chrome-trace (Perfetto-loadable)
+// timeline of every period, transfer and eviction; a .jsonl suffix
+// selects the compact line format that ckpt-report timeline replays.
+//
 // Usage:
 //
-//	ckpt-sim -trace traces.csv -c 500 [-size 500] [-train 25] [-min 60] [-permachine]
+//	ckpt-sim [-avail traces.csv] [-seed 1] -c 500 [-size 500] [-train 25] [-min 60] [-permachine] [-trace out.json]
 package main
 
 import (
@@ -15,6 +21,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"github.com/cycleharvest/ckptsched/internal/dist"
 	"github.com/cycleharvest/ckptsched/internal/fit"
 	"github.com/cycleharvest/ckptsched/internal/markov"
 	"github.com/cycleharvest/ckptsched/internal/obs"
@@ -23,13 +30,27 @@ import (
 	"github.com/cycleharvest/ckptsched/internal/trace"
 )
 
+// options collects the run parameters of one ckpt-sim invocation.
+type options struct {
+	availPath  string
+	tracePath  string
+	c, size    float64
+	train      int
+	minRec     int
+	perMachine bool
+	seed       int64
+}
+
 func main() {
-	path := flag.String("trace", "", "trace CSV file")
-	c := flag.Float64("c", 500, "checkpoint/recovery cost, seconds")
-	size := flag.Float64("size", 500, "checkpoint image size, MB")
-	train := flag.Int("train", trace.DefaultTrainingSize, "training-prefix length")
-	minRec := flag.Int("min", 60, "minimum records per machine")
-	perMachine := flag.Bool("permachine", false, "print per-machine rows")
+	var opts options
+	flag.StringVar(&opts.availPath, "avail", "", "availability trace CSV (default: synthetic pool from -seed)")
+	flag.StringVar(&opts.tracePath, "trace", "", "write an execution timeline to this file (.json Chrome trace, .jsonl compact)")
+	flag.Float64Var(&opts.c, "c", 500, "checkpoint/recovery cost, seconds")
+	flag.Float64Var(&opts.size, "size", 500, "checkpoint image size, MB")
+	flag.IntVar(&opts.train, "train", trace.DefaultTrainingSize, "training-prefix length")
+	flag.IntVar(&opts.minRec, "min", 60, "minimum records per machine")
+	flag.BoolVar(&opts.perMachine, "permachine", false, "print per-machine rows")
+	flag.Int64Var(&opts.seed, "seed", 1, "seed for the synthetic pool when -avail is absent")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	statsDump := flag.Bool("stats", false, "print the final metrics-registry snapshot as JSON on stderr")
@@ -43,7 +64,7 @@ func main() {
 	}
 	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
 	if err == nil {
-		err = run(*path, *c, *size, *train, *minRec, *perMachine)
+		err = run(opts)
 	}
 	stopProfiles()
 	if *statsDump {
@@ -95,41 +116,75 @@ func startProfiles(cpuPath, memPath string) (stop func(), err error) {
 	return stop, nil
 }
 
-func run(path string, c, size float64, train, minRec int, perMachine bool) error {
-	if path == "" {
-		return fmt.Errorf("missing -trace")
+// loadWorkload returns the availability set: the -avail CSV when
+// given, otherwise a synthetic pool drawn from the paper's Table 2 law
+// (Weibull k=0.43, λ=3409 s) with per-machine seeds derived from seed.
+func loadWorkload(availPath string, seed int64) (*trace.Set, error) {
+	if availPath != "" {
+		return trace.LoadCSV(availPath)
 	}
-	set, err := trace.LoadCSV(path)
+	set := trace.NewSet()
+	for i := 0; i < 4; i++ {
+		machine := fmt.Sprintf("synth%02d", i)
+		tr, err := trace.Generate(trace.GenerateOptions{
+			Machine: machine,
+			N:       150,
+			Avail:   dist.NewWeibull(0.43, 3409),
+			Seed:    seed + int64(i),
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range tr.Records {
+			set.Add(machine, r)
+		}
+	}
+	return set, nil
+}
+
+func run(opts options) error {
+	set, err := loadWorkload(opts.availPath, opts.seed)
 	if err != nil {
 		return err
 	}
-	traces := set.WithAtLeast(minRec)
+	traces := set.WithAtLeast(opts.minRec)
 	if len(traces) == 0 {
-		return fmt.Errorf("no machine has >= %d records", minRec)
+		return fmt.Errorf("no machine has >= %d records", opts.minRec)
+	}
+	var tracer *obs.Tracer
+	if opts.tracePath != "" {
+		tracer = obs.NewTracer(obs.TracerOptions{FullFidelity: true})
+		markov.Trace(tracer)
+		defer markov.Trace(nil)
 	}
 	cfg := sim.Config{
-		Costs:        markov.Costs{C: c, R: c, L: c},
-		CheckpointMB: size,
+		Costs:        markov.Costs{C: opts.c, R: opts.c, L: opts.c},
+		CheckpointMB: opts.size,
+		Trace:        tracer,
 	}
-	fmt.Printf("simulating %d machines, C=R=%g s, %g MB checkpoints\n\n", len(traces), c, size)
+	fmt.Printf("simulating %d machines, C=R=%g s, %g MB checkpoints\n\n", len(traces), opts.c, opts.size)
 
-	for _, model := range fit.Models {
+	for mi, model := range fit.Models {
 		var effs, mbs []float64
-		if perMachine {
+		if opts.perMachine {
 			fmt.Printf("--- %v ---\n", model)
 		}
-		for _, tr := range traces {
-			tdata, test, err := tr.Split(train)
+		for ti, tr := range traces {
+			tdata, test, err := tr.Split(opts.train)
 			if err != nil {
 				return err
 			}
+			// One trace lane per (model, machine): the replay loop is
+			// sequential, so the export is deterministic for a fixed
+			// workload at any GOMAXPROCS.
+			cfg.TracePid = uint64(mi*len(traces)+ti) + 1
 			run, err := sim.RunModel(tdata, test, model, cfg)
 			if err != nil {
 				return fmt.Errorf("%s under %v: %w", tr.Machine, model, err)
 			}
 			effs = append(effs, run.Result.Efficiency())
 			mbs = append(mbs, run.Result.MBTransferred)
-			if perMachine {
+			if opts.perMachine {
 				fmt.Printf("  %-16s eff=%.3f MB=%.0f commits=%d failures=%d\n",
 					tr.Machine, run.Result.Efficiency(), run.Result.MBTransferred,
 					run.Result.Commits, run.Result.FailedIntervals+run.Result.FailedCheckpoints)
@@ -146,5 +201,5 @@ func run(path string, c, size float64, train, minRec int, perMachine bool) error
 		fmt.Printf("%-12s efficiency %.3f ± %.3f   bandwidth %.0f ± %.0f MB\n",
 			model, effCI.Mean, effCI.HalfWidth, mbCI.Mean, mbCI.HalfWidth)
 	}
-	return nil
+	return tracer.WriteFile(opts.tracePath)
 }

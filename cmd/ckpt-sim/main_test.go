@@ -1,10 +1,14 @@
 package main
 
 import (
+	"bytes"
+	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 
 	"github.com/cycleharvest/ckptsched/internal/dist"
+	"github.com/cycleharvest/ckptsched/internal/obs"
 	"github.com/cycleharvest/ckptsched/internal/trace"
 )
 
@@ -30,22 +34,87 @@ func writeSimTraces(t *testing.T) string {
 	return path
 }
 
+func simOpts(availPath string, c float64, perMachine bool) options {
+	return options{
+		availPath: availPath, c: c, size: 500,
+		train: 25, minRec: 50, perMachine: perMachine, seed: 1,
+	}
+}
+
 func TestRunSim(t *testing.T) {
 	path := writeSimTraces(t)
-	if err := run(path, 110, 500, 25, 50, false); err != nil {
+	if err := run(simOpts(path, 110, false)); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, 500, 500, 25, 50, true); err != nil {
+	if err := run(simOpts(path, 500, true)); err != nil {
 		t.Fatal(err)
 	}
 }
 
+// TestRunSimSyntheticDefault exercises the no--avail path: a
+// reproducible synthetic pool drawn from -seed.
+func TestRunSimSyntheticDefault(t *testing.T) {
+	opts := simOpts("", 500, false)
+	opts.minRec = 60
+	if err := run(opts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunSimTraceDeterministic pins the acceptance contract: ckpt-sim
+// -trace on the default workload emits a valid Chrome trace that is
+// byte-identical across GOMAXPROCS settings at the same seed.
+func TestRunSimTraceDeterministic(t *testing.T) {
+	render := func(procs int) []byte {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		opts := simOpts("", 500, false)
+		opts.minRec = 60
+		opts.tracePath = filepath.Join(t.TempDir(), "out.json")
+		if err := run(opts); err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(opts.tracePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	serial, wide := render(1), render(8)
+	if !bytes.Equal(serial, wide) {
+		t.Error("trace output depends on GOMAXPROCS")
+	}
+
+	events, err := obs.ReadTrace(bytes.NewReader(serial))
+	if err != nil {
+		t.Fatalf("trace is not readable Chrome JSON: %v", err)
+	}
+	var periods, transfers, builds int
+	for _, ev := range events {
+		switch ev.Name {
+		case "period":
+			periods++
+		case "transfer.checkpoint", "transfer.recovery":
+			transfers++
+		case "markov.build_schedule":
+			builds++
+		}
+	}
+	if periods == 0 || transfers == 0 || builds == 0 {
+		t.Fatalf("trace missing expected records: periods=%d transfers=%d builds=%d",
+			periods, transfers, builds)
+	}
+}
+
 func TestRunSimErrors(t *testing.T) {
-	if err := run("", 110, 500, 25, 50, false); err == nil {
-		t.Error("missing trace should error")
+	bad := simOpts(filepath.Join(t.TempDir(), "missing.csv"), 110, false)
+	if err := run(bad); err == nil {
+		t.Error("missing trace file should error")
 	}
 	path := writeSimTraces(t)
-	if err := run(path, 110, 500, 25, 1000, false); err == nil {
+	impossible := simOpts(path, 110, false)
+	impossible.minRec = 1000
+	if err := run(impossible); err == nil {
 		t.Error("impossible record filter should error")
 	}
 }

@@ -5,6 +5,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"github.com/cycleharvest/ckptsched/internal/obs"
 )
 
 // This file is the chaos half of the resilience layer. It has two
@@ -76,6 +78,12 @@ type FaultConfig struct {
 	// connection (0 = off). Aimed at checkpoint data, it produces a
 	// CRC rejection rather than a torn stream.
 	CorruptOnceAfter int64
+
+	// Tracer, when set, records every injected fault as a
+	// "chaos.<kind>" instant event on pid 0 (the injector's lane),
+	// tid = 1-based wrap order of the connection — so a timeline can
+	// attribute a torn frame or retry to the fault that caused it.
+	Tracer *obs.Tracer
 }
 
 // FaultInjector builds fault-wrapped connections. One injector is
@@ -122,6 +130,7 @@ func (fi *FaultInjector) Wrap(conn net.Conn) net.Conn {
 	return &faultConn{
 		Conn:       conn,
 		fi:         fi,
+		idx:        idx,
 		rng:        rand.New(rand.NewSource(fi.cfg.Seed + int64(idx)*1_000_003)),
 		resetArmed: fi.cfg.ResetAfterBytes > 0 && idx%fi.cfg.ResetEvery == 0,
 	}
@@ -172,6 +181,7 @@ func (fi *FaultInjector) takeCorruptOnce() bool {
 type faultConn struct {
 	net.Conn
 	fi  *FaultInjector
+	idx int
 	mu  sync.Mutex
 	rng *rand.Rand
 
@@ -179,6 +189,12 @@ type faultConn struct {
 	resetDone  bool
 	moved      int64
 	written    int64
+}
+
+// inject records a fired fault on the injector's trace lane (nil-safe;
+// "n" is the byte count the fault touched).
+func (c *faultConn) inject(kind string, n int) {
+	c.fi.cfg.Tracer.Event(0, uint64(c.idx)+1, "chaos."+kind, obs.AttrInt("bytes", int64(n)))
 }
 
 // roll draws a uniform variate under the lock.
@@ -224,6 +240,7 @@ func (c *faultConn) maybeStall() {
 		return
 	}
 	if c.roll() < cfg.StallProb && c.fi.takeStall() {
+		c.inject("stall", 0)
 		time.Sleep(cfg.Stall)
 	}
 }
@@ -250,9 +267,11 @@ func (c *faultConn) Write(b []byte) (int, error) {
 
 	if t, ok := isControlFrame(b); ok {
 		if c.fi.takeOnce(c.fi.onceDrop, t) {
+			c.inject("drop", len(b))
 			return len(b), nil
 		}
 		if c.fi.takeOnce(c.fi.oncePart, t) {
+			c.inject("partial", len(b)/2)
 			if _, err := c.Conn.Write(b[:len(b)/2]); err != nil {
 				return 0, err
 			}
@@ -264,14 +283,17 @@ func (c *faultConn) Write(b []byte) (int, error) {
 		hit := c.written >= cfg.CorruptOnceAfter
 		c.mu.Unlock()
 		if hit && c.fi.takeCorruptOnce() {
+			c.inject("corrupt", len(b))
 			b = c.corrupt(b)
 		}
 	}
 	if cfg.DropProb > 0 && c.roll() < cfg.DropProb {
+		c.inject("drop", len(b))
 		c.noteWritten(len(b))
 		return len(b), nil
 	}
 	if cfg.PartialProb > 0 && c.roll() < cfg.PartialProb && len(b) > 1 {
+		c.inject("partial", len(b)/2)
 		if _, err := c.Conn.Write(b[:len(b)/2]); err != nil {
 			return 0, err
 		}
@@ -279,11 +301,13 @@ func (c *faultConn) Write(b []byte) (int, error) {
 		return len(b), nil
 	}
 	if cfg.CorruptProb > 0 && c.roll() < cfg.CorruptProb {
+		c.inject("corrupt", len(b))
 		b = c.corrupt(b)
 	}
 	n, err := c.Conn.Write(b)
 	c.noteWritten(n)
 	if err == nil && c.account(n) {
+		c.inject("reset", n)
 		c.Conn.Close()
 		return n, net.ErrClosed
 	}
@@ -301,10 +325,12 @@ func (c *faultConn) Read(b []byte) (int, error) {
 	n, err := c.Conn.Read(b)
 	cfg := &c.fi.cfg
 	if n > 0 && cfg.CorruptProb > 0 && c.roll() < cfg.CorruptProb {
+		c.inject("corrupt", n)
 		mangled := c.corrupt(b[:n])
 		copy(b, mangled)
 	}
 	if err == nil && c.account(n) {
+		c.inject("reset", n)
 		c.Conn.Close()
 		return n, nil // deliver what arrived; the next op sees the reset
 	}

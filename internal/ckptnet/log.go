@@ -69,6 +69,11 @@ func (k EventKind) String() string {
 
 // LogEvent is one manager-side observation about a session.
 type LogEvent struct {
+	// Seq is the 1-based monotonic sequence id within the session.
+	// Events sharing a wall-clock timestamp stay unambiguous post hoc,
+	// and trace spans carry the same id as their "seq" attribute so a
+	// timeline row can be matched to its log entry exactly.
+	Seq int64
 	// Wall is the manager's wall-clock timestamp.
 	Wall time.Time
 	// Kind classifies the event.
@@ -85,6 +90,11 @@ type LogEvent struct {
 type SessionLog struct {
 	mu sync.Mutex
 
+	// traceID is the manager-assigned trace pid for this session
+	// (1-based creation order); 0 when the log was built outside a
+	// manager (tests, ReadSessions).
+	traceID uint64
+
 	// JobID identifies the test process.
 	JobID string
 	// Model and Params echo the assignment.
@@ -96,11 +106,14 @@ type SessionLog struct {
 	Events []LogEvent
 }
 
-// Add appends an event stamped with the current wall time.
-func (l *SessionLog) Add(kind EventKind, value float64) {
+// Add appends an event stamped with the current wall time and returns
+// its sequence id (1-based within this session).
+func (l *SessionLog) Add(kind EventKind, value float64) int64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.Events = append(l.Events, LogEvent{Wall: time.Now(), Kind: kind, Value: value})
+	seq := int64(len(l.Events)) + 1
+	l.Events = append(l.Events, LogEvent{Seq: seq, Wall: time.Now(), Kind: kind, Value: value})
+	return seq
 }
 
 // LastEvent returns the most recent event, or ok=false for an empty

@@ -22,6 +22,9 @@ type sessionDTO struct {
 }
 
 type eventDTO struct {
+	// Seq is omitted from logs written before sequence ids existed;
+	// ReadSessions synthesizes positional ids for those.
+	Seq   int64     `json:"seq,omitempty"`
 	Wall  time.Time `json:"wall"`
 	Kind  string    `json:"kind"`
 	Value float64   `json:"value"`
@@ -50,7 +53,7 @@ func WriteSessions(w io.Writer, sessions []*SessionLog) error {
 			CheckpointBytes: s.CheckpointBytes,
 		}
 		for _, e := range s.Events {
-			dto.Events = append(dto.Events, eventDTO{Wall: e.Wall, Kind: e.Kind.String(), Value: e.Value})
+			dto.Events = append(dto.Events, eventDTO{Seq: e.Seq, Wall: e.Wall, Kind: e.Kind.String(), Value: e.Value})
 		}
 		s.mu.Unlock()
 		if err := enc.Encode(dto); err != nil {
@@ -83,12 +86,18 @@ func ReadSessions(r io.Reader) ([]*SessionLog, error) {
 			Params:          dto.Params,
 			CheckpointBytes: dto.CheckpointBytes,
 		}
-		for _, e := range dto.Events {
+		for i, e := range dto.Events {
 			kind, ok := kindValues[e.Kind]
 			if !ok {
 				return nil, fmt.Errorf("ckptnet: session %q: unknown event kind %q", dto.JobID, e.Kind)
 			}
-			s.Events = append(s.Events, LogEvent{Wall: e.Wall, Kind: kind, Value: e.Value})
+			seq := e.Seq
+			if seq == 0 {
+				// Legacy log without sequence ids: positional order is the
+				// only ordering the old format guaranteed, so reuse it.
+				seq = int64(i) + 1
+			}
+			s.Events = append(s.Events, LogEvent{Seq: seq, Wall: e.Wall, Kind: kind, Value: e.Value})
 		}
 		out = append(out, s)
 	}

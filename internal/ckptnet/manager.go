@@ -63,6 +63,12 @@ type Options struct {
 	// session gauge, and the heartbeat-gap histogram (names in DESIGN.md
 	// §11). Nil leaves instrumentation off at zero cost.
 	Metrics *obs.Registry
+	// Tracer, when set, records per-session timelines: one "session"
+	// span per connection, child spans per transfer, and instant events
+	// for heartbeats, retries, torn frames, and T_opt reports — each
+	// carrying the SessionLog sequence id as its "seq" attr (DESIGN.md
+	// §12). Nil leaves tracing off at zero cost.
+	Tracer *obs.Tracer
 }
 
 func (o *Options) setDefaults() {
@@ -294,6 +300,7 @@ func (m *Manager) sessionFor(h Hello, a Assign) (log *SessionLog, resumed bool) 
 		Model:           a.Model,
 		Params:          a.Params,
 		CheckpointBytes: a.CheckpointBytes,
+		traceID:         uint64(len(m.sessions)) + 1,
 	}
 	m.sessions = append(m.sessions, l)
 	m.byJob[h.JobID] = l
@@ -332,10 +339,24 @@ func (m *Manager) serve(conn net.Conn) {
 	log, resumed := m.sessionFor(hello, assign)
 	m.metrics.active.Add(1)
 	defer m.metrics.active.Add(-1)
+
+	// Trace lane for this connection: pid is the session's creation
+	// order (stable across resumes), tid the 1-based attempt, so a
+	// retried session renders as stacked attempt rows under one pid.
+	tr := m.opts.Tracer
+	pid, tid := log.traceID, uint64(hello.Attempt)+1
+	sess := tr.StartSpan(pid, tid, "session").SetAttr(
+		obs.AttrStr("job", hello.JobID),
+		obs.AttrStr("model", assign.Model.String()),
+		obs.AttrBool("resumed", resumed))
+	defer sess.End()
+
 	if resumed {
-		m.record(log, EvRetry, float64(hello.Attempt))
+		seq := m.record(log, EvRetry, float64(hello.Attempt))
+		tr.Event(pid, tid, "retry",
+			obs.AttrInt("seq", seq), obs.AttrInt("attempt", int64(hello.Attempt)))
 	} else {
-		m.record(log, EvConnected, hello.TElapsed)
+		sess.SetAttr(obs.AttrInt("seq", m.record(log, EvConnected, hello.TElapsed)))
 	}
 	defer m.record(log, EvDisconnected, 0)
 
@@ -357,14 +378,23 @@ func (m *Manager) serve(conn net.Conn) {
 	if err := WriteFrame(rw, MsgRecoveryBegin, DataBegin{Bytes: recBytes, CRC32: recCRC}); err != nil {
 		return
 	}
+	rsp := tr.StartSpan(pid, tid, "transfer.recovery").SetAttr(obs.AttrInt("bytes", recBytes))
 	if err := WriteData(rw, recBytes); err != nil {
-		m.record(log, EvRecoveryInterrupted, 0)
+		seq := m.record(log, EvRecoveryInterrupted, 0)
+		rsp.SetAttr(obs.AttrStr("outcome", "interrupted"), obs.AttrInt("seq", seq)).End()
 		return
 	}
-	m.record(log, EvRecoveryDone, 0)
+	rsp.SetAttr(obs.AttrStr("outcome", "done"),
+		obs.AttrInt("seq", m.record(log, EvRecoveryDone, 0))).End()
 
 	// Event loop: heartbeats, T_opt reports, checkpoints — until the
 	// connection drops (eviction) or the stream turns to garbage.
+	// hbExpect is the expected wall-clock heartbeat cadence; a gap
+	// beyond 1.5× of it earns a "heartbeat.gap" trace event.
+	hbExpect := assign.HeartbeatSec
+	if hello.TimeScale > 0 {
+		hbExpect *= hello.TimeScale
+	}
 	var lastHB time.Time
 	for {
 		var raw struct {
@@ -379,30 +409,56 @@ func (m *Manager) serve(conn net.Conn) {
 		t, err := ReadFrame(rw, &raw)
 		if err != nil {
 			if errors.Is(err, ErrMalformedFrame) {
-				m.record(log, EvTornFrame, 0)
+				tr.Event(pid, tid, "torn_frame",
+					obs.AttrInt("seq", m.record(log, EvTornFrame, 0)),
+					obs.AttrStr("cause", "malformed"))
 			}
 			return
 		}
 		switch t {
 		case MsgTopt:
-			m.record(log, EvTopt, raw.Topt)
+			seq := m.record(log, EvTopt, raw.Topt)
+			tr.Event(pid, tid, "topt",
+				obs.AttrInt("seq", seq),
+				obs.AttrFloat("t_opt", raw.Topt),
+				obs.AttrBool("fallback", raw.Fallback))
 			if raw.Fallback {
-				m.record(log, EvFallback, raw.Topt)
+				tr.Event(pid, tid, "fallback",
+					obs.AttrInt("seq", m.record(log, EvFallback, raw.Topt)),
+					obs.AttrFloat("t_opt", raw.Topt))
 			}
 		case MsgHeartbeat:
-			if h := m.metrics.hbGap; h != nil {
+			var gap float64
+			if m.metrics.hbGap != nil || tr != nil {
 				now := time.Now()
 				if !lastHB.IsZero() {
-					h.Observe(now.Sub(lastHB).Seconds())
+					gap = now.Sub(lastHB).Seconds()
+					m.metrics.hbGap.Observe(gap)
 				}
 				lastHB = now
 			}
-			m.record(log, EvHeartbeat, raw.Elapsed)
+			seq := m.record(log, EvHeartbeat, raw.Elapsed)
+			tr.Event(pid, tid, "heartbeat",
+				obs.AttrInt("seq", seq),
+				obs.AttrFloat("gap_s", gap),
+				obs.AttrFloat("elapsed", raw.Elapsed))
+			if hbExpect > 0 && gap > 1.5*hbExpect {
+				tr.Event(pid, tid, "heartbeat.gap",
+					obs.AttrInt("seq", seq),
+					obs.AttrFloat("gap_s", gap),
+					obs.AttrFloat("expected_s", hbExpect))
+			}
 		case MsgCheckpointBegin:
+			csp := tr.StartSpan(pid, tid, "transfer.checkpoint").
+				SetAttr(obs.AttrInt("bytes", raw.Bytes))
 			got, crc, err := ReadDataCRC(rw, raw.Bytes)
 			if err != nil {
 				if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
-					m.record(log, EvCheckpointInterrupted, float64(got))
+					csp.SetAttr(obs.AttrStr("outcome", "interrupted"),
+						obs.AttrInt("seq", m.record(log, EvCheckpointInterrupted, float64(got))),
+						obs.AttrInt("got", got)).End()
+				} else {
+					csp.SetAttr(obs.AttrStr("outcome", "error")).End()
 				}
 				return
 			}
@@ -411,21 +467,28 @@ func (m *Manager) serve(conn net.Conn) {
 				// tell the process so it can retry over this connection
 				// (the stream is still frame-aligned — we consumed
 				// exactly the announced byte count).
-				m.record(log, EvTornFrame, float64(got))
+				seq := m.record(log, EvTornFrame, float64(got))
+				csp.SetAttr(obs.AttrStr("outcome", "crc_rejected"),
+					obs.AttrInt("seq", seq)).End()
+				tr.Event(pid, tid, "torn_frame",
+					obs.AttrInt("seq", seq), obs.AttrStr("cause", "crc"))
 				if err := WriteFrame(rw, MsgCheckpointNack, struct{}{}); err != nil {
 					return
 				}
 				continue
 			}
 			m.commitImage(hello.JobID, raw.Bytes, crc)
-			m.record(log, EvCheckpointDone, 0)
+			csp.SetAttr(obs.AttrStr("outcome", "committed"),
+				obs.AttrInt("seq", m.record(log, EvCheckpointDone, 0))).End()
 			if err := WriteFrame(rw, MsgCheckpointAck, struct{}{}); err != nil {
 				return
 			}
 		default:
 			// Unknown frame type: the stream lost alignment (a dropped
 			// control frame left raw data where a header should be).
-			m.record(log, EvTornFrame, 0)
+			tr.Event(pid, tid, "torn_frame",
+				obs.AttrInt("seq", m.record(log, EvTornFrame, 0)),
+				obs.AttrStr("cause", "unknown-frame"))
 			return
 		}
 	}

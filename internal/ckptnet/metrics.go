@@ -67,13 +67,14 @@ func newManagerMetrics(r *obs.Registry) managerMetrics {
 	}
 }
 
-// record appends the event to the session log and bumps the matching
-// manager counter. The switch below must mirror SessionLog.Summarize
+// record appends the event to the session log, bumps the matching
+// manager counter, and returns the event's sequence id (for trace
+// correlation). The switch below must mirror SessionLog.Summarize
 // case for case — that shared structure, not an after-the-fact export,
 // is what makes the registry reconcile exactly with the summed
 // per-session summaries.
-func (m *Manager) record(l *SessionLog, kind EventKind, value float64) {
-	l.Add(kind, value)
+func (m *Manager) record(l *SessionLog, kind EventKind, value float64) int64 {
+	seq := l.Add(kind, value)
 	mm := &m.metrics
 	switch kind {
 	case EvRecoveryDone:
@@ -96,4 +97,5 @@ func (m *Manager) record(l *SessionLog, kind EventKind, value float64) {
 	case EvFallback:
 		mm.fallbacks.Inc()
 	}
+	return seq
 }

@@ -1,0 +1,208 @@
+package ckptnet
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/cycleharvest/ckptsched/internal/fit"
+	"github.com/cycleharvest/ckptsched/internal/obs"
+)
+
+// TestManagerTracing runs one loopback session with a tracer attached
+// and checks the timeline: a session span, recovery and checkpoint
+// transfer child spans, heartbeat and topt events — each carrying the
+// SessionLog sequence id it correlates with.
+func TestManagerTracing(t *testing.T) {
+	tr := obs.NewTracer(obs.TracerOptions{FullFidelity: true})
+	mgr, err := NewManagerOpts(
+		StaticAssigner(fit.ModelExponential, []float64{1.0 / 3600}, 64<<10),
+		Options{Tracer: tr},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := mgr.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+
+	if _, err := RunProcess(context.Background(), ProcessConfig{
+		Addr:         addr.String(),
+		JobID:        "trace-1",
+		TimeScale:    1e-4,
+		MaxIntervals: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mgr.Close()
+
+	evs := tr.Events()
+	byName := map[string]int{}
+	for _, e := range evs {
+		byName[e.Name]++
+	}
+	for _, name := range []string{"session", "transfer.recovery", "transfer.checkpoint", "heartbeat", "topt"} {
+		if byName[name] == 0 {
+			t.Errorf("no %q events in trace (have %v)", name, byName)
+		}
+	}
+	if byName["transfer.checkpoint"] < 2 {
+		t.Errorf("want >=2 checkpoint spans, got %d", byName["transfer.checkpoint"])
+	}
+
+	// Every session span sits on the pid its SessionLog was created
+	// with, and transfer spans carry seq attrs resolvable in that log.
+	logs := mgr.Sessions()
+	if len(logs) != 1 {
+		t.Fatalf("got %d sessions, want 1", len(logs))
+	}
+	log := logs[0]
+	if log.traceID == 0 {
+		t.Fatal("session has no traceID")
+	}
+	attr := func(e obs.TraceEvent, key string) (any, bool) {
+		for _, a := range e.Attrs {
+			if a.Key == key {
+				return a.Value(), true
+			}
+		}
+		return nil, false
+	}
+	for _, e := range evs {
+		if e.Pid != log.traceID {
+			t.Errorf("event %q on pid %d, want %d", e.Name, e.Pid, log.traceID)
+		}
+		if !strings.HasPrefix(e.Name, "transfer.") {
+			continue
+		}
+		v, ok := attr(e, "seq")
+		if !ok {
+			t.Errorf("%q span missing seq attr", e.Name)
+			continue
+		}
+		seq := int64(v.(float64))
+		if seq < 1 || seq > int64(len(log.Events)) {
+			t.Errorf("%q seq %d out of log range 1..%d", e.Name, seq, len(log.Events))
+			continue
+		}
+		got := log.Events[seq-1]
+		if got.Seq != seq {
+			t.Errorf("log event at index %d has Seq %d", seq-1, got.Seq)
+		}
+		var wantKind EventKind
+		switch outcome, _ := attr(e, "outcome"); outcome {
+		case "done":
+			wantKind = EvRecoveryDone
+		case "committed":
+			wantKind = EvCheckpointDone
+		default:
+			t.Errorf("%q span with unexpected outcome %v", e.Name, outcome)
+			continue
+		}
+		if got.Kind != wantKind {
+			t.Errorf("seq %d resolves to %v, want %v", seq, got.Kind, wantKind)
+		}
+	}
+}
+
+// TestSessionLogSeqMonotonic pins the per-session Seq contract.
+func TestSessionLogSeqMonotonic(t *testing.T) {
+	l := &SessionLog{JobID: "seq-1"}
+	for i := 1; i <= 5; i++ {
+		if got := l.Add(EvHeartbeat, float64(i)); got != int64(i) {
+			t.Fatalf("Add #%d returned seq %d", i, got)
+		}
+	}
+	for i, e := range l.Events {
+		if e.Seq != int64(i)+1 {
+			t.Errorf("Events[%d].Seq = %d, want %d", i, e.Seq, i+1)
+		}
+	}
+}
+
+// TestReadSessionsLegacySeq decodes a pre-Seq JSON log (no "seq"
+// fields) and checks positional ids are synthesized; a modern log keeps
+// its explicit ids.
+func TestReadSessionsLegacySeq(t *testing.T) {
+	legacy := `{"job_id":"old-1","model":"exponential","params":[0.001],"checkpoint_bytes":1024,` +
+		`"events":[` +
+		`{"wall":"2026-01-02T15:04:05Z","kind":"connected","value":0},` +
+		`{"wall":"2026-01-02T15:04:06Z","kind":"heartbeat","value":10},` +
+		`{"wall":"2026-01-02T15:04:06Z","kind":"heartbeat","value":20}]}` + "\n"
+	logs, err := ReadSessions(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(logs) != 1 || len(logs[0].Events) != 3 {
+		t.Fatalf("decoded %d sessions / %d events", len(logs), len(logs[0].Events))
+	}
+	for i, e := range logs[0].Events {
+		if e.Seq != int64(i)+1 {
+			t.Errorf("legacy Events[%d].Seq = %d, want %d", i, e.Seq, i+1)
+		}
+	}
+
+	// Round trip through the modern writer: explicit ids survive.
+	var buf strings.Builder
+	if err := WriteSessions(&buf, logs); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"seq":2`) {
+		t.Errorf("modern encoding lacks seq ids: %s", buf.String())
+	}
+	again, err := ReadSessions(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range again[0].Events {
+		if e.Seq != logs[0].Events[i].Seq {
+			t.Errorf("round-trip Events[%d].Seq = %d, want %d", i, e.Seq, logs[0].Events[i].Seq)
+		}
+	}
+}
+
+// TestFaultInjectorTracing checks chaos injections land on the
+// injector's pid-0 lane.
+func TestFaultInjectorTracing(t *testing.T) {
+	tr := obs.NewTracer(obs.TracerOptions{FullFidelity: true})
+	fi := NewFaultInjector(FaultConfig{
+		Seed:          7,
+		DropOnceTypes: []MsgType{MsgHeartbeat},
+		Tracer:        tr,
+	})
+	mgr, err := NewManagerOpts(
+		StaticAssigner(fit.ModelExponential, []float64{1.0 / 3600}, 32<<10),
+		Options{WrapConn: fi.Wrap},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := mgr.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	if _, err := RunProcess(context.Background(), ProcessConfig{
+		Addr:         addr.String(),
+		JobID:        "chaos-trace-1",
+		TimeScale:    1e-4,
+		MaxIntervals: 1,
+		WrapConn:     fi.Wrap,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var drops int
+	for _, e := range tr.Events() {
+		if e.Name == "chaos.drop" {
+			drops++
+			if e.Pid != 0 {
+				t.Errorf("chaos event on pid %d, want 0", e.Pid)
+			}
+		}
+	}
+	if drops != 1 {
+		t.Errorf("got %d chaos.drop events, want 1", drops)
+	}
+}

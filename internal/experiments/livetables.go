@@ -6,6 +6,7 @@ import (
 	"github.com/cycleharvest/ckptsched/internal/ckptnet"
 	"github.com/cycleharvest/ckptsched/internal/fit"
 	"github.com/cycleharvest/ckptsched/internal/live"
+	"github.com/cycleharvest/ckptsched/internal/obs"
 	"github.com/cycleharvest/ckptsched/internal/stats"
 )
 
@@ -53,7 +54,18 @@ type LiveCampaignConfig struct {
 	Concurrency int
 	// Seed makes the campaign deterministic.
 	Seed int64
+	// Tracer, when set, passes through to live.CampaignConfig: one
+	// session span per sample on pid = TracePidBase + index + 1.
+	Tracer *obs.Tracer
+	// TracePidBase separates this campaign's trace lanes from other
+	// campaigns sharing the tracer (use multiples of TraceCampaignStride).
+	TracePidBase uint64
 }
+
+// TraceCampaignStride is the pid-lane stride callers should leave
+// between campaigns that share one tracer; it bounds a campaign to
+// 65535 samples, far above any paper table.
+const TraceCampaignStride = 1 << 16
 
 // RunLiveTable runs one live campaign and aggregates it into table
 // rows. It also returns the raw campaign for validation.
@@ -72,6 +84,8 @@ func RunLiveTable(name string, cfg LiveCampaignConfig) (*LiveTable, *live.Campai
 		SamplesPerModel: cfg.SamplesPerModel,
 		Concurrency:     cfg.Concurrency,
 		Seed:            cfg.Seed,
+		Tracer:          cfg.Tracer,
+		TracePidBase:    cfg.TracePidBase,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -141,6 +155,12 @@ type ChaosConfig struct {
 	SamplesPerModel int
 	// Seed makes both campaigns deterministic and keeps them paired.
 	Seed int64
+	// Tracer, when set, records both campaigns: the clean twin on
+	// lanes starting at TracePidBase, the fault-injected one a
+	// TraceCampaignStride above it.
+	Tracer *obs.Tracer
+	// TracePidBase is the first campaign's lane base.
+	TracePidBase uint64
 }
 
 // ChaosResult compares a clean campaign against its fault-injected
@@ -202,6 +222,8 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 		Link:            cfg.Link,
 		SamplesPerModel: cfg.SamplesPerModel,
 		Seed:            cfg.Seed,
+		Tracer:          cfg.Tracer,
+		TracePidBase:    cfg.TracePidBase,
 	})
 	if err != nil {
 		return nil, err
@@ -211,6 +233,8 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 		Link:            ckptnet.ChaosLink{Inner: cfg.Link, Faults: cfg.Faults},
 		SamplesPerModel: cfg.SamplesPerModel,
 		Seed:            cfg.Seed,
+		Tracer:          cfg.Tracer,
+		TracePidBase:    cfg.TracePidBase + TraceCampaignStride,
 	})
 	if err != nil {
 		return nil, err

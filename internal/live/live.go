@@ -48,6 +48,7 @@ import (
 	"github.com/cycleharvest/ckptsched/internal/fit"
 	"github.com/cycleharvest/ckptsched/internal/forecast"
 	"github.com/cycleharvest/ckptsched/internal/markov"
+	"github.com/cycleharvest/ckptsched/internal/obs"
 	"github.com/cycleharvest/ckptsched/internal/trace"
 )
 
@@ -91,6 +92,16 @@ type CampaignConfig struct {
 	UseForecast bool
 	// Seed makes the campaign deterministic.
 	Seed int64
+	// Tracer, when set, records one "session" span per sample (pid =
+	// TracePidBase + sample index + 1) with per-interval "topt" events,
+	// transfer child spans, and retry/fallback/evicted events — all
+	// timestamped on the campaign's virtual clock (allocation start +
+	// session time), so the export is byte-identical at any GOMAXPROCS
+	// (DESIGN.md §12).
+	Tracer *obs.Tracer
+	// TracePidBase offsets this campaign's trace lanes so several
+	// campaigns can share one tracer without colliding pids.
+	TracePidBase uint64
 }
 
 func (c *CampaignConfig) setDefaults() {
@@ -450,6 +461,12 @@ func runSession(cfg CampaignConfig, chaos chaosLink, fits *fitCache, predictor *
 		return Sample{}, fmt.Errorf("live: sample %d (%v): %w", idx, model, fitErr)
 	}
 
+	// Trace lane: one pid per sample, timestamps on the campaign's
+	// virtual axis (allocation start + session-local time).
+	tr := cfg.Tracer
+	pid := cfg.TracePidBase + uint64(idx) + 1
+	abs := func(t float64) float64 { return al.start + t }
+
 	observe := func(sec float64) {
 		if predictor != nil {
 			predictor.Observe(bytes, sec)
@@ -479,23 +496,36 @@ func runSession(cfg CampaignConfig, chaos chaosLink, fits *fitCache, predictor *
 	// which onFail degrades the process (sec = the last attempt's
 	// estimated full duration, the process's best remaining cost
 	// estimate).
+	// transferName maps a transfer phase to its trace-span name.
+	transferName := func(kind phase) string {
+		if kind == phaseRecovering {
+			return "transfer.recovery"
+		}
+		return "transfer.checkpoint"
+	}
+
 	doTransfer = func(kind phase, attempt int, onDone, onFail func(sec float64)) {
+		t0 := clock.Now()
 		if chaos == nil {
 			dur := cfg.Link.TransferTime(bytes, rng)
-			ph, phaseT0, phaseDur = kind, clock.Now(), dur
+			ph, phaseT0, phaseDur = kind, t0, dur
 			pending = clock.Schedule(dur, func() {
 				s.TransferSec += dur
 				s.MBMoved += cfg.CheckpointMB
+				tr.SpanAt(pid, 1, transferName(kind), abs(t0), dur,
+					obs.AttrStr("outcome", "done"), obs.AttrFloat("mb", cfg.CheckpointMB))
 				onDone(dur)
 			})
 			return
 		}
 		a := chaos.Attempt(bytes, rng)
-		ph, phaseT0, phaseDur = kind, clock.Now(), a.FullSec
+		ph, phaseT0, phaseDur = kind, t0, a.FullSec
 		if !a.Torn {
 			pending = clock.Schedule(a.Sec, func() {
 				s.TransferSec += a.Sec
 				s.MBMoved += cfg.CheckpointMB
+				tr.SpanAt(pid, 1, transferName(kind), abs(t0), a.Sec,
+					obs.AttrStr("outcome", "done"), obs.AttrFloat("mb", cfg.CheckpointMB))
 				onDone(a.Sec)
 			})
 			return
@@ -506,6 +536,10 @@ func runSession(cfg CampaignConfig, chaos chaosLink, fits *fitCache, predictor *
 			if a.FullSec > 0 {
 				s.MBMoved += cfg.CheckpointMB * a.Sec / a.FullSec
 			}
+			tr.SpanAt(pid, 1, transferName(kind), abs(t0), a.Sec,
+				obs.AttrStr("outcome", "torn"), obs.AttrInt("attempt", int64(attempt)))
+			tr.EventAt(pid, 1, "torn_frame", abs(clock.Now()),
+				obs.AttrInt("attempt", int64(attempt)))
 			if attempt >= chaos.MaxAttempts() {
 				onFail(a.FullSec)
 				return
@@ -513,6 +547,8 @@ func runSession(cfg CampaignConfig, chaos chaosLink, fits *fitCache, predictor *
 			s.Retries++
 			bo := chaos.BackoffSec(attempt, rng)
 			s.BackoffSec += bo
+			tr.EventAt(pid, 1, "retry", abs(clock.Now()),
+				obs.AttrInt("attempt", int64(attempt)), obs.AttrFloat("backoff_s", bo))
 			ph, phaseT0, phaseDur = phaseBackoff, clock.Now(), bo
 			pending = clock.Schedule(bo, func() {
 				doTransfer(kind, attempt+1, onDone, onFail)
@@ -523,6 +559,7 @@ func runSession(cfg CampaignConfig, chaos chaosLink, fits *fitCache, predictor *
 	beginWork = func() {
 		age := ageNow()
 		planC := planningC()
+		degraded := false
 		if chaos != nil && chaos.Unreachable(rng) {
 			// Manager unreachable: degrade to the last assigned
 			// schedule rather than abort; a process that never got one
@@ -531,6 +568,9 @@ func runSession(cfg CampaignConfig, chaos chaosLink, fits *fitCache, predictor *
 				topt = conservativeTopt(fits, cfg.HeartbeatSec, planC, age)
 			}
 			s.Fallbacks++
+			degraded = true
+			tr.EventAt(pid, 1, "fallback", abs(clock.Now()),
+				obs.AttrStr("cause", "unreachable"), obs.AttrFloat("t_opt", topt))
 		} else {
 			costs := markov.Costs{C: planC, R: planC, L: planC}
 			m := markov.Model{Avail: d, Costs: costs}
@@ -544,6 +584,11 @@ func runSession(cfg CampaignConfig, chaos chaosLink, fits *fitCache, predictor *
 			}
 		}
 		s.Intervals++
+		tr.EventAt(pid, 1, "topt", abs(clock.Now()),
+			obs.AttrFloat("t_opt", topt),
+			obs.AttrFloat("age", age),
+			obs.AttrFloat("measured_c", planC),
+			obs.AttrBool("fallback", degraded))
 		ph, phaseT0, phaseDur = phaseWorking, clock.Now(), topt
 		pending = clock.Schedule(topt, beginCheckpoint)
 	}
@@ -572,6 +617,8 @@ func runSession(cfg CampaignConfig, chaos chaosLink, fits *fitCache, predictor *
 				measuredC = est
 			}
 			s.Fallbacks++
+			tr.EventAt(pid, 1, "fallback", abs(clock.Now()),
+				obs.AttrStr("cause", "retries-exhausted"))
 			beginWork()
 		})
 	}
@@ -604,6 +651,7 @@ func runSession(cfg CampaignConfig, chaos chaosLink, fits *fitCache, predictor *
 		}
 		s.SessionSec = at
 		evicted = true
+		tr.EventAt(pid, 1, "evicted", abs(at))
 	})
 
 	// Initial recovery transfer, timed by the process.
@@ -625,6 +673,13 @@ func runSession(cfg CampaignConfig, chaos chaosLink, fits *fitCache, predictor *
 	if !evicted {
 		return Sample{}, fmt.Errorf("live: sample %d (%v): session ran out of events before eviction", idx, model)
 	}
+	tr.SpanAt(pid, 1, "session", abs(0), s.SessionSec,
+		obs.AttrStr("model", model.String()),
+		obs.AttrStr("machine", s.Machine),
+		obs.AttrFloat("t_elapsed", s.TElapsed),
+		obs.AttrFloat("t_opt", topt),
+		obs.AttrFloat("efficiency", s.Efficiency()),
+		obs.AttrInt("intervals", int64(s.Intervals)))
 	return s, nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"github.com/cycleharvest/ckptsched/internal/ckptnet"
 	"github.com/cycleharvest/ckptsched/internal/condor"
 	"github.com/cycleharvest/ckptsched/internal/fit"
+	"github.com/cycleharvest/ckptsched/internal/obs"
 	"github.com/cycleharvest/ckptsched/internal/trace"
 )
 
@@ -109,6 +110,43 @@ func TestRunCampaignDeterminism(t *testing.T) {
 			a.Samples[i].MBMoved != b.Samples[i].MBMoved {
 			t.Fatalf("campaign not deterministic at sample %d", i)
 		}
+	}
+}
+
+// TestRunCampaignTraceDeterminism pins the trace contract: one session
+// span per sample on pid = sample index+1, with timestamps on the
+// campaign's virtual pool clock, byte-identical at any GOMAXPROCS
+// (sessions fan out over a worker pool, but each emits on its own pid).
+func TestRunCampaignTraceDeterminism(t *testing.T) {
+	machines, history := testbed(t, 12, 7)
+	render := func(procs int) []byte {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		tr := obs.NewTracer(obs.TracerOptions{FullFidelity: true})
+		_, err := RunCampaign(CampaignConfig{
+			Machines:        machines,
+			History:         history,
+			Link:            ckptnet.CampusLink(),
+			SamplesPerModel: 3,
+			Seed:            7,
+			Tracer:          tr,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := obs.WriteChromeTrace(&buf, tr.Events()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial, wide := render(1), render(8)
+	if !bytes.Contains(serial, []byte(`"session"`)) ||
+		!bytes.Contains(serial, []byte(`"topt"`)) {
+		t.Fatalf("trace missing session/topt records: %d bytes", len(serial))
+	}
+	if !bytes.Equal(serial, wide) {
+		t.Error("trace export depends on GOMAXPROCS")
 	}
 }
 

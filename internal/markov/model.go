@@ -189,19 +189,28 @@ var ErrDegenerate = errors.New("markov: no feasible work interval")
 // followed by Golden Section refinement (§3.5 uses Golden Section
 // Search from Numerical Recipes).
 func (m Model) Topt(age float64, opts OptimizeOptions) (T, ratio float64, err error) {
+	T, ratio, _, err = m.toptCount(age, opts)
+	return T, ratio, err
+}
+
+// toptCount is Topt plus the number of objective evaluations the
+// search performed — the virtual time axis of BuildSchedule's trace
+// spans. evals is 0 when neither the eval counter nor the tracer is
+// live (the wrapper is skipped entirely on the disabled path).
+func (m Model) toptCount(age float64, opts OptimizeOptions) (T, ratio float64, evals uint64, err error) {
 	opts.setDefaults()
 	e := m.evaluator(age)
 	f := e.ratio
-	if c := metrics.goldenEvals; c != nil {
-		var n uint64
-		defer func() { c.Add(n) }()
+	var n uint64
+	if countEvals() {
 		f = countedRatio(f, &n)
 	}
 	T, ratio = mathx.MinimizeScanGolden(f, opts.TMin, opts.TMax, opts.GridPoints, opts.Tol)
+	metrics.goldenEvals.Add(n)
 	if math.IsInf(ratio, 1) || math.IsNaN(ratio) {
-		return 0, 0, ErrDegenerate
+		return 0, 0, n, ErrDegenerate
 	}
-	return T, ratio, nil
+	return T, ratio, n, nil
 }
 
 // warmMinSurvival bounds where the warm-start search is trusted. Deep
@@ -223,23 +232,23 @@ const warmMinSurvival = 1e-6
 // fall back to the cold Topt scan. A warm result, when ok, matches the
 // cold scan bitwise whenever T_opt has drifted by less than the window
 // width.
-func (m Model) toptWarm(age, prev float64, opts OptimizeOptions) (T, ratio float64, ok bool) {
+func (m Model) toptWarm(age, prev float64, opts OptimizeOptions) (T, ratio float64, evals uint64, ok bool) {
 	opts.setDefaults()
 	e := m.evaluator(age)
 	if !(e.sAge >= warmMinSurvival) {
-		return 0, 0, false
+		return 0, 0, 0, false
 	}
 	f := e.ratio
-	if c := metrics.goldenEvals; c != nil {
-		var n uint64
-		defer func() { c.Add(n) }()
+	var n uint64
+	if countEvals() {
 		f = countedRatio(f, &n)
 	}
 	T, ratio, ok = mathx.MinimizeWarmScanGolden(f, opts.TMin, opts.TMax, opts.GridPoints, opts.Tol, prev)
+	metrics.goldenEvals.Add(n)
 	if !ok || math.IsInf(ratio, 1) || math.IsNaN(ratio) {
-		return 0, 0, false
+		return 0, 0, n, false
 	}
-	return T, ratio, true
+	return T, ratio, n, true
 }
 
 // gammaEvaluator computes Γ(T) at one fixed resource age with the

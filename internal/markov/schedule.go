@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"github.com/cycleharvest/ckptsched/internal/dist"
+	"github.com/cycleharvest/ckptsched/internal/obs"
 )
 
 // Schedule is an aperiodic checkpoint schedule: the sequence of
@@ -161,6 +162,22 @@ func (m Model) BuildSchedule(startAge float64, opts ScheduleOptions) (*Schedule,
 	age := startAge
 	prevT := 0.0
 	warmHits, coldScans := 0, 0
+
+	// Tracing runs on a virtual time axis of cumulative objective
+	// evaluations within this build — deterministic where wall time is
+	// not (DESIGN.md §12). Each build claims its own pid lane in a
+	// reserved band above tracePidBase so schedule builds never share
+	// a lane with the per-session/per-run pids the callers hand out.
+	tr := traceState.tracer
+	var pid, evalAxis uint64
+	var bsp *obs.Span
+	if tr != nil {
+		pid = tracePidBase + traceState.buildIDs.Add(1)
+		bsp = tr.StartSpanAt(pid, 1, "markov.build_schedule", 0).SetAttr(
+			obs.AttrFloat("start_age", startAge),
+			obs.AttrStr("model", m.Avail.Name()))
+	}
+
 	for len(s.Intervals) < opts.MaxIntervals {
 		// Warm-start: T_opt drifts slowly with age, so seed the search
 		// from the previous interval's optimum and evaluate only a
@@ -169,24 +186,37 @@ func (m Model) BuildSchedule(startAge float64, opts ScheduleOptions) (*Schedule,
 		// fast-moving or multi-modal objective falls back to the full
 		// 64-point geometric scan and results never depend on the seed.
 		var (
-			T, ratio float64
-			warm     bool
+			T, ratio     float64
+			warm         bool
+			warmN, coldN uint64
 		)
 		if prevT > 0 {
-			T, ratio, warm = m.toptWarm(age, prevT, opts.Optimize)
+			T, ratio, warmN, warm = m.toptWarm(age, prevT, opts.Optimize)
 		}
 		if warm {
 			warmHits++
 		} else {
 			coldScans++
 			var err error
-			T, ratio, err = m.Topt(age, opts.Optimize)
+			T, ratio, coldN, err = m.toptCount(age, opts.Optimize)
 			if err != nil {
 				if len(s.Intervals) > 0 {
 					break // keep what we have; later ages degenerate
 				}
 				return nil, err
 			}
+		}
+		if tr != nil {
+			mode, n := "cold", warmN+coldN
+			if warm {
+				mode = "warm"
+			}
+			tr.SpanAt(pid, 1, "markov.topt", float64(evalAxis), float64(n),
+				obs.AttrStr("mode", mode),
+				obs.AttrFloat("age", age),
+				obs.AttrFloat("t_opt", T),
+				obs.AttrInt("evals", int64(n)))
+			evalAxis += n
 		}
 		s.Intervals = append(s.Intervals, T)
 		s.Ages = append(s.Ages, age)
@@ -203,6 +233,11 @@ func (m Model) BuildSchedule(startAge float64, opts ScheduleOptions) (*Schedule,
 		}
 	}
 	s.ensureBounds()
+	bsp.SetAttr(
+		obs.AttrInt("intervals", int64(len(s.Intervals))),
+		obs.AttrInt("warm_hits", int64(warmHits)),
+		obs.AttrInt("cold_scans", int64(coldScans)),
+	).EndAt(float64(evalAxis))
 	metrics.builds.Inc()
 	metrics.warmHits.Add(uint64(warmHits))
 	metrics.coldScans.Add(uint64(coldScans))

@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"math"
 	"net/http/httptest"
 	"strings"
@@ -275,5 +276,110 @@ func TestConcurrentMutation(t *testing.T) {
 	}
 	if total != h.Count() {
 		t.Errorf("bucket sum %d != count %d", total, h.Count())
+	}
+}
+
+// TestPrometheusExposition round-trips the text exposition: parse
+// every sample line back and check the histogram's cumulative +Inf
+// bucket, _count and _sum agree with the Snapshot of the same
+// registry.
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ckpt_exp_total", "a counter").Add(7)
+	r.Gauge("ckpt_exp_gauge", "a gauge").Set(-3)
+	h := r.Histogram("ckpt_exp_seconds", "a histogram", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples := make(map[string]float64)
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("unparsable sample line %q", line)
+		}
+		var f float64
+		if _, err := fmt.Sscanf(val, "%g", &f); err != nil {
+			t.Fatalf("unparsable value in %q: %v", line, err)
+		}
+		samples[name] = f
+	}
+
+	snap := r.Snapshot()
+	if got := samples["ckpt_exp_total"]; got != float64(snap.Counters["ckpt_exp_total"]) || got != 7 {
+		t.Errorf("counter sample %g, snapshot %d", got, snap.Counters["ckpt_exp_total"])
+	}
+	if got := samples["ckpt_exp_gauge"]; got != -3 {
+		t.Errorf("gauge sample %g, want -3", got)
+	}
+
+	hs := snap.Histograms["ckpt_exp_seconds"]
+	// The +Inf bucket is cumulative: it must equal _count and the
+	// total observation count.
+	inf := samples[`ckpt_exp_seconds_bucket{le="+Inf"}`]
+	if inf != float64(hs.Count) || samples["ckpt_exp_seconds_count"] != float64(hs.Count) || hs.Count != 5 {
+		t.Errorf("+Inf bucket %g, _count %g, snapshot count %d",
+			inf, samples["ckpt_exp_seconds_count"], hs.Count)
+	}
+	if got := samples["ckpt_exp_seconds_sum"]; math.Abs(got-hs.Sum) > 1e-9 || math.Abs(got-56.05) > 1e-9 {
+		t.Errorf("_sum %g, snapshot %g, want 56.05", got, hs.Sum)
+	}
+	// Cumulative buckets must be monotone and match the per-bucket
+	// snapshot counts when re-differenced.
+	cum := uint64(0)
+	for i, le := range []string{"0.1", "1", "10", "+Inf"} {
+		got := samples[`ckpt_exp_seconds_bucket{le="`+le+`"}`]
+		cum += hs.Counts[i]
+		if got != float64(cum) {
+			t.Errorf("bucket le=%s: exposition %g, snapshot cumulative %d", le, got, cum)
+		}
+	}
+}
+
+// TestExpvarBridgeShape pins the expvar output shape: the published
+// Var renders as one JSON object with counters/gauges/histograms maps
+// identical to Snapshot's encoding.
+func TestExpvarBridgeShape(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ckpt_expvar_total", "").Inc()
+	r.Histogram("ckpt_expvar_seconds", "", []float64{1}).Observe(0.5)
+
+	var got map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(r.ExpvarVar().String()), &got); err != nil {
+		t.Fatalf("expvar output is not JSON: %v", err)
+	}
+	for _, key := range []string{"counters", "histograms"} {
+		if _, ok := got[key]; !ok {
+			t.Errorf("expvar output missing %q: %v", key, got)
+		}
+	}
+	if _, ok := got["gauges"]; ok {
+		t.Error("empty gauge map should be omitted")
+	}
+
+	want, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRaw := r.ExpvarVar().String()
+	if string(want) != gotRaw {
+		t.Errorf("expvar bridge diverges from Snapshot:\nexpvar:   %s\nsnapshot: %s", gotRaw, want)
+	}
+	var hist struct {
+		H map[string]HistogramSnapshot `json:"histograms"`
+	}
+	if err := json.Unmarshal([]byte(gotRaw), &hist); err != nil {
+		t.Fatal(err)
+	}
+	hs := hist.H["ckpt_expvar_seconds"]
+	if hs.Count != 1 || len(hs.Counts) != len(hs.Bounds)+1 {
+		t.Errorf("histogram shape: %+v (want count 1, len(counts)=len(bounds)+1)", hs)
 	}
 }

@@ -165,6 +165,10 @@ func RunGrid(cfg GridConfig) (*Grid, error) {
 				c.ScheduleDist = cfg.Models[mi].Dist
 				c.Stagger = g.Cells[ci].Stagger
 				c.Seed = gridSeed(cfg.Seed, task)
+				// One trace lane per flat task: pid depends only on the
+				// task index, and each engine emits single-threaded, so
+				// the sorted export is byte-identical at any MaxProcs.
+				c.TracePid = uint64(task) + 1
 				r, err := runScheduled(c, scheds[mi])
 				if err != nil {
 					errOnce.Do(func() { runErr = err })

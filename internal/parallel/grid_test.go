@@ -1,11 +1,13 @@
 package parallel
 
 import (
+	"bytes"
 	"reflect"
 	"runtime"
 	"testing"
 
 	"github.com/cycleharvest/ckptsched/internal/dist"
+	"github.com/cycleharvest/ckptsched/internal/obs"
 )
 
 func testGridConfig(seeds, maxProcs int) GridConfig {
@@ -130,5 +132,32 @@ func TestRunGridErrors(t *testing.T) {
 	badBase.Models = []GridModel{{Name: "exp", Dist: avail}}
 	if _, err := RunGrid(badBase); err == nil {
 		t.Error("invalid base should error")
+	}
+}
+
+// TestRunGridTraceDeterminism extends the determinism contract to the
+// trace export: with a tracer attached, the serialized Chrome trace is
+// byte-identical at any pool width (each engine emits on its own
+// task-indexed pid, on the simulation clock).
+func TestRunGridTraceDeterminism(t *testing.T) {
+	render := func(maxProcs int) []byte {
+		tr := obs.NewTracer(obs.TracerOptions{FullFidelity: true})
+		cfg := testGridConfig(2, maxProcs)
+		cfg.Base.Trace = tr
+		if _, err := RunGrid(cfg); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := obs.WriteChromeTrace(&buf, tr.Events()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial, wide := render(1), render(8)
+	if len(serial) == 0 || !bytes.Contains(serial, []byte("transfer.checkpoint")) {
+		t.Fatalf("trace missing transfer spans: %d bytes", len(serial))
+	}
+	if !bytes.Equal(serial, wide) {
+		t.Error("trace export depends on pool width")
 	}
 }

@@ -30,6 +30,7 @@ import (
 
 	"github.com/cycleharvest/ckptsched/internal/dist"
 	"github.com/cycleharvest/ckptsched/internal/markov"
+	"github.com/cycleharvest/ckptsched/internal/obs"
 )
 
 // StaggerPolicy coordinates the processes' checkpoint transfers over
@@ -84,6 +85,15 @@ type Config struct {
 	Stagger StaggerPolicy
 	// Seed drives machine lifetimes.
 	Seed int64
+	// Trace, when set, records the run's timeline on the *simulation*
+	// clock: one "run" span per engine plus per-worker transfer spans
+	// and failure events, all on pid TracePid (tid = worker index + 1).
+	// Simulated timestamps and single-goroutine emission make the trace
+	// byte-identical at any GOMAXPROCS (DESIGN.md §12).
+	Trace *obs.Tracer
+	// TracePid is the trace lane for this run (RunGrid assigns the
+	// 1-based flat task index; a lone Run defaults to 1).
+	TracePid uint64
 }
 
 func (cfg Config) validate() error {
@@ -249,7 +259,23 @@ type engine struct {
 
 	svcClamps int // transfer timestamps pinned to now by the last-ulp guard
 
+	tr  *obs.Tracer // nil = tracing off
+	pid uint64      // trace lane (Config.TracePid, default 1)
+
 	now float64
+}
+
+// traceTransfer emits the span of a transfer that just ended — torn by
+// a failure or run to completion — on the simulation clock.
+func (e *engine) traceTransfer(id int, w *worker, outcome string) {
+	name := "transfer.checkpoint"
+	if w.state == wRecovering {
+		name = "transfer.recovery"
+	}
+	e.tr.SpanAt(e.pid, uint64(id)+1, name, w.started, e.now-w.started,
+		obs.AttrFloat("mb", movedMB(w, e.svc)),
+		obs.AttrStr("outcome", outcome),
+		obs.AttrBool("collided", e.lastMulti >= w.started))
 }
 
 // newEngine initializes the simulation state shared by the heap engine
@@ -267,6 +293,11 @@ func newEngine(cfg Config, sched *markov.Schedule) *engine {
 		timeEv:     newEventHeap(cfg.Workers),
 		xferEv:     newEventHeap(cfg.Workers),
 		lastMulti:  math.Inf(-1),
+		tr:         cfg.Trace,
+		pid:        cfg.TracePid,
+	}
+	if e.tr != nil && e.pid == 0 {
+		e.pid = 1
 	}
 	e.res.SoloTransferSec = e.solo
 	for i := range e.ws {
@@ -306,6 +337,12 @@ func (e *engine) finish() Result {
 	if e.xferCount > 0 {
 		e.res.MeanTransferSec = e.xferSum / float64(e.xferCount)
 	}
+	e.tr.SpanAt(e.pid, 0, "run", 0, e.cfg.Duration,
+		obs.AttrInt("workers", int64(e.cfg.Workers)),
+		obs.AttrStr("stagger", e.cfg.Stagger.String()),
+		obs.AttrFloat("efficiency", e.res.Efficiency),
+		obs.AttrInt("commits", int64(e.res.Commits)),
+		obs.AttrInt("failures", int64(e.res.Failures)))
 	metrics.runs.Inc()
 	metrics.heapOps.Add(e.timeEv.ops + e.xferEv.ops)
 	metrics.fallbacks.Add(uint64(e.res.ScheduleFallbacks))
@@ -452,6 +489,9 @@ func (e *engine) dequeue() {
 
 func (e *engine) finishTransfer(id int) {
 	w := &e.ws[id]
+	if e.tr != nil {
+		e.traceTransfer(id, w, "done")
+	}
 	e.res.MBMoved += w.totalMB
 	e.xferSum += e.now - w.started
 	e.xferCount++
@@ -476,6 +516,13 @@ func (e *engine) finishTransfer(id int) {
 func (e *engine) fail(id int) {
 	w := &e.ws[id]
 	e.res.Failures++
+	if e.tr != nil {
+		if w.state == wTransferring || w.state == wRecovering {
+			e.traceTransfer(id, w, "interrupted")
+		}
+		e.tr.EventAt(e.pid, uint64(id)+1, "fail", e.now,
+			obs.AttrFloat("age", e.now-w.availStart))
+	}
 	heldLink := false
 	switch w.state {
 	case wWorking:

@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"github.com/cycleharvest/ckptsched/internal/markov"
+	"github.com/cycleharvest/ckptsched/internal/obs"
 )
 
 // Planner supplies the work-interval length to use when the machine
@@ -76,6 +77,16 @@ type Config struct {
 	// period begin computing immediately (a job with no prior state).
 	// The paper's steady-state accounting keeps it false.
 	SkipFirstRecovery bool
+	// Trace, when set, records one "period" span per availability
+	// duration plus "transfer.recovery"/"transfer.checkpoint" child
+	// spans and "evicted" instants, all timestamped on the run's
+	// virtual clock (cumulative seconds across periods). Nil disables
+	// tracing at zero cost.
+	Trace *obs.Tracer
+	// TracePid is the trace lane (Chrome trace pid) the run emits on;
+	// 0 means lane 1. Concurrent runs over distinct lanes export
+	// deterministically.
+	TracePid uint64
 }
 
 // Result accumulates the outcome of a simulated job.
@@ -174,26 +185,48 @@ func Run(avail []float64, planner Planner, cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("sim: negative checkpoint size %g", cfg.CheckpointMB)
 	}
 	C, R := cfg.Costs.C, cfg.Costs.R
+	tr, pid := cfg.Trace, cfg.TracePid
+	if tr != nil && pid == 0 {
+		pid = 1
+	}
 	var res Result
+	elapsed := 0.0
 	for idx, a := range avail {
 		if a < 0 {
 			return Result{}, fmt.Errorf("sim: negative availability %g at index %d", a, idx)
 		}
 		res.TotalTime += a
+		start := elapsed
+		elapsed += a
+		now := start
+		if tr != nil {
+			tr.SpanAt(pid, 1, "period", start, a, obs.AttrInt("index", int64(idx)))
+		}
 		age := 0.0
 		remaining := a
 
 		if !(idx == 0 && cfg.SkipFirstRecovery) {
 			if remaining < R {
 				// Evicted during recovery.
+				charged := chargeMB(cfg.CheckpointMB, remaining, R, false, cfg.Interrupted)
 				res.RecoveryTime += remaining
 				res.FailedRecoveries++
-				res.MBTransferred += chargeMB(cfg.CheckpointMB, remaining, R, false, cfg.Interrupted)
+				res.MBTransferred += charged
+				if tr != nil {
+					tr.SpanAt(pid, 1, "transfer.recovery", now, remaining,
+						obs.AttrStr("outcome", "interrupted"), obs.AttrFloat("mb", charged))
+					tr.EventAt(pid, 1, "evicted", start+a)
+				}
 				continue
 			}
 			res.RecoveryTime += R
 			res.Recoveries++
 			res.MBTransferred += cfg.CheckpointMB
+			if tr != nil {
+				tr.SpanAt(pid, 1, "transfer.recovery", now, R,
+					obs.AttrStr("outcome", "done"), obs.AttrFloat("mb", cfg.CheckpointMB))
+			}
+			now += R
 			remaining -= R
 			age += R
 		}
@@ -210,21 +243,37 @@ func Run(avail []float64, planner Planner, cfg Config) (Result, error) {
 				res.CheckpointTime += C
 				res.MBTransferred += cfg.CheckpointMB
 				res.Commits++
+				if tr != nil {
+					tr.SpanAt(pid, 1, "transfer.checkpoint", now+T, C,
+						obs.AttrStr("outcome", "done"),
+						obs.AttrFloat("mb", cfg.CheckpointMB),
+						obs.AttrFloat("t_interval", T))
+				}
+				now += T + C
 				remaining -= T + C
 				age += T + C
 			case remaining > T:
 				// Evicted mid-checkpoint: the interval's work is lost
 				// and the partial transfer still crossed the network.
 				partial := remaining - T
+				charged := chargeMB(cfg.CheckpointMB, partial, C, false, cfg.Interrupted)
 				res.LostWork += T
 				res.CheckpointTime += partial
 				res.FailedCheckpoints++
-				res.MBTransferred += chargeMB(cfg.CheckpointMB, partial, C, false, cfg.Interrupted)
+				res.MBTransferred += charged
+				if tr != nil {
+					tr.SpanAt(pid, 1, "transfer.checkpoint", now+T, partial,
+						obs.AttrStr("outcome", "interrupted"), obs.AttrFloat("mb", charged))
+					tr.EventAt(pid, 1, "evicted", start+a)
+				}
 				remaining = 0
 			default:
 				// Evicted mid-computation.
 				res.LostWork += remaining
 				res.FailedIntervals++
+				if tr != nil {
+					tr.EventAt(pid, 1, "evicted", start+a)
+				}
 				remaining = 0
 			}
 			if remaining <= 0 {

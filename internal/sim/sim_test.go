@@ -9,6 +9,7 @@ import (
 	"github.com/cycleharvest/ckptsched/internal/dist"
 	"github.com/cycleharvest/ckptsched/internal/fit"
 	"github.com/cycleharvest/ckptsched/internal/markov"
+	"github.com/cycleharvest/ckptsched/internal/obs"
 )
 
 func cfg(c float64) Config {
@@ -329,5 +330,69 @@ func TestAggregate(t *testing.T) {
 	}
 	if total.Efficiency() != 0.5 {
 		t.Errorf("aggregate efficiency = %g", total.Efficiency())
+	}
+}
+
+// TestRunTrace pins the simulator's trace contract: spans on the
+// virtual clock, one period span per availability duration, transfer
+// spans inside it, and no behavioral drift when tracing is attached.
+func TestRunTrace(t *testing.T) {
+	avail := []float64{1000, 45, 400}
+	c := cfg(60)
+	plain, err := Run(avail, FixedInterval(200), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := obs.NewTracer(obs.TracerOptions{FullFidelity: true})
+	c.Trace = tr
+	c.TracePid = 7
+	traced, err := Run(avail, FixedInterval(200), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traced != plain {
+		t.Fatalf("tracing changed the result:\nplain:  %+v\ntraced: %+v", plain, traced)
+	}
+
+	var periods, ckpts, recs, evicted int
+	for _, ev := range tr.Events() {
+		if ev.Pid != 7 {
+			t.Fatalf("event on pid %d, want 7: %+v", ev.Pid, ev)
+		}
+		switch ev.Name {
+		case "period":
+			periods++
+		case "transfer.checkpoint":
+			ckpts++
+		case "transfer.recovery":
+			recs++
+		case "evicted":
+			evicted++
+		}
+	}
+	if periods != len(avail) {
+		t.Errorf("period spans = %d, want %d", periods, len(avail))
+	}
+	if ckpts != traced.Commits+traced.FailedCheckpoints {
+		t.Errorf("checkpoint spans = %d, want %d", ckpts, traced.Commits+traced.FailedCheckpoints)
+	}
+	if recs != traced.Recoveries+traced.FailedRecoveries {
+		t.Errorf("recovery spans = %d, want %d", recs, traced.Recoveries+traced.FailedRecoveries)
+	}
+	if evicted == 0 {
+		t.Error("no evicted instants recorded")
+	}
+
+	// The trace rides the virtual clock: the last event must not end
+	// past the cumulative availability time.
+	total := 0.0
+	for _, a := range avail {
+		total += a
+	}
+	for _, ev := range tr.Events() {
+		if ev.Ts+ev.Dur > total+1e-9 {
+			t.Errorf("event past end of virtual time: %+v (total %g)", ev, total)
+		}
 	}
 }
