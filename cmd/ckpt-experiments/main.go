@@ -5,13 +5,18 @@
 //
 // Usage:
 //
-//	ckpt-experiments [-run all|table1|table2|table3|table4|table5|figure3|figure4|validate] \
-//	    [-machines 80] [-months 18] [-samples 85] [-seed 2005] [-trace out.json]
+//	ckpt-experiments [-run all|table1|table2|table3|table4|table5|figure3|figure4|validate|chaos|predict] \
+//	    [-machines 80] [-months 18] [-samples 85] [-seed 2005] [-trace out.json] \
+//	    [-chaos-tear 0.10] [-chaos-stall 0.05] [-chaos-stall-sec 30] [-chaos-outage 0.10] \
+//	    [-predict-precision 0.85] [-predict-recall 0.8] [-predict-lead 240] [-policy migrate]
 //
 // Results print to stdout in the paper's layouts. -trace writes a
 // Chrome-trace (Perfetto-loadable) timeline of every live-campaign
 // session and every schedule build; a .jsonl suffix selects the
-// compact line format that ckpt-report timeline replays.
+// compact line format that ckpt-report timeline replays. Flag values
+// are validated up front: contradictory settings (a negative drop
+// probability, a zero machine count) exit non-zero with a per-flag
+// error instead of being silently clamped.
 package main
 
 import (
@@ -26,15 +31,32 @@ import (
 	"time"
 
 	"github.com/cycleharvest/ckptsched/internal/ckptnet"
+	"github.com/cycleharvest/ckptsched/internal/cliflag"
 	"github.com/cycleharvest/ckptsched/internal/experiments"
 	"github.com/cycleharvest/ckptsched/internal/fit"
 	"github.com/cycleharvest/ckptsched/internal/markov"
 	"github.com/cycleharvest/ckptsched/internal/obs"
 	"github.com/cycleharvest/ckptsched/internal/parallel"
+	"github.com/cycleharvest/ckptsched/internal/predict"
 )
 
+// options collects the parsed, validated flag set.
+type options struct {
+	which       string
+	machines    int
+	months      float64
+	samples     int
+	seed        int64
+	csvDir      string
+	concurrency int
+	tracePath   string
+	faults      ckptnet.LinkFaultConfig
+	predict     predict.Config
+	policy      predict.Policy
+}
+
 func main() {
-	run := flag.String("run", "all", "experiment to run: all, table1, table2, table3, table4, table5, figure3, figure4, validate, censoring, sensitivity, chaos")
+	run := flag.String("run", "all", "experiment to run: all, table1, table2, table3, table4, table5, figure3, figure4, validate, censoring, sensitivity, chaos, predict")
 	machines := flag.Int("machines", 80, "synthetic pool size")
 	months := flag.Float64("months", 18, "monitor campaign length (30-day months)")
 	samples := flag.Int("samples", 85, "live-experiment samples per model")
@@ -42,26 +64,75 @@ func main() {
 	csvDir := flag.String("csv", "", "also write figure series as CSV files into this directory")
 	concurrency := flag.Int("concurrency", 1, "concurrent live-experiment test processes (paper total times suggest ~4)")
 	tracePath := flag.String("trace", "", "write an execution timeline to this file (.json Chrome trace, .jsonl compact)")
-	chaos := flag.Bool("chaos", false, "shorthand for -run chaos: one live campaign under fault injection vs its clean twin")
+	chaos := flag.Bool("chaos", false, "shorthand for -run chaos: one live campaign under fault injection vs its clean and predicted twins")
+	chaosTear := flag.Float64("chaos-tear", 0.10, "chaos: probability a transfer tears mid-flight")
+	chaosStall := flag.Float64("chaos-stall", 0.05, "chaos: probability a transfer stalls")
+	chaosStallSec := flag.Float64("chaos-stall-sec", 30, "chaos: stall duration, seconds")
+	chaosOutage := flag.Float64("chaos-outage", 0.10, "chaos: probability the manager is unreachable at transfer start")
+	predPrecision := flag.Float64("predict-precision", 0.85, "fault predictor precision (fraction of alarms that are true)")
+	predRecall := flag.Float64("predict-recall", 0.8, "fault predictor recall (fraction of failures predicted)")
+	predLead := flag.Float64("predict-lead", 240, "fault predictor lead time before failure, seconds")
+	policy := flag.String("policy", "migrate", "prediction policy for the chaos experiment: reactive, proactive, migrate")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	statsDump := flag.Bool("stats", false, "print the final metrics-registry snapshot as JSON on stderr")
 	flag.Parse()
 
-	which := *run
-	if *chaos {
-		which = "chaos"
+	opts := options{
+		which:       *run,
+		machines:    *machines,
+		months:      *months,
+		samples:     *samples,
+		seed:        *seed,
+		csvDir:      *csvDir,
+		concurrency: *concurrency,
+		tracePath:   *tracePath,
+		faults: ckptnet.LinkFaultConfig{
+			TearProb:   *chaosTear,
+			StallProb:  *chaosStall,
+			StallSec:   *chaosStallSec,
+			OutageProb: *chaosOutage,
+		},
+		predict: predict.Config{
+			Precision: *predPrecision,
+			Recall:    *predRecall,
+			LeadSec:   *predLead,
+		},
 	}
+	if *chaos {
+		opts.which = "chaos"
+	}
+
+	var check cliflag.Checker
+	check.PositiveInt("-machines", opts.machines)
+	check.Positive("-months", opts.months)
+	check.PositiveInt("-samples", opts.samples)
+	check.PositiveInt("-concurrency", opts.concurrency)
+	check.Probability("-chaos-tear", opts.faults.TearProb)
+	check.Probability("-chaos-stall", opts.faults.StallProb)
+	check.NonNegative("-chaos-stall-sec", opts.faults.StallSec)
+	check.Probability("-chaos-outage", opts.faults.OutageProb)
+	check.Check("-predict-precision/-predict-recall/-predict-lead", opts.predict.Validate())
+	pol, perr := predict.ParsePolicy(*policy)
+	check.Check("-policy", perr)
+	opts.policy = pol
+	if err := check.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "ckpt-experiments: invalid flags:")
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
 	var reg *obs.Registry
 	if *statsDump {
 		reg = obs.NewRegistry()
 		fit.Instrument(reg)
 		markov.Instrument(reg)
 		parallel.Instrument(reg)
+		predict.Instrument(reg)
 	}
 	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
 	if err == nil {
-		err = runExperiments(which, *machines, *months, *samples, *seed, *csvDir, *concurrency, *tracePath)
+		err = runExperiments(opts)
 	}
 	stopProfiles()
 	if *statsDump {
@@ -113,8 +184,10 @@ func startProfiles(cpuPath, memPath string) (stop func(), err error) {
 	return stop, nil
 }
 
-func runExperiments(which string, machines int, months float64, samples int, seed int64, csvDir string, concurrency int, tracePath string) error {
-	which = strings.ToLower(which)
+func runExperiments(opts options) error {
+	which := strings.ToLower(opts.which)
+	machines, months, samples := opts.machines, opts.months, opts.samples
+	seed, csvDir, concurrency, tracePath := opts.seed, opts.csvDir, opts.concurrency, opts.tracePath
 	// One tracer serves the whole invocation: schedule builds claim
 	// lanes in markov's reserved band, and each live campaign gets its
 	// own TraceCampaignStride-wide block of sample lanes.
@@ -236,14 +309,34 @@ func runExperiments(which string, machines int, months float64, samples int, see
 		res, err := experiments.RunChaos(experiments.ChaosConfig{
 			Workload:     w,
 			Link:         ckptnet.CampusLink(),
+			Faults:       opts.faults,
 			Seed:         seed + 6,
 			Tracer:       tracer,
-			TracePidBase: traceBase(2),
+			TracePidBase: traceBase(3),
+			Predict:      opts.predict,
+			Policy:       opts.policy,
 		})
 		if err != nil {
 			return err
 		}
 		fmt.Println(experiments.RenderChaos(res))
+	}
+
+	if want("predict") {
+		start := time.Now()
+		res, err := experiments.RunPrediction(experiments.PredictionConfig{
+			Seed:   seed + 7,
+			Tracer: tracer,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("# prediction sweep complete (%.1fs)\n\n", time.Since(start).Seconds())
+		out, err := experiments.RenderPrediction(res)
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
 	}
 
 	if want("sensitivity") {

@@ -10,10 +10,17 @@
 // Output is byte-identical for a fixed flag set regardless of
 // -maxprocs or GOMAXPROCS.
 //
+// -policies adds a fault-prediction axis: a comma-separated subset of
+// reactive, proactive and migrate, every non-reactive entry driven by
+// the -predict-* predictor quality. The policy column appears whenever
+// the axis is explicit.
+//
 // Usage:
 //
 //	ckpt-parallel [-workers 16] [-link 5] [-mb 500] [-hours 72] \
 //	    [-shape 0.43] [-scale 3409] [-seed 42] [-seeds 1] [-maxprocs N] \
+//	    [-policies reactive,proactive,migrate] \
+//	    [-predict-precision 0.85] [-predict-recall 0.8] [-predict-lead 240] \
 //	    [-trace out.json]
 //
 // -trace writes a Chrome-trace (Perfetto-loadable) timeline of every
@@ -29,11 +36,14 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 
+	"github.com/cycleharvest/ckptsched/internal/cliflag"
 	"github.com/cycleharvest/ckptsched/internal/dist"
 	"github.com/cycleharvest/ckptsched/internal/markov"
 	"github.com/cycleharvest/ckptsched/internal/obs"
 	"github.com/cycleharvest/ckptsched/internal/parallel"
+	"github.com/cycleharvest/ckptsched/internal/predict"
 )
 
 func main() {
@@ -46,17 +56,40 @@ func main() {
 	seed := flag.Int64("seed", 42, "base simulation seed")
 	seeds := flag.Int("seeds", 1, "independent replicates per cell (95% CI when > 1)")
 	maxprocs := flag.Int("maxprocs", runtime.GOMAXPROCS(0), "concurrent simulation cells")
+	policiesFlag := flag.String("policies", "", "comma-separated prediction-policy axis (reactive, proactive, migrate); empty runs the reactive baseline only")
+	predPrecision := flag.Float64("predict-precision", 0.85, "fault predictor precision for non-reactive policies")
+	predRecall := flag.Float64("predict-recall", 0.8, "fault predictor recall for non-reactive policies")
+	predLead := flag.Float64("predict-lead", 240, "fault predictor lead time, seconds")
 	tracePath := flag.String("trace", "", "write an execution timeline to this file (.json Chrome trace, .jsonl compact)")
 	statsDump := flag.Bool("stats", false, "print the final metrics-registry snapshot as JSON on stderr")
 	flag.Parse()
+
+	pcfg := predict.Config{Precision: *predPrecision, Recall: *predRecall, LeadSec: *predLead}
+	var check cliflag.Checker
+	check.PositiveInt("-workers", *workers)
+	check.Positive("-link", *link)
+	check.Positive("-mb", *mb)
+	check.Positive("-hours", *hours)
+	check.Positive("-shape", *shape)
+	check.Positive("-scale", *scale)
+	check.PositiveInt("-seeds", *seeds)
+	check.Check("-predict-precision/-predict-recall/-predict-lead", pcfg.Validate())
+	policies, perr := parsePolicies(*policiesFlag, pcfg)
+	check.Check("-policies", perr)
+	if err := check.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "ckpt-parallel: invalid flags:")
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	var reg *obs.Registry
 	if *statsDump {
 		reg = obs.NewRegistry()
 		parallel.Instrument(reg)
 		markov.Instrument(reg)
+		predict.Instrument(reg)
 	}
-	err := run(*workers, *link, *mb, *hours, *shape, *scale, *seed, *seeds, *maxprocs, *tracePath)
+	err := run(*workers, *link, *mb, *hours, *shape, *scale, *seed, *seeds, *maxprocs, policies, *tracePath)
 	if *statsDump {
 		if serr := json.NewEncoder(os.Stderr).Encode(reg.Snapshot()); serr != nil && err == nil {
 			err = serr
@@ -68,7 +101,31 @@ func main() {
 	}
 }
 
-func run(workers int, link, mb, hours, shape, scale float64, seed int64, seeds, maxprocs int, tracePath string) error {
+// parsePolicies turns the -policies list into a grid axis; every
+// non-reactive entry is driven by the shared -predict-* quality. An
+// empty flag returns nil, keeping the implicit reactive baseline (and
+// the no-axis table layout).
+func parsePolicies(list string, pcfg predict.Config) ([]parallel.GridPolicy, error) {
+	if strings.TrimSpace(list) == "" {
+		return nil, nil
+	}
+	var out []parallel.GridPolicy
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		pol, err := predict.ParsePolicy(name)
+		if err != nil {
+			return nil, err
+		}
+		gp := parallel.GridPolicy{Name: name, Policy: pol}
+		if pol != predict.PolicyReactive {
+			gp.Predict = pcfg
+		}
+		out = append(out, gp)
+	}
+	return out, nil
+}
+
+func run(workers int, link, mb, hours, shape, scale float64, seed int64, seeds, maxprocs int, policies []parallel.GridPolicy, tracePath string) error {
 	avail := dist.NewWeibull(shape, scale)
 	expFit := dist.NewExponential(1 / avail.Mean())
 	var tracer *obs.Tracer
@@ -93,6 +150,7 @@ func run(workers int, link, mb, hours, shape, scale float64, seed int64, seeds, 
 		Staggers: []parallel.StaggerPolicy{
 			parallel.StaggerNone, parallel.StaggerToken, parallel.StaggerJitter,
 		},
+		Policies: policies,
 		Seeds:    seeds,
 		Seed:     seed,
 		MaxProcs: maxprocs,
@@ -111,8 +169,16 @@ func run(workers int, link, mb, hours, shape, scale float64, seed int64, seeds, 
 	if seeds > 1 {
 		effWidth = 16
 	}
-	fmt.Printf("%-12s %-8s %*s %10s %12s %9s %12s %12s\n",
-		"model", "stagger", effWidth, "efficiency", "commits", "network MB", "stretch", "collisions", "queue-wait s")
+	// The policy column only appears when the axis is explicit, so the
+	// default table stays byte-identical to the pre-axis layout.
+	withPolicy := len(policies) > 0
+	if withPolicy {
+		fmt.Printf("%-12s %-10s %-8s %*s %10s %12s %9s %12s %12s %6s %8s\n",
+			"model", "policy", "stagger", effWidth, "efficiency", "commits", "network MB", "stretch", "collisions", "queue-wait s", "migr", "migr MB")
+	} else {
+		fmt.Printf("%-12s %-8s %*s %10s %12s %9s %12s %12s\n",
+			"model", "stagger", effWidth, "efficiency", "commits", "network MB", "stretch", "collisions", "queue-wait s")
+	}
 	for i := range grid.Cells {
 		c := &grid.Cells[i]
 		eff := c.Efficiency()
@@ -121,14 +187,27 @@ func run(workers int, link, mb, hours, shape, scale float64, seed int64, seeds, 
 			effCol = fmt.Sprintf("%.3f±%.3f", eff.Mean, eff.HalfWidth)
 		}
 		mean := func(f func(parallel.Result) float64) float64 { return c.Metric(f).Mean }
-		fmt.Printf("%-12s %-8s %*s %10.0f %12.0f %8.2fx %12.0f %12.0f\n",
-			c.Model, c.Stagger, effWidth, effCol,
-			mean(func(r parallel.Result) float64 { return float64(r.Commits) }),
-			mean(func(r parallel.Result) float64 { return r.MBMoved }),
-			mean(parallel.Result.CollisionStretch),
-			mean(func(r parallel.Result) float64 { return float64(r.Collisions) }),
-			mean(func(r parallel.Result) float64 { return r.QueueWaitSec }),
-		)
+		if withPolicy {
+			fmt.Printf("%-12s %-10s %-8s %*s %10.0f %12.0f %8.2fx %12.0f %12.0f %6.0f %8.0f\n",
+				c.Model, c.Policy, c.Stagger, effWidth, effCol,
+				mean(func(r parallel.Result) float64 { return float64(r.Commits) }),
+				mean(func(r parallel.Result) float64 { return r.MBMoved }),
+				mean(parallel.Result.CollisionStretch),
+				mean(func(r parallel.Result) float64 { return float64(r.Collisions) }),
+				mean(func(r parallel.Result) float64 { return r.QueueWaitSec }),
+				mean(func(r parallel.Result) float64 { return float64(r.Migrations) }),
+				mean(func(r parallel.Result) float64 { return r.MigrationMB }),
+			)
+		} else {
+			fmt.Printf("%-12s %-8s %*s %10.0f %12.0f %8.2fx %12.0f %12.0f\n",
+				c.Model, c.Stagger, effWidth, effCol,
+				mean(func(r parallel.Result) float64 { return float64(r.Commits) }),
+				mean(func(r parallel.Result) float64 { return r.MBMoved }),
+				mean(parallel.Result.CollisionStretch),
+				mean(func(r parallel.Result) float64 { return float64(r.Collisions) }),
+				mean(func(r parallel.Result) float64 { return r.QueueWaitSec }),
+			)
+		}
 	}
 	if fb := sumFallbacks(grid); fb > 0 {
 		fmt.Printf("\nschedule fallbacks: %d intervals served beyond the planned schedule\n", fb)

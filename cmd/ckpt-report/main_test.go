@@ -89,6 +89,14 @@ func writeTestTrace(t *testing.T, ext string) string {
 	tr.EventAt(1, 1, "heartbeat.gap", 700, obs.AttrFloat("gap_s", 45))
 	tr.SpanAt(2, 1, "session", 0, 300, obs.AttrStr("job", "m2/2"))
 	tr.EventAt(2, 1, "fallback", 120, obs.AttrStr("cause", "unreachable"))
+	// Predictor lane (tid 2): a true alarm, a false alarm, and the
+	// hit settled at eviction, plus the migration transfer it drove.
+	tr.EventAt(2, 2, "predict.fired", 150, obs.AttrBool("true", true))
+	tr.EventAt(2, 2, "predict.fired", 200, obs.AttrBool("true", false))
+	tr.EventAt(2, 2, "predict.false", 200)
+	tr.SpanAt(2, 1, "transfer.migrate", 210, 90,
+		obs.AttrStr("outcome", "done"), obs.AttrFloat("mb", 500))
+	tr.EventAt(2, 2, "predict.hit", 300)
 
 	path := filepath.Join(t.TempDir(), "trace"+ext)
 	if err := tr.WriteFile(path); err != nil {
@@ -115,6 +123,10 @@ func TestRunTimeline(t *testing.T) {
 			"torn_frame cause=crc", "fallback cause=unreachable",
 			"topt t_opt=350",
 			"transfers=2", "retries=1", "hb-gaps=1",
+			"predict.fired true=true", "predict.fired true=false",
+			"transfer.migrate",
+			"pred-fired=2", "pred-hits=1", "pred-false=1", "migrations=1",
+			"!", // predictor alarms carry their own bar glyph
 		} {
 			if !strings.Contains(out, want) {
 				t.Errorf("%s timeline missing %q:\n%s", ext, want, out)

@@ -127,6 +127,9 @@ func census(ln lane) string {
 		switch ev.Name {
 		case "transfer.checkpoint", "transfer.recovery":
 			counts["transfers"]++
+		case "transfer.migrate":
+			counts["transfers"]++
+			counts["migrations"]++
 		case "retry":
 			counts["retries"]++
 		case "torn_frame":
@@ -141,9 +144,18 @@ func census(ln lane) string {
 			counts["chaos"]++
 		case "evicted", "fail":
 			counts["evictions"]++
+		case "predict.fired":
+			counts["pred-fired"]++
+		case "predict.false":
+			counts["pred-false"]++
+		case "predict.hit":
+			counts["pred-hits"]++
+		case "predict.miss":
+			counts["pred-missed"]++
 		}
 	}
-	keys := []string{"transfers", "topt", "retries", "torn", "hb-gaps", "fallbacks", "chaos", "evictions"}
+	keys := []string{"transfers", "migrations", "topt", "retries", "torn", "hb-gaps", "fallbacks", "chaos",
+		"pred-fired", "pred-hits", "pred-false", "pred-missed", "evictions"}
 	var parts []string
 	for _, k := range keys {
 		if counts[k] > 0 {
@@ -193,7 +205,13 @@ func renderLaneASCII(w io.Writer, ln lane, width int) {
 			fmt.Fprintf(w, "  %12s %8s |%s| %s\n",
 				fmtSeconds(ev.Ts), fmtSeconds(ev.Dur), bar, detail)
 		} else {
-			bar[pos(ev.Ts)] = '*'
+			// Predictor alarms get their own glyph so warnings stand out
+			// from the work/transfer machinery at a glance.
+			mark := byte('*')
+			if strings.HasPrefix(ev.Name, "predict.") {
+				mark = '!'
+			}
+			bar[pos(ev.Ts)] = mark
 			fmt.Fprintf(w, "  %12s %8s |%s| %s\n", fmtSeconds(ev.Ts), "", bar, detail)
 		}
 	}

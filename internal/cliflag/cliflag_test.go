@@ -1,0 +1,71 @@
+package cliflag
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCheckerPasses(t *testing.T) {
+	var c Checker
+	c.Probability("-p", 0)
+	c.Probability("-q", 1)
+	c.NonNegative("-n", 0)
+	c.Positive("-x", 0.001)
+	c.PositiveInt("-k", 3)
+	c.Check("-cfg", nil)
+	if err := c.Err(); err != nil {
+		t.Fatalf("all-valid checker errored: %v", err)
+	}
+}
+
+func TestCheckerCollectsEveryFailure(t *testing.T) {
+	var c Checker
+	c.Probability("-chaos-tear", -0.1)
+	c.Probability("-chaos-outage", 1.5)
+	c.NonNegative("-chaos-stall-sec", -30)
+	c.Positive("-months", 0)
+	c.PositiveInt("-machines", 0)
+	c.Check("-policy", errors.New("unknown policy \"x\""))
+	err := c.Err()
+	if err == nil {
+		t.Fatal("invalid checker passed")
+	}
+	msg := err.Error()
+	for _, want := range []string{
+		"-chaos-tear", "-chaos-outage", "-chaos-stall-sec",
+		"-months", "-machines", "-policy",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error omits %s: %q", want, msg)
+		}
+	}
+}
+
+func TestCheckerRejectsNonFinite(t *testing.T) {
+	var c Checker
+	c.Probability("-p", math.NaN())
+	c.NonNegative("-n", math.Inf(1))
+	c.Positive("-x", math.Inf(-1))
+	err := c.Err()
+	if err == nil {
+		t.Fatal("non-finite values passed")
+	}
+	if n := len(c.errs); n != 3 {
+		t.Errorf("want 3 failures, got %d: %v", n, err)
+	}
+}
+
+func TestCheckerBoundaries(t *testing.T) {
+	var c Checker
+	c.Positive("-x", 0)
+	if c.Err() == nil {
+		t.Error("Positive accepted 0")
+	}
+	var c2 Checker
+	c2.NonNegative("-n", 0)
+	if c2.Err() != nil {
+		t.Error("NonNegative rejected 0")
+	}
+}

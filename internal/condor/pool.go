@@ -157,6 +157,32 @@ type Pool struct {
 	Starts int
 }
 
+// probeDraws is how many construction-time samples each idle/busy
+// distribution must survive before NewPool accepts it.
+const probeDraws = 8
+
+// validateIntervals probes a machine's period distribution for
+// degenerate draws. A zero-length or negative period would put two
+// availability transitions at the same (or an earlier) instant,
+// breaking the monotonicity every trace consumer assumes, so the pool
+// rejects such distributions at construction with a descriptive error
+// instead of generating a corrupt timeline. The probe uses its own RNG
+// so the pool's event stream is untouched by validation.
+func validateIntervals(machine, kind string, d dist.Distribution, probe *rand.Rand) error {
+	for range probeDraws {
+		v := d.Rand(probe)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("condor: machine %q: %s distribution %q drew a non-finite period (%g); availability intervals must be finite and strictly positive",
+				machine, kind, d.Name(), v)
+		}
+		if v <= 0 {
+			return fmt.Errorf("condor: machine %q: %s distribution %q drew a zero-length or negative period (%g); such intervals would make the availability timeline non-monotonic",
+				machine, kind, d.Name(), v)
+		}
+	}
+	return nil
+}
+
 // NewPool builds a pool over the given machines. Machine idle/busy
 // processes are driven by rng (deterministic for a fixed seed).
 func NewPool(machines []Machine, seed int64) (*Pool, error) {
@@ -164,6 +190,10 @@ func NewPool(machines []Machine, seed int64) (*Pool, error) {
 		return nil, errors.New("condor: pool needs at least one machine")
 	}
 	p := &Pool{clock: &Clock{}, rng: rand.New(rand.NewSource(seed))}
+	// Interval validation draws from a salted probe stream, never from
+	// p.rng, so a pool built from valid machines is bit-identical to
+	// one built before validation existed.
+	probe := rand.New(rand.NewSource(seed ^ 0x70726f6265313233))
 	seen := make(map[string]bool, len(machines))
 	for _, m := range machines {
 		if m.Name == "" {
@@ -175,6 +205,12 @@ func NewPool(machines []Machine, seed int64) (*Pool, error) {
 		seen[m.Name] = true
 		if m.Idle == nil || m.Busy == nil {
 			return nil, fmt.Errorf("condor: machine %q needs idle and busy distributions", m.Name)
+		}
+		if err := validateIntervals(m.Name, "idle", m.Idle, probe); err != nil {
+			return nil, err
+		}
+		if err := validateIntervals(m.Name, "busy", m.Busy, probe); err != nil {
+			return nil, err
 		}
 		ms := &machineState{spec: m}
 		p.machines = append(p.machines, ms)

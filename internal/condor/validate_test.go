@@ -1,0 +1,113 @@
+package condor
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/cycleharvest/ckptsched/internal/dist"
+)
+
+// degenerateDist always draws the same value — the stub that lets the
+// construction probe see zero-length, negative and non-finite periods.
+type degenerateDist struct{ v float64 }
+
+func (d degenerateDist) PDF(float64) float64           { return 0 }
+func (d degenerateDist) CDF(float64) float64           { return 1 }
+func (d degenerateDist) Survival(float64) float64      { return 0 }
+func (d degenerateDist) Quantile(float64) float64      { return d.v }
+func (d degenerateDist) Mean() float64                 { return d.v }
+func (d degenerateDist) PartialMoment(float64) float64 { return 0 }
+func (d degenerateDist) Rand(*rand.Rand) float64       { return d.v }
+func (d degenerateDist) Name() string                  { return "degenerate" }
+
+func validMachine(name string) Machine {
+	return Machine{
+		Name:     name,
+		MemoryMB: 1024,
+		Idle:     dist.NewExponential(1.0 / 3600),
+		Busy:     dist.NewExponential(1.0 / 1800),
+	}
+}
+
+func TestNewPoolRejectsDegenerateIntervals(t *testing.T) {
+	cases := []struct {
+		name string
+		idle dist.Distribution
+		busy dist.Distribution
+		want []string
+	}{
+		{
+			name: "zero idle",
+			idle: degenerateDist{0},
+			busy: dist.NewExponential(1.0 / 1800),
+			want: []string{"idle", "zero-length or negative", "non-monotonic"},
+		},
+		{
+			name: "negative busy",
+			idle: dist.NewExponential(1.0 / 3600),
+			busy: degenerateDist{-5},
+			want: []string{"busy", "zero-length or negative"},
+		},
+		{
+			name: "NaN idle",
+			idle: degenerateDist{math.NaN()},
+			busy: dist.NewExponential(1.0 / 1800),
+			want: []string{"idle", "non-finite"},
+		},
+		{
+			name: "infinite busy",
+			idle: dist.NewExponential(1.0 / 3600),
+			busy: degenerateDist{math.Inf(1)},
+			want: []string{"busy", "non-finite"},
+		},
+	}
+	for _, tc := range cases {
+		m := validMachine("m0")
+		m.Idle, m.Busy = tc.idle, tc.busy
+		_, err := NewPool([]Machine{m}, 1)
+		if err == nil {
+			t.Errorf("%s: degenerate machine accepted", tc.name)
+			continue
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, `"m0"`) {
+			t.Errorf("%s: error does not name the machine: %q", tc.name, msg)
+		}
+		for _, w := range tc.want {
+			if !strings.Contains(msg, w) {
+				t.Errorf("%s: error missing %q: %q", tc.name, w, msg)
+			}
+		}
+	}
+}
+
+// Validation must not perturb the pool's own RNG stream: two pools
+// built from the same spec behave identically, and a healthy pool
+// passes the probe.
+func TestNewPoolValidationLeavesStreamAlone(t *testing.T) {
+	build := func() *Pool {
+		p, err := NewPool([]Machine{validMachine("a"), validMachine("b")}, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	p1, p2 := build(), build()
+	evictions := func(p *Pool) int {
+		j := &Job{Name: "probe", Requeue: true}
+		if err := p.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+		p.RunUntil(30 * 24 * 3600)
+		return p.Evictions
+	}
+	e1, e2 := evictions(p1), evictions(p2)
+	if e1 != e2 {
+		t.Fatalf("same-seed pools diverged: %d vs %d evictions", e1, e2)
+	}
+	if e1 == 0 {
+		t.Error("probe job was never evicted in a month")
+	}
+}

@@ -390,8 +390,23 @@ func TestRunChaosExperiment(t *testing.T) {
 	if r.Retries+r.Torn+r.Fallbacks == 0 {
 		t.Error("chaos campaign reported no resilience activity")
 	}
+	// The third, prediction-enabled campaign: alarms fired, sessions
+	// settled, and any completed migration carries its bytes.
+	if r.Predict == nil {
+		t.Fatal("missing prediction-enabled table")
+	}
+	if r.PredFired == 0 {
+		t.Error("predict campaign fired no alarms")
+	}
+	if r.PredictEfficiency <= 0 || r.PredictEfficiency > 1 {
+		t.Errorf("predict efficiency out of range: %g", r.PredictEfficiency)
+	}
+	if r.Migrations > 0 && r.MigrationMB <= 0 {
+		t.Error("migrations moved no bytes")
+	}
 	out := RenderChaos(r)
-	for _, want := range []string{"Chaos experiment", "Efficiency", "MB/hour", "retries", "torn transfers", "fallbacks"} {
+	for _, want := range []string{"Chaos experiment", "Efficiency", "MB/hour", "retries", "torn transfers", "fallbacks",
+		"chaos+predict", "Prediction (", "migrations moving"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("render missing %q:\n%s", want, out)
 		}

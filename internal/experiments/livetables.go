@@ -7,6 +7,7 @@ import (
 	"github.com/cycleharvest/ckptsched/internal/fit"
 	"github.com/cycleharvest/ckptsched/internal/live"
 	"github.com/cycleharvest/ckptsched/internal/obs"
+	"github.com/cycleharvest/ckptsched/internal/predict"
 	"github.com/cycleharvest/ckptsched/internal/stats"
 )
 
@@ -60,6 +61,10 @@ type LiveCampaignConfig struct {
 	// TracePidBase separates this campaign's trace lanes from other
 	// campaigns sharing the tracer (use multiples of TraceCampaignStride).
 	TracePidBase uint64
+	// Predict and Policy enable the fault predictor for every session
+	// of the campaign (both pass through to live.CampaignConfig).
+	Predict predict.Config
+	Policy  predict.Policy
 }
 
 // TraceCampaignStride is the pid-lane stride callers should leave
@@ -86,6 +91,8 @@ func RunLiveTable(name string, cfg LiveCampaignConfig) (*LiveTable, *live.Campai
 		Seed:            cfg.Seed,
 		Tracer:          cfg.Tracer,
 		TracePidBase:    cfg.TracePidBase,
+		Predict:         cfg.Predict,
+		Policy:          cfg.Policy,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -155,31 +162,52 @@ type ChaosConfig struct {
 	SamplesPerModel int
 	// Seed makes both campaigns deterministic and keeps them paired.
 	Seed int64
-	// Tracer, when set, records both campaigns: the clean twin on
+	// Tracer, when set, records all three campaigns: the clean twin on
 	// lanes starting at TracePidBase, the fault-injected one a
-	// TraceCampaignStride above it.
+	// TraceCampaignStride above it, the prediction-enabled one two
+	// strides up.
 	Tracer *obs.Tracer
 	// TracePidBase is the first campaign's lane base.
 	TracePidBase uint64
+	// Predict is the predictor quality of the third, prediction-enabled
+	// chaos campaign. The zero value gets a representative good
+	// predictor (precision 0.85, recall 0.8, 240 s lead).
+	Predict predict.Config
+	// Policy is the third campaign's prediction policy (default
+	// migrate, the paper's minimum-overhead response).
+	Policy predict.Policy
 }
 
 // ChaosResult compares a clean campaign against its fault-injected
-// twin.
+// twin and a prediction-enabled triplet.
 type ChaosResult struct {
 	LinkName string
-	// Clean and Chaos are the per-model tables of the two campaigns.
-	Clean, Chaos *LiveTable
+	// Clean and Chaos are the per-model tables of the two campaigns;
+	// Predict is the third campaign — the same fault-injected link with
+	// the fault predictor driving the Policy below.
+	Clean, Chaos, Predict *LiveTable
+	// PredictConfig and Policy record what the third campaign ran.
+	PredictConfig predict.Config
+	Policy        predict.Policy
 	// CleanEfficiency and ChaosEfficiency are campaign-wide mean
-	// per-sample efficiencies.
-	CleanEfficiency, ChaosEfficiency float64
+	// per-sample efficiencies; PredictEfficiency is the third
+	// campaign's.
+	CleanEfficiency, ChaosEfficiency, PredictEfficiency float64
 	// CleanMBPerHour and ChaosMBPerHour are campaign-wide bandwidth
-	// consumption rates.
-	CleanMBPerHour, ChaosMBPerHour float64
+	// consumption rates; PredictMBPerHour is the third campaign's.
+	CleanMBPerHour, ChaosMBPerHour, PredictMBPerHour float64
 	// Retries, Torn, and Fallbacks are the chaos campaign's resilience
 	// totals; BackoffSec is total virtual time spent waiting between
 	// retries.
 	Retries, Torn, Fallbacks int
 	BackoffSec               float64
+	// PredFired, PredHits, PredFalse and PredMissed are the third
+	// campaign's predictor score card; Migrations and MigrationMB count
+	// its completed prediction-triggered migrations and the bytes they
+	// moved.
+	PredFired, PredHits, PredFalse, PredMissed int
+	Migrations                                 int
+	MigrationMB                                float64
 	// Sessions is the number of completed sessions in each campaign.
 	Sessions int
 }
@@ -239,16 +267,41 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	if !cfg.Predict.Enabled() {
+		cfg.Predict = predict.Config{Precision: 0.85, Recall: 0.8, LeadSec: 240}
+		if cfg.Policy == predict.PolicyReactive {
+			cfg.Policy = predict.PolicyMigrate
+		}
+	}
+	predictTable, predictCamp, err := RunLiveTable("chaos+predict", LiveCampaignConfig{
+		Workload:        cfg.Workload,
+		Link:            ckptnet.ChaosLink{Inner: cfg.Link, Faults: cfg.Faults},
+		SamplesPerModel: cfg.SamplesPerModel,
+		Seed:            cfg.Seed,
+		Tracer:          cfg.Tracer,
+		TracePidBase:    cfg.TracePidBase + 2*TraceCampaignStride,
+		Predict:         cfg.Predict,
+		Policy:          cfg.Policy,
+	})
+	if err != nil {
+		return nil, err
+	}
 
 	res := &ChaosResult{
-		LinkName: cfg.Link.Name(),
-		Clean:    cleanTable,
-		Chaos:    chaosTable,
-		Sessions: len(chaosCamp.Samples),
+		LinkName:      cfg.Link.Name(),
+		Clean:         cleanTable,
+		Chaos:         chaosTable,
+		Predict:       predictTable,
+		PredictConfig: cfg.Predict,
+		Policy:        cfg.Policy,
+		Sessions:      len(chaosCamp.Samples),
 	}
 	res.Retries, res.Torn, res.Fallbacks, res.BackoffSec = chaosCamp.ChaosTotals()
 	res.CleanEfficiency, res.CleanMBPerHour = campaignAggregates(cleanCamp)
 	res.ChaosEfficiency, res.ChaosMBPerHour = campaignAggregates(chaosCamp)
+	res.PredictEfficiency, res.PredictMBPerHour = campaignAggregates(predictCamp)
+	res.PredFired, res.PredHits, res.PredFalse, res.PredMissed,
+		_, res.Migrations, res.MigrationMB = predictCamp.PredictionTotals()
 	return res, nil
 }
 

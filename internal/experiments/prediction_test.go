@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func smallPrediction(t *testing.T, maxProcs int) *PredictionResult {
+	t.Helper()
+	r, err := RunPrediction(PredictionConfig{
+		Workers:  8,
+		Hours:    8,
+		Seeds:    2,
+		Seed:     42,
+		MaxProcs: maxProcs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRunPredictionSweep(t *testing.T) {
+	r := smallPrediction(t, 0)
+	if got, want := len(r.Grid.Cells), 3*5; got != want {
+		t.Fatalf("cells = %d, want %d", got, want)
+	}
+
+	// The acceptance invariant: perfect-predictor proactive strictly
+	// beats the reactive baseline on wasted work, in every model.
+	bad, err := r.DominanceViolations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 0 {
+		t.Errorf("dominance violated for models %v", bad)
+	}
+
+	// Policy cells actually exercised their policies.
+	for _, model := range []string{"exponential", "weibull", "hyperexp2"} {
+		c, err := r.Cell(model, "migrate-good")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, res := range c.Results {
+			if res.Migrations == 0 {
+				t.Errorf("%s migrate cell never migrated: %+v", model, res)
+			}
+			if res.MigrationMB > res.MBMoved {
+				t.Errorf("%s migration MB exceeds total: %+v", model, res)
+			}
+		}
+		reactive, err := r.Cell(model, "reactive")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, res := range reactive.Results {
+			if res.Predictions != 0 || res.Migrations != 0 || res.ProactiveCheckpoints != 0 {
+				t.Errorf("%s reactive cell has predictor activity: %+v", model, res)
+			}
+		}
+	}
+
+	out, err := RenderPrediction(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Fault prediction", "proactive-perfect", "migrate-good",
+		"lost work", "migr MB", "beats the reactive baseline",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered sweep missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := RenderPrediction(nil); err == nil {
+		t.Error("nil result should error")
+	}
+}
+
+// The sweep inherits RunGrid's determinism: byte-identical at any
+// pool width.
+func TestRunPredictionDeterministic(t *testing.T) {
+	serial := smallPrediction(t, 1)
+	wide := smallPrediction(t, 8)
+	if !reflect.DeepEqual(serial.Grid, wide.Grid) {
+		t.Error("prediction sweep differs across MaxProcs")
+	}
+}

@@ -143,21 +143,31 @@ func RenderSamples(samples []live.Sample) string {
 }
 
 // RenderChaos renders the fault-injection experiment: clean vs chaos
-// per-model tables, the campaign-level deltas, and the resilience
-// counters.
+// vs prediction-enabled per-model tables, the campaign-level deltas,
+// the resilience counters, and the third campaign's predictor score
+// card with its migration bytes.
 func RenderChaos(r *ChaosResult) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Chaos experiment: %d sessions over %s, clean vs fault-injected\n\n", r.Sessions, r.LinkName)
+	fmt.Fprintf(&b, "Chaos experiment: %d sessions over %s, clean vs fault-injected vs predicted\n\n", r.Sessions, r.LinkName)
 	b.WriteString(RenderLiveTable(r.Clean))
 	b.WriteString("\n")
 	b.WriteString(RenderLiveTable(r.Chaos))
+	if r.Predict != nil {
+		b.WriteString("\n")
+		b.WriteString(RenderLiveTable(r.Predict))
+	}
 	b.WriteString("\n")
-	fmt.Fprintf(&b, "%-24s %10s %10s %10s\n", "Campaign aggregate", "Clean", "Chaos", "Delta")
-	fmt.Fprintf(&b, "%-24s %10.3f %10.3f %+10.3f\n",
-		"Efficiency", r.CleanEfficiency, r.ChaosEfficiency, r.EfficiencyDelta())
-	fmt.Fprintf(&b, "%-24s %10.0f %10.0f %+10.0f\n",
-		"Bandwidth (MB/hour)", r.CleanMBPerHour, r.ChaosMBPerHour, r.BandwidthDelta())
+	fmt.Fprintf(&b, "%-24s %10s %10s %10s %10s\n", "Campaign aggregate", "Clean", "Chaos", "Delta", "Predicted")
+	fmt.Fprintf(&b, "%-24s %10.3f %10.3f %+10.3f %10.3f\n",
+		"Efficiency", r.CleanEfficiency, r.ChaosEfficiency, r.EfficiencyDelta(), r.PredictEfficiency)
+	fmt.Fprintf(&b, "%-24s %10.0f %10.0f %+10.0f %10.0f\n",
+		"Bandwidth (MB/hour)", r.CleanMBPerHour, r.ChaosMBPerHour, r.BandwidthDelta(), r.PredictMBPerHour)
 	fmt.Fprintf(&b, "\nResilience: %d retries, %d torn transfers, %d schedule fallbacks, %.0f s in backoff\n",
 		r.Retries, r.Torn, r.Fallbacks, r.BackoffSec)
+	if r.Predict != nil {
+		fmt.Fprintf(&b, "Prediction (%s, policy %s): %d alarms fired (%d hits, %d false, %d missed), %d migrations moving %.0f MB\n",
+			r.PredictConfig, r.Policy, r.PredFired, r.PredHits, r.PredFalse, r.PredMissed,
+			r.Migrations, r.MigrationMB)
+	}
 	return b.String()
 }

@@ -1,0 +1,135 @@
+package live
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/cycleharvest/ckptsched/internal/ckptnet"
+	"github.com/cycleharvest/ckptsched/internal/condor"
+	"github.com/cycleharvest/ckptsched/internal/dist"
+	"github.com/cycleharvest/ckptsched/internal/trace"
+)
+
+// flakyBed builds a pool whose idle periods are commonly shorter than
+// one checkpoint transfer, so evictions routinely land mid-recovery
+// and sessions follow each other back-to-back.
+func flakyBed(t *testing.T) ([]condor.Machine, *trace.Set) {
+	t.Helper()
+	var ms []condor.Machine
+	for i := range 10 {
+		ms = append(ms, condor.Machine{
+			Name:     fmt.Sprintf("flaky-%02d", i),
+			MemoryMB: 1024,
+			Idle:     dist.NewExponential(1.0 / 240),
+			Busy:     dist.NewExponential(1.0 / 900),
+		})
+	}
+	pool, err := condor.NewPool(ms, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := condor.CollectTraces(pool, condor.MonitorConfig{
+		Monitors: len(ms),
+		Duration: condor.MonthsSeconds(3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ms, set
+}
+
+func flakyCampaign(t *testing.T) *Campaign {
+	t.Helper()
+	machines, history := flakyBed(t)
+	camp, err := RunCampaign(CampaignConfig{
+		Machines: machines,
+		History:  history,
+		Link: ckptnet.ChaosLink{
+			Inner: ckptnet.CampusLink(),
+			Faults: ckptnet.LinkFaultConfig{
+				TearProb:   0.35,
+				StallProb:  0.10,
+				StallSec:   20,
+				OutageProb: 0.25,
+			},
+		},
+		SamplesPerModel: 6,
+		Seed:            17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return camp
+}
+
+// Back-to-back evictions: with idle periods commonly shorter than a
+// transfer, the owner reclaims many sessions while they are still
+// recovering (no checkpoint ever commits), and consecutive samples die
+// that way in a row. The fallback machinery has to stay consistent
+// through it, so the resilience counter totals are pinned exactly —
+// the campaign is deterministic, and any drift in the retry, torn
+// or fallback bookkeeping shows up here as a changed total.
+func TestCampaignBackToBackEvictions(t *testing.T) {
+	camp := flakyCampaign(t)
+	if len(camp.Samples) != 24 {
+		t.Fatalf("samples = %d, want 24", len(camp.Samples))
+	}
+
+	// Sessions evicted during recovery: transfer time accrued, but no
+	// measured cost, no checkpoint, no committed work.
+	recoveryDeaths := 0
+	maxStreak, streak := 0, 0
+	for i, s := range camp.Samples {
+		diedRecovering := len(s.MeasuredCs) == 0 && !s.Migrated
+		if diedRecovering {
+			recoveryDeaths++
+			streak++
+			if streak > maxStreak {
+				maxStreak = streak
+			}
+			if s.Checkpoints != 0 || s.CommittedWork != 0 {
+				t.Errorf("sample %d died recovering but committed: %+v", i, s)
+			}
+			if s.TransferSec <= 0 {
+				t.Errorf("sample %d died recovering with no transfer time: %+v", i, s)
+			}
+		} else {
+			streak = 0
+		}
+		if s.SessionSec <= 0 {
+			t.Errorf("sample %d has non-positive session: %+v", i, s)
+		}
+	}
+	if recoveryDeaths == 0 {
+		t.Fatal("no session was evicted during recovery; the bed is not flaky enough")
+	}
+	if maxStreak < 2 {
+		t.Errorf("longest run of recovery deaths = %d, want back-to-back (>= 2)", maxStreak)
+	}
+
+	// The pinned totals. These are determinism anchors: recompute them
+	// only when an intentional change to the retry/fallback protocol or
+	// the RNG stream discipline shifts them, and say so in the commit.
+	retries, torn, fallbacks, backoffSec := camp.ChaosTotals()
+	if retries != 12 || torn != 13 || fallbacks != 8 {
+		t.Errorf("resilience totals (retries=%d torn=%d fallbacks=%d) drifted from pinned (12, 13, 8)",
+			retries, torn, fallbacks)
+	}
+	if backoffSec <= 0 {
+		t.Errorf("no backoff time despite %d retries", retries)
+	}
+	// Torn attempts split into retried ones and ones that exhausted the
+	// attempt budget; the remainder ends in eviction mid-attempt, so
+	// torn can exceed retries but never trail them.
+	if torn < retries {
+		t.Errorf("torn %d < retries %d", torn, retries)
+	}
+}
+
+func TestCampaignBackToBackDeterminism(t *testing.T) {
+	a, b := flakyCampaign(t), flakyCampaign(t)
+	if !reflect.DeepEqual(a.Samples, b.Samples) {
+		t.Error("flaky campaign not deterministic")
+	}
+}

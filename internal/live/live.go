@@ -49,6 +49,7 @@ import (
 	"github.com/cycleharvest/ckptsched/internal/forecast"
 	"github.com/cycleharvest/ckptsched/internal/markov"
 	"github.com/cycleharvest/ckptsched/internal/obs"
+	"github.com/cycleharvest/ckptsched/internal/predict"
 	"github.com/cycleharvest/ckptsched/internal/trace"
 )
 
@@ -102,6 +103,15 @@ type CampaignConfig struct {
 	// TracePidBase offsets this campaign's trace lanes so several
 	// campaigns can share one tracer without colliding pids.
 	TracePidBase uint64
+	// Predict configures the oracle fault predictor (DESIGN.md §13):
+	// each session draws its alarms from a private stream derived from
+	// (Seed, sample index) via predict.StreamSeed, so enabling
+	// prediction never perturbs the session's transfer or chaos draws.
+	// The zero value disables prediction entirely.
+	Predict predict.Config
+	// Policy selects how sessions act on predictor alarms. Ignored
+	// (reactive) when Predict is disabled.
+	Policy predict.Policy
 }
 
 func (c *CampaignConfig) setDefaults() {
@@ -157,6 +167,18 @@ type Sample struct {
 	// BackoffSec is total virtual time spent waiting between transfer
 	// retries.
 	BackoffSec float64
+	// Predictions counts predictor alarms fired during the session
+	// (true and false); PredHits/PredMissed record whether the eviction
+	// arrived warned or unwarned, and PredFalse counts false alarms.
+	Predictions, PredHits, PredFalse, PredMissed int
+	// ProactiveCkpts counts alarm-triggered checkpoints that committed;
+	// Migrations counts completed prediction-triggered migrations and
+	// MigrationMB the megabytes they moved (a subset of MBMoved).
+	ProactiveCkpts, Migrations int
+	MigrationMB                float64
+	// Migrated reports that the session ended by migrating off the
+	// machine before the owner's reclaim rather than by eviction.
+	Migrated bool
 }
 
 // Efficiency is the run's committed-work fraction.
@@ -193,6 +215,22 @@ func (c *Campaign) ChaosTotals() (retries, torn, fallbacks int, backoffSec float
 		torn += s.Torn
 		fallbacks += s.Fallbacks
 		backoffSec += s.BackoffSec
+	}
+	return
+}
+
+// PredictionTotals sums the predictor counters across every sample —
+// the campaign-level figures the chaos session summary prints. All
+// zero for a campaign run without a predictor.
+func (c *Campaign) PredictionTotals() (fired, hits, falses, missed, proactive, migrations int, migrationMB float64) {
+	for _, s := range c.Samples {
+		fired += s.Predictions
+		hits += s.PredHits
+		falses += s.PredFalse
+		missed += s.PredMissed
+		proactive += s.ProactiveCkpts
+		migrations += s.Migrations
+		migrationMB += s.MigrationMB
 	}
 	return
 }
@@ -259,6 +297,9 @@ func RunCampaign(cfg CampaignConfig) (*Campaign, error) {
 	}
 	if cfg.SamplesPerModel <= 0 {
 		return nil, errors.New("live: SamplesPerModel must be positive")
+	}
+	if err := cfg.Predict.Validate(); err != nil {
+		return nil, fmt.Errorf("live: %w", err)
 	}
 
 	fits, err := newFitCache(cfg.History, cfg.MinHistory)
@@ -445,6 +486,9 @@ func runSession(cfg CampaignConfig, chaos chaosLink, fits *fitCache, predictor *
 		phaseT0     float64 // virtual time the current phase began
 		phaseDur    float64 // planned phase duration
 		pending     *condor.Event
+		migrating   bool // current transfer is a prediction-triggered migration
+		predTrue    bool // a true alarm fired this session
+		alarmIdx    int  // alarms settled so far (fired or flushed)
 	)
 	model := modelFor(idx)
 	s.Model = model
@@ -466,6 +510,30 @@ func runSession(cfg CampaignConfig, chaos chaosLink, fits *fitCache, predictor *
 	tr := cfg.Tracer
 	pid := cfg.TracePidBase + uint64(idx) + 1
 	abs := func(t float64) float64 { return al.start + t }
+
+	// Oracle fault predictor: this session's alarms come from a private
+	// stream derived from (Seed, idx), so the session's transfer and
+	// chaos draws on rng are untouched whether or not prediction is on.
+	// Predictor events live on their own trace lane (tid 2).
+	var pred *predict.Predictor
+	var alarms []predict.Event
+	if cfg.Predict.Enabled() {
+		pred, _ = predict.New(cfg.Predict) // RunCampaign vetted the config
+		prng := rand.New(rand.NewSource(predict.StreamSeed(taskSeed(cfg.Seed, idx))))
+		alarms = pred.PeriodEvents(sessionLen, prng)
+	}
+	countAlarm := func(ev predict.Event) {
+		s.Predictions++
+		if ev.True {
+			predTrue = true
+		} else {
+			s.PredFalse++
+		}
+		tr.EventAt(pid, 2, "predict.fired", abs(ev.At), obs.AttrBool("true", ev.True))
+		if !ev.True {
+			tr.EventAt(pid, 2, "predict.false", abs(ev.At))
+		}
+	}
 
 	observe := func(sec float64) {
 		if predictor != nil {
@@ -500,6 +568,9 @@ func runSession(cfg CampaignConfig, chaos chaosLink, fits *fitCache, predictor *
 	transferName := func(kind phase) string {
 		if kind == phaseRecovering {
 			return "transfer.recovery"
+		}
+		if migrating {
+			return "transfer.migrate"
 		}
 		return "transfer.checkpoint"
 	}
@@ -652,7 +723,77 @@ func runSession(cfg CampaignConfig, chaos chaosLink, fits *fitCache, predictor *
 		s.SessionSec = at
 		evicted = true
 		tr.EventAt(pid, 1, "evicted", abs(at))
+		// Settle the predictor's books: alarms due at the eviction
+		// instant itself still fired, and the reclaim is a hit or a
+		// miss depending on whether a true alarm preceded it.
+		if pred != nil {
+			for ; alarmIdx < len(alarms); alarmIdx++ {
+				countAlarm(alarms[alarmIdx])
+			}
+			if predTrue {
+				s.PredHits++
+				tr.EventAt(pid, 2, "predict.hit", abs(at))
+			} else {
+				s.PredMissed++
+				tr.EventAt(pid, 2, "predict.miss", abs(at))
+			}
+		}
 	})
+
+	// Predictor alarms fire as session events; scheduling them after
+	// the eviction hook keeps the owner's reclaim first at equal
+	// timestamps. An alarm only interrupts a work interval — a process
+	// mid-transfer or mid-backoff has nothing new to save — and the
+	// process cannot tell true alarms from false ones (that is what
+	// precision costs).
+	onAlarm := func(ev predict.Event) {
+		alarmIdx++
+		countAlarm(ev)
+		if cfg.Policy == predict.PolicyReactive || ph != phaseWorking {
+			return
+		}
+		elapsed := clock.Now() - phaseT0
+		s.Heartbeats += int(elapsed / cfg.HeartbeatSec)
+		pendingWork += elapsed
+		if pending != nil {
+			pending.Cancel()
+		}
+		migrating = cfg.Policy == predict.PolicyMigrate
+		doTransfer(phaseCheckpointing, 1, func(sec float64) {
+			s.CommittedWork += pendingWork
+			pendingWork = 0
+			s.MeasuredCs = append(s.MeasuredCs, sec)
+			measuredC = sec
+			observe(sec)
+			if migrating {
+				// The image is at the destination: the process leaves
+				// the doomed machine and the session ends here.
+				migrating = false
+				s.Migrations++
+				s.MigrationMB += cfg.CheckpointMB
+				s.Migrated = true
+				s.SessionSec = clock.Now()
+				return
+			}
+			s.ProactiveCkpts++
+			s.Checkpoints++
+			beginWork()
+		}, func(est float64) {
+			// Retries exhausted shipping the image: the process stays
+			// put on its degraded estimate, the work still pending.
+			migrating = false
+			if est > 0 {
+				measuredC = est
+			}
+			s.Fallbacks++
+			tr.EventAt(pid, 1, "fallback", abs(clock.Now()),
+				obs.AttrStr("cause", "retries-exhausted"))
+			beginWork()
+		})
+	}
+	for _, ev := range alarms {
+		clock.Schedule(ev.At, func() { onAlarm(ev) })
+	}
 
 	// Initial recovery transfer, timed by the process.
 	doTransfer(phaseRecovering, 1, func(sec float64) {
@@ -668,10 +809,18 @@ func runSession(cfg CampaignConfig, chaos chaosLink, fits *fitCache, predictor *
 		beginWork()
 	})
 
-	for !evicted && clock.Step() {
+	for !evicted && !s.Migrated && clock.Step() {
 	}
-	if !evicted {
+	if !evicted && !s.Migrated {
 		return Sample{}, fmt.Errorf("live: sample %d (%v): session ran out of events before eviction", idx, model)
+	}
+	if pred != nil {
+		predict.Metrics.Fired.Add(uint64(s.Predictions))
+		predict.Metrics.Hits.Add(uint64(s.PredHits))
+		predict.Metrics.False.Add(uint64(s.PredFalse))
+		predict.Metrics.Missed.Add(uint64(s.PredMissed))
+		predict.Metrics.ProactiveCheckpoints.Add(uint64(s.ProactiveCkpts))
+		predict.Metrics.Migrations.Add(uint64(s.Migrations))
 	}
 	tr.SpanAt(pid, 1, "session", abs(0), s.SessionSec,
 		obs.AttrStr("model", model.String()),
@@ -679,6 +828,7 @@ func runSession(cfg CampaignConfig, chaos chaosLink, fits *fitCache, predictor *
 		obs.AttrFloat("t_elapsed", s.TElapsed),
 		obs.AttrFloat("t_opt", topt),
 		obs.AttrFloat("efficiency", s.Efficiency()),
+		obs.AttrBool("migrated", s.Migrated),
 		obs.AttrInt("intervals", int64(s.Intervals)))
 	return s, nil
 }

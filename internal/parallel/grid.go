@@ -9,6 +9,7 @@ import (
 
 	"github.com/cycleharvest/ckptsched/internal/dist"
 	"github.com/cycleharvest/ckptsched/internal/markov"
+	"github.com/cycleharvest/ckptsched/internal/predict"
 	"github.com/cycleharvest/ckptsched/internal/stats"
 )
 
@@ -16,6 +17,15 @@ import (
 type GridModel struct {
 	Name string
 	Dist dist.Distribution
+}
+
+// GridPolicy names one predictor/policy column of a sweep grid: a
+// predictor quality paired with the policy that acts on it. The zero
+// value (disabled predictor, reactive policy) is the paper's baseline.
+type GridPolicy struct {
+	Name    string
+	Policy  predict.Policy
+	Predict predict.Config
 }
 
 // GridConfig parameterizes RunGrid: the cross product of availability
@@ -30,6 +40,11 @@ type GridConfig struct {
 	Models []GridModel
 	// Staggers are the coordination policies to compare.
 	Staggers []StaggerPolicy
+	// Policies are the predictor/policy pairs to compare. Empty means
+	// one implicit reactive baseline with prediction off — the flat
+	// task indexing (and therefore every per-replicate seed) is then
+	// exactly what it was before the axis existed.
+	Policies []GridPolicy
 	// Seeds is the number of independent replicates per (model,
 	// stagger) cell; default 1. Replicate seeds derive from Seed via a
 	// splitmix64 round per flat task index — the same recipe as
@@ -44,9 +59,13 @@ type GridConfig struct {
 	MaxProcs int
 }
 
-// Cell is one (model, stagger) grid cell with its per-seed results.
+// Cell is one (model, policy, stagger) grid cell with its per-seed
+// results.
 type Cell struct {
-	Model   string
+	Model string
+	// Policy names the GridPolicy this cell ran under ("" when the
+	// grid has no policy axis).
+	Policy  string
 	Stagger StaggerPolicy
 	// Results is indexed by replicate (seed index).
 	Results []Result
@@ -71,8 +90,8 @@ func (c *Cell) Efficiency() stats.CI {
 	return c.Metric(func(r Result) float64 { return r.Efficiency })
 }
 
-// Grid is the result of RunGrid, cells ordered model-major then
-// stagger — the row order of the ckpt-parallel table.
+// Grid is the result of RunGrid, cells ordered model-major, then
+// policy, then stagger — the row order of the ckpt-parallel table.
 type Grid struct {
 	Cells []Cell
 	Seeds int
@@ -114,6 +133,19 @@ func RunGrid(cfg GridConfig) (*Grid, error) {
 		maxProcs = runtime.GOMAXPROCS(0)
 	}
 
+	// An empty policy axis degenerates to one implicit reactive
+	// baseline so the flat task indexing — and every derived seed —
+	// matches the pre-axis grid exactly.
+	policies := cfg.Policies
+	if len(policies) == 0 {
+		policies = []GridPolicy{{}}
+	}
+	for _, gp := range policies {
+		if err := gp.Predict.Validate(); err != nil {
+			return nil, fmt.Errorf("parallel: grid policy %q: %w", gp.Name, err)
+		}
+	}
+
 	// Validate once up front with the first model so a broken Base
 	// surfaces as one error instead of a per-cell failure race.
 	scheds := make([]*markov.Schedule, len(cfg.Models))
@@ -131,12 +163,15 @@ func RunGrid(cfg GridConfig) (*Grid, error) {
 
 	g := &Grid{Seeds: cfg.Seeds}
 	for _, m := range cfg.Models {
-		for _, pol := range cfg.Staggers {
-			g.Cells = append(g.Cells, Cell{
-				Model:   m.Name,
-				Stagger: pol,
-				Results: make([]Result, cfg.Seeds),
-			})
+		for _, gp := range policies {
+			for _, pol := range cfg.Staggers {
+				g.Cells = append(g.Cells, Cell{
+					Model:   m.Name,
+					Policy:  gp.Name,
+					Stagger: pol,
+					Results: make([]Result, cfg.Seeds),
+				})
+			}
 		}
 	}
 
@@ -160,10 +195,13 @@ func RunGrid(cfg GridConfig) (*Grid, error) {
 					return
 				}
 				ci, rep := task/cfg.Seeds, task%cfg.Seeds
-				mi := ci / len(cfg.Staggers)
+				pi := (ci / len(cfg.Staggers)) % len(policies)
+				mi := ci / (len(cfg.Staggers) * len(policies))
 				c := cfg.Base
 				c.ScheduleDist = cfg.Models[mi].Dist
 				c.Stagger = g.Cells[ci].Stagger
+				c.Predict = policies[pi].Predict
+				c.Policy = policies[pi].Policy
 				c.Seed = gridSeed(cfg.Seed, task)
 				// One trace lane per flat task: pid depends only on the
 				// task index, and each engine emits single-threaded, so

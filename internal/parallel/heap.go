@@ -4,12 +4,16 @@ package parallel
 // before any same-instant completion is credited (the engine's
 // failure-dominates rule), and a transfer completion beats a work-interval
 // completion so the link frees up before a new transfer claims it.
-// Remaining ties break by worker index, matching the old engine's
-// worker-order batch firing.
+// Predictor alarms fire last at an instant: a coincident failure means
+// the warning came too late (the alarm is settled as fired-but-unacted
+// when the failure is processed), and a coincident completion settles
+// the books before the alarm interrupts anything. Remaining ties break
+// by worker index, matching the old engine's worker-order batch firing.
 const (
 	kindFail uint8 = iota
 	kindXfer
 	kindWork
+	kindPred
 )
 
 // eventLess is the total order on events: time, then kind, then worker

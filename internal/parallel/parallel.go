@@ -31,6 +31,7 @@ import (
 	"github.com/cycleharvest/ckptsched/internal/dist"
 	"github.com/cycleharvest/ckptsched/internal/markov"
 	"github.com/cycleharvest/ckptsched/internal/obs"
+	"github.com/cycleharvest/ckptsched/internal/predict"
 )
 
 // StaggerPolicy coordinates the processes' checkpoint transfers over
@@ -94,6 +95,16 @@ type Config struct {
 	// TracePid is the trace lane for this run (RunGrid assigns the
 	// 1-based flat task index; a lone Run defaults to 1).
 	TracePid uint64
+	// Predict configures the oracle fault predictor (DESIGN.md §13).
+	// The zero value disables prediction: no predictor RNG stream is
+	// created and results are bit-identical to pre-predictor runs. The
+	// predictor draws from a private stream derived from Seed via
+	// predict.StreamSeed, so enabling it never perturbs machine
+	// lifetimes or jitter draws.
+	Predict predict.Config
+	// Policy selects how workers act on predictor alarms. Ignored
+	// (reactive) when Predict is disabled.
+	Policy predict.Policy
 }
 
 func (cfg Config) validate() error {
@@ -105,6 +116,9 @@ func (cfg Config) validate() error {
 	}
 	if cfg.LinkMBps <= 0 || cfg.CheckpointMB <= 0 || cfg.Duration <= 0 {
 		return errors.New("parallel: LinkMBps, CheckpointMB and Duration must be positive")
+	}
+	if err := cfg.Predict.Validate(); err != nil {
+		return fmt.Errorf("parallel: %w", err)
 	}
 	return nil
 }
@@ -142,6 +156,17 @@ type Result struct {
 	// models plan a single interval by design; extending it is the
 	// steady state, not a fallback.
 	ScheduleFallbacks int
+	// Predictions counts predictor alarms fired (true and false);
+	// PredHits counts failures that arrived with a true alarm raised,
+	// PredFalse counts false alarms, and PredMissed counts failures
+	// that arrived unwarned. All zero when prediction is disabled.
+	Predictions, PredHits, PredFalse, PredMissed int
+	// ProactiveCheckpoints counts alarm-triggered checkpoints that
+	// completed (PolicyProactive); Migrations counts completed
+	// prediction-triggered migrations (PolicyMigrate) and MigrationMB
+	// the megabytes they moved (a subset of MBMoved).
+	ProactiveCheckpoints, Migrations int
+	MigrationMB                      float64
 }
 
 // CollisionStretch reports how much collisions lengthened the average
@@ -175,6 +200,12 @@ type worker struct {
 	queuedSince  float64
 	queueSeq     int  // bumped per enqueue; stale FIFO entries are skipped
 	wantRecovery bool // queued transfer is a recovery (no work at stake)
+	// Predictor bookkeeping (Config.Predict enabled only).
+	alarms    []predict.Event // this availability period's alarms
+	alarmIdx  int             // next alarm to fire
+	predTrue  bool            // a true alarm fired this period
+	migrating bool            // current transfer is a migration
+	proactive bool            // current transfer was alarm-triggered
 }
 
 // movedMB reports how much of w's in-flight transfer has crossed the
@@ -244,6 +275,10 @@ type engine struct {
 
 	timeEv *eventHeap // per worker: earlier of failure and work-end (wall clock)
 	xferEv *eventHeap // per in-flight transfer: completion service mark
+	predEv *eventHeap // per worker: next predictor alarm (wall clock)
+
+	pred *predict.Predictor // nil = prediction off
+	prng *rand.Rand         // predictor's private stream (predict.StreamSeed)
 
 	svc     float64 // cumulative per-transfer service (MB)
 	svcAt   float64 // wall-clock time svc was advanced to
@@ -272,6 +307,9 @@ func (e *engine) traceTransfer(id int, w *worker, outcome string) {
 	if w.state == wRecovering {
 		name = "transfer.recovery"
 	}
+	if w.migrating {
+		name = "transfer.migrate"
+	}
 	e.tr.SpanAt(e.pid, uint64(id)+1, name, w.started, e.now-w.started,
 		obs.AttrFloat("mb", movedMB(w, e.svc)),
 		obs.AttrStr("outcome", outcome),
@@ -292,12 +330,18 @@ func newEngine(cfg Config, sched *markov.Schedule) *engine {
 		ws:         make([]worker, cfg.Workers),
 		timeEv:     newEventHeap(cfg.Workers),
 		xferEv:     newEventHeap(cfg.Workers),
+		predEv:     newEventHeap(cfg.Workers),
 		lastMulti:  math.Inf(-1),
 		tr:         cfg.Trace,
 		pid:        cfg.TracePid,
 	}
 	if e.tr != nil && e.pid == 0 {
 		e.pid = 1
+	}
+	if cfg.Predict.Enabled() {
+		// validate() vetted the config; New only fails on invalid input.
+		e.pred, _ = predict.New(cfg.Predict)
+		e.prng = rand.New(rand.NewSource(predict.StreamSeed(cfg.Seed)))
 	}
 	e.res.SoloTransferSec = e.solo
 	for i := range e.ws {
@@ -307,10 +351,95 @@ func newEngine(cfg Config, sched *markov.Schedule) *engine {
 			state:      wWorking, // neutral until startTransfer assigns one
 		}
 	}
+	// Alarm draws come after every lifetime draw, in worker order, from
+	// the predictor's own stream — the lifetime stream stays untouched.
+	for i := range e.ws {
+		e.newPeriod(i)
+	}
 	for i := range e.ws {
 		e.startTransfer(i, true)
 	}
 	return e
+}
+
+// predTid is the predictor's trace lane for worker id: the alarm lanes
+// sit in a band above the per-worker transfer lanes.
+func (e *engine) predTid(id int) uint64 {
+	return uint64(e.cfg.Workers) + uint64(id) + 1
+}
+
+// newPeriod draws the predictor alarms for id's freshly started
+// availability period and schedules the first one. A disabled predictor
+// draws nothing.
+func (e *engine) newPeriod(id int) {
+	w := &e.ws[id]
+	w.predTrue = false
+	w.alarms = nil
+	w.alarmIdx = 0
+	if e.pred == nil {
+		return
+	}
+	w.alarms = e.pred.PeriodEvents(w.failAt-w.availStart, e.prng)
+	e.schedAlarm(id)
+}
+
+// schedAlarm refreshes id's calendar entry for its next pending alarm.
+// Under the reactive policy alarms never enter the calendar: nothing
+// acts on them, so they are settled in bulk when the failure lands —
+// which keeps every clock advance, and therefore every float in the
+// service arithmetic, bit-identical to a run with no predictor at all.
+func (e *engine) schedAlarm(id int) {
+	if e.cfg.Policy == predict.PolicyReactive {
+		return
+	}
+	w := &e.ws[id]
+	if w.alarmIdx < len(w.alarms) {
+		e.predEv.Update(id, w.availStart+w.alarms[w.alarmIdx].At, kindPred)
+	} else {
+		e.predEv.Remove(id)
+	}
+}
+
+// countAlarm settles one fired alarm in the books and on the trace.
+func (e *engine) countAlarm(id int, ev predict.Event) {
+	e.res.Predictions++
+	if ev.True {
+		e.ws[id].predTrue = true
+	} else {
+		e.res.PredFalse++
+	}
+	if e.tr != nil {
+		at := e.ws[id].availStart + ev.At
+		e.tr.EventAt(e.pid, e.predTid(id), "predict.fired", at, obs.AttrBool("true", ev.True))
+		if !ev.True {
+			e.tr.EventAt(e.pid, e.predTid(id), "predict.false", at)
+		}
+	}
+}
+
+// firePred processes a predictor alarm. The alarm always counts; under
+// the proactive and migrate policies it additionally interrupts an
+// in-flight work interval (the worker cannot tell true alarms from
+// false ones — that is what precision costs) and ships the image, as a
+// checkpoint that commits the truncated interval or as a migration off
+// the doomed machine. Workers mid-recovery, mid-transfer or queued have
+// nothing new to save and let the alarm pass.
+func (e *engine) firePred(id int) {
+	w := &e.ws[id]
+	ev := w.alarms[w.alarmIdx]
+	w.alarmIdx++
+	e.schedAlarm(id)
+	e.countAlarm(id, ev)
+	if e.cfg.Policy == predict.PolicyReactive || w.state != wWorking {
+		return
+	}
+	w.topt = e.now - (w.workEnd - w.topt) // truncate to work done so far
+	if e.cfg.Policy == predict.PolicyMigrate {
+		w.migrating = true
+	} else {
+		w.proactive = true
+	}
+	e.startTransfer(id, false)
 }
 
 // fire advances the clock to t and processes the selected event.
@@ -323,6 +452,8 @@ func (e *engine) fire(id int, kind uint8, t float64) {
 		e.finishTransfer(id)
 	case kindWork:
 		e.startTransfer(id, false)
+	case kindPred:
+		e.firePred(id)
 	}
 	if e.nActive > 1 {
 		e.lastMulti = e.now
@@ -344,10 +475,18 @@ func (e *engine) finish() Result {
 		obs.AttrInt("commits", int64(e.res.Commits)),
 		obs.AttrInt("failures", int64(e.res.Failures)))
 	metrics.runs.Inc()
-	metrics.heapOps.Add(e.timeEv.ops + e.xferEv.ops)
+	metrics.heapOps.Add(e.timeEv.ops + e.xferEv.ops + e.predEv.ops)
 	metrics.fallbacks.Add(uint64(e.res.ScheduleFallbacks))
 	metrics.svcResets.Add(uint64(e.svcClamps))
 	metrics.linkPeak.SetMax(int64(e.res.MaxConcurrent))
+	if e.pred != nil {
+		predict.Metrics.Fired.Add(uint64(e.res.Predictions))
+		predict.Metrics.Hits.Add(uint64(e.res.PredHits))
+		predict.Metrics.False.Add(uint64(e.res.PredFalse))
+		predict.Metrics.Missed.Add(uint64(e.res.PredMissed))
+		predict.Metrics.ProactiveCheckpoints.Add(uint64(e.res.ProactiveCheckpoints))
+		predict.Metrics.Migrations.Add(uint64(e.res.Migrations))
+	}
 	return e.res
 }
 
@@ -362,6 +501,9 @@ func runScheduled(cfg Config, sched *markov.Schedule) (Result, error) {
 		id, t, kind, ok := e.timeEv.Min()
 		if !ok {
 			break
+		}
+		if aid, at, _, aok := e.predEv.Min(); aok && eventLess(at, kindPred, aid, t, kind, id) {
+			id, t, kind = aid, at, kindPred
 		}
 		if xid, target, _, xok := e.xferEv.Min(); xok {
 			xt := e.svcAt + (target-e.svc)/e.rate()
@@ -504,6 +646,25 @@ func (e *engine) finishTransfer(id int) {
 	}
 	e.xferEv.Remove(id)
 	e.nActive--
+	if w.migrating {
+		// Migration landed: the process leaves the doomed machine for a
+		// fresh one. The abandoned period's pending alarms die with it
+		// (no eviction is experienced there), the destination draws its
+		// own lifetime and alarms, and the process recovers there.
+		w.migrating = false
+		e.res.Migrations++
+		e.res.MigrationMB += w.totalMB
+		w.availStart = e.now
+		w.failAt = e.now + e.cfg.Avail.Rand(e.rng)
+		e.newPeriod(id)
+		e.dequeue()
+		e.startTransfer(id, true)
+		return
+	}
+	if w.proactive {
+		w.proactive = false
+		e.res.ProactiveCheckpoints++
+	}
 	// Recovery or checkpoint done: begin the next work interval.
 	age := e.now - w.availStart
 	w.topt = e.intervalAt(age)
@@ -544,6 +705,28 @@ func (e *engine) fail(id int) {
 		e.xferEv.Remove(id)
 		e.nActive--
 	}
+	// Settle the predictor's books for the period that just ended:
+	// alarms scheduled at the eviction instant itself still fired, and
+	// the eviction is a hit or a miss depending on whether a true alarm
+	// preceded it.
+	if e.pred != nil {
+		for ; w.alarmIdx < len(w.alarms); w.alarmIdx++ {
+			e.countAlarm(id, w.alarms[w.alarmIdx])
+		}
+		if w.predTrue {
+			e.res.PredHits++
+			if e.tr != nil {
+				e.tr.EventAt(e.pid, e.predTid(id), "predict.hit", e.now)
+			}
+		} else {
+			e.res.PredMissed++
+			if e.tr != nil {
+				e.tr.EventAt(e.pid, e.predTid(id), "predict.miss", e.now)
+			}
+		}
+	}
+	w.migrating = false
+	w.proactive = false
 	// The machine comes back immediately in a fresh availability
 	// period (busy gaps affect neither the link nor efficiency-of-
 	// occupied-time accounting) and the process restarts with a
@@ -551,6 +734,7 @@ func (e *engine) fail(id int) {
 	w.state = wWorking // neutral until startTransfer assigns one
 	w.availStart = e.now
 	w.failAt = e.now + e.cfg.Avail.Rand(e.rng)
+	e.newPeriod(id)
 	if heldLink {
 		// The token is free now; waiting workers go first, and the
 		// failed process joins the back of the queue.

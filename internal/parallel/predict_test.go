@@ -1,0 +1,251 @@
+package parallel
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/cycleharvest/ckptsched/internal/predict"
+)
+
+func predictBase(seed int64) Config {
+	return Config{
+		Workers:      16,
+		Avail:        stable(),
+		ScheduleDist: stable(),
+		LinkMBps:     5,
+		CheckpointMB: 500,
+		Duration:     6 * 3600,
+		Seed:         seed,
+	}
+}
+
+// Setting a policy with the predictor disabled must leave every Result
+// field bit-identical to the baseline: no predictor stream exists, so
+// no draw order changes.
+func TestParallelDisabledPredictorChangesNothing(t *testing.T) {
+	base, err := Run(predictBase(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, policy := range []predict.Policy{predict.PolicyProactive, predict.PolicyMigrate} {
+		cfg := predictBase(3)
+		cfg.Policy = policy
+		got, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base, got) {
+			t.Errorf("policy %v with disabled predictor diverged:\nbase %+v\ngot  %+v", policy, base, got)
+		}
+	}
+}
+
+// The heap engine and the linear-scan reference must stay bit-for-bit
+// interchangeable with the predictor calendar in play.
+func TestPredictEngineMatchesReference(t *testing.T) {
+	for _, policy := range []predict.Policy{predict.PolicyReactive, predict.PolicyProactive, predict.PolicyMigrate} {
+		for _, stagger := range []StaggerPolicy{StaggerNone, StaggerToken, StaggerJitter} {
+			for seed := int64(1); seed <= 3; seed++ {
+				cfg := predictBase(seed)
+				cfg.Stagger = stagger
+				cfg.Policy = policy
+				cfg.Predict = predict.Config{Precision: 0.6, Recall: 0.8, LeadSec: 240}
+				sched := scheduleFor(cfg)
+				got, err := runScheduled(cfg, sched)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := runReference(cfg, sched)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("%v/%s seed=%d: heap engine diverged from reference:\nheap: %+v\nref:  %+v",
+						policy, stagger, seed, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelReactiveCountsButDoesNotAct(t *testing.T) {
+	base, _ := Run(predictBase(5))
+	cfg := predictBase(5)
+	cfg.Predict = predict.Config{Precision: 0.5, Recall: 0.8, LeadSec: 300}
+	got, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reactive alarms never enter the event calendar, so every physics
+	// field — not just the headline metrics — stays bit-identical.
+	scrubbed := got
+	scrubbed.Predictions, scrubbed.PredHits, scrubbed.PredFalse, scrubbed.PredMissed = 0, 0, 0, 0
+	if !reflect.DeepEqual(base, scrubbed) {
+		t.Errorf("reactive policy changed the physics: base %+v got %+v", base, got)
+	}
+	if got.Predictions == 0 || got.PredHits == 0 || got.PredFalse == 0 {
+		t.Errorf("expected fired/hit/false counts, got %+v", got)
+	}
+	if got.PredHits+got.PredMissed != got.Failures {
+		t.Errorf("hits %d + missed %d != failures %d", got.PredHits, got.PredMissed, got.Failures)
+	}
+	if got.ProactiveCheckpoints != 0 || got.Migrations != 0 {
+		t.Errorf("reactive policy acted: %+v", got)
+	}
+}
+
+func TestParallelPerfectProactiveDominatesReactive(t *testing.T) {
+	base, _ := Run(predictBase(7))
+	cfg := predictBase(7)
+	cfg.Predict = predict.Perfect(300)
+	cfg.Policy = predict.PolicyProactive
+	got, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LostWork >= base.LostWork {
+		t.Errorf("proactive lost %g >= reactive lost %g", got.LostWork, base.LostWork)
+	}
+	if got.ProactiveCheckpoints == 0 {
+		t.Error("no proactive checkpoints completed")
+	}
+	if got.PredMissed != 0 || got.PredFalse != 0 {
+		t.Errorf("perfect predictor missed %d / false %d", got.PredMissed, got.PredFalse)
+	}
+}
+
+func TestParallelMigrateAccountsBytes(t *testing.T) {
+	cfg := predictBase(9)
+	cfg.Predict = predict.Perfect(300)
+	cfg.Policy = predict.PolicyMigrate
+	got, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Migrations == 0 {
+		t.Fatal("no migrations completed")
+	}
+	if got.MigrationMB != float64(got.Migrations)*cfg.CheckpointMB {
+		t.Errorf("migration MB %g, want %g", got.MigrationMB, float64(got.Migrations)*cfg.CheckpointMB)
+	}
+	if got.MigrationMB > got.MBMoved {
+		t.Errorf("migration MB %g exceeds total moved %g", got.MigrationMB, got.MBMoved)
+	}
+	// A migrated-away period's eviction is never experienced, so with a
+	// perfect predictor most failures are dodged entirely.
+	base, _ := Run(predictBase(9))
+	if got.Failures >= base.Failures {
+		t.Errorf("migrate saw %d failures >= baseline %d", got.Failures, base.Failures)
+	}
+}
+
+// gridPolicies is the axis the predictor sweep tests share.
+func gridPolicies() []GridPolicy {
+	return []GridPolicy{
+		{Name: "reactive"},
+		{Name: "proactive-perfect", Policy: predict.PolicyProactive, Predict: predict.Perfect(300)},
+		{Name: "migrate-good", Policy: predict.PolicyMigrate,
+			Predict: predict.Config{Precision: 0.85, Recall: 0.8, LeadSec: 240}},
+	}
+}
+
+// The policy axis must not disturb the flat task indexing: a grid with
+// an explicit single reactive entry equals the no-axis grid cell for
+// cell, and per-task seeds follow the documented layout.
+func TestRunGridPolicyAxisIndexing(t *testing.T) {
+	base := GridConfig{
+		Base:     predictBase(0),
+		Models:   []GridModel{{Name: "exp", Dist: stable()}},
+		Staggers: []StaggerPolicy{StaggerNone, StaggerToken},
+		Seeds:    2,
+		Seed:     42,
+	}
+	plain, err := RunGrid(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withAxis := base
+	withAxis.Policies = []GridPolicy{{Name: "baseline"}}
+	got, err := RunGrid(withAxis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Cells) != len(plain.Cells) {
+		t.Fatalf("cell count %d != %d", len(got.Cells), len(plain.Cells))
+	}
+	for i := range got.Cells {
+		if got.Cells[i].Policy != "baseline" {
+			t.Errorf("cell %d policy %q", i, got.Cells[i].Policy)
+		}
+		if !reflect.DeepEqual(got.Cells[i].Results, plain.Cells[i].Results) {
+			t.Errorf("cell %d diverged with explicit baseline axis", i)
+		}
+	}
+}
+
+func TestRunGridPolicyAxisDeterminism(t *testing.T) {
+	cfg := GridConfig{
+		Base: predictBase(0),
+		Models: []GridModel{
+			{Name: "exp", Dist: stable()},
+		},
+		Staggers: []StaggerPolicy{StaggerNone, StaggerToken},
+		Policies: gridPolicies(),
+		Seeds:    3,
+		Seed:     99,
+	}
+	cfg.MaxProcs = 1
+	serial, err := RunGrid(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.MaxProcs = 8
+	wide, err := RunGrid(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, wide) {
+		t.Error("policy-axis grid not byte-identical across MaxProcs")
+	}
+	// Row order: model-major, then policy, then stagger.
+	wantRows := []struct {
+		policy  string
+		stagger StaggerPolicy
+	}{
+		{"reactive", StaggerNone}, {"reactive", StaggerToken},
+		{"proactive-perfect", StaggerNone}, {"proactive-perfect", StaggerToken},
+		{"migrate-good", StaggerNone}, {"migrate-good", StaggerToken},
+	}
+	if len(serial.Cells) != len(wantRows) {
+		t.Fatalf("got %d cells, want %d", len(serial.Cells), len(wantRows))
+	}
+	for i, w := range wantRows {
+		c := serial.Cells[i]
+		if c.Policy != w.policy || c.Stagger != w.stagger {
+			t.Errorf("cell %d = (%q, %v), want (%q, %v)", i, c.Policy, c.Stagger, w.policy, w.stagger)
+		}
+	}
+	// The reactive rows see alarms fire (disabled predictor has none)…
+	for _, r := range serial.Cells[2].Results {
+		if r.Predictions == 0 || r.ProactiveCheckpoints == 0 {
+			t.Errorf("proactive-perfect cell inert: %+v", r)
+		}
+	}
+	for _, r := range serial.Cells[4].Results {
+		if r.Migrations == 0 {
+			t.Errorf("migrate cell never migrated: %+v", r)
+		}
+	}
+}
+
+func TestRunGridRejectsInvalidPolicy(t *testing.T) {
+	cfg := GridConfig{
+		Base:     predictBase(0),
+		Models:   []GridModel{{Name: "exp", Dist: stable()}},
+		Staggers: []StaggerPolicy{StaggerNone},
+		Policies: []GridPolicy{{Name: "bad", Predict: predict.Config{Precision: 1.5, Recall: 0.5}}},
+	}
+	if _, err := RunGrid(cfg); err == nil {
+		t.Error("invalid grid policy accepted")
+	}
+}

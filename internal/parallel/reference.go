@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"github.com/cycleharvest/ckptsched/internal/markov"
+	"github.com/cycleharvest/ckptsched/internal/predict"
 )
 
 // runReference is the O(Workers)-per-event twin of Run, retained as
@@ -42,6 +43,21 @@ func runReference(cfg Config, sched *markov.Schedule) (Result, error) {
 		}
 		if id < 0 {
 			break
+		}
+		// Pending predictor alarms, compared by wall-clock firing time —
+		// the predEv key order. Reactive alarms stay out of the calendar
+		// (settled at failure time), mirroring schedAlarm.
+		if e.pred != nil && e.cfg.Policy != predict.PolicyReactive {
+			for i := range e.ws {
+				w := &e.ws[i]
+				if w.alarmIdx >= len(w.alarms) {
+					continue
+				}
+				at := w.availStart + w.alarms[w.alarmIdx].At
+				if eventLess(at, kindPred, i, t, kind, id) {
+					id, t, kind = i, at, kindPred
+				}
+			}
 		}
 		// In-flight transfer with the smallest completion service mark.
 		xid, xTarget := -1, 0.0

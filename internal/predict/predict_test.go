@@ -1,0 +1,179 @@
+package predict
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"zero disabled", Config{}, true},
+		{"perfect", Perfect(300), true},
+		{"typical", Config{Precision: 0.85, Recall: 0.8, LeadSec: 240}, true},
+		{"zero recall", Config{Precision: 1, Recall: 0, LeadSec: 60}, true},
+		{"negative precision", Config{Precision: -0.1, Recall: 0.5}, false},
+		{"precision above one", Config{Precision: 1.5, Recall: 0.5}, false},
+		{"zero precision enabled", Config{Recall: 0.5}, false},
+		{"negative recall", Config{Precision: 0.5, Recall: -0.2}, false},
+		{"recall above one", Config{Precision: 0.5, Recall: 1.2}, false},
+		{"negative lead", Config{Precision: 0.5, Recall: 0.5, LeadSec: -10}, false},
+		{"NaN precision", Config{Precision: math.NaN(), Recall: 0.5}, false},
+		{"infinite lead", Config{Precision: 0.5, Recall: 0.5, LeadSec: math.Inf(1)}, false},
+	}
+	for _, c := range cases {
+		if err := c.cfg.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestNewRejectsDisabledAndInvalid(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("New(zero) should error")
+	}
+	if _, err := New(Config{Precision: 2, Recall: 0.5}); err == nil {
+		t.Error("New(invalid) should error")
+	}
+	if _, err := New(Perfect(120)); err != nil {
+		t.Errorf("New(Perfect) errored: %v", err)
+	}
+}
+
+func TestPerfectPredictorFiresExactlyOnce(t *testing.T) {
+	p, err := New(Perfect(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		period := 100 + 5000*rng.Float64()
+		evs := p.PeriodEvents(period, rng)
+		if len(evs) != 1 || !evs[0].True {
+			t.Fatalf("period %g: events %+v, want one true alarm", period, evs)
+		}
+		want := period - 300
+		if want < 0 {
+			want = 0
+		}
+		if evs[0].At != want {
+			t.Fatalf("period %g: alarm at %g, want %g", period, evs[0].At, want)
+		}
+	}
+}
+
+func TestShortPeriodClampsLeadToZero(t *testing.T) {
+	p, _ := New(Perfect(600))
+	evs := p.PeriodEvents(100, rand.New(rand.NewSource(2)))
+	if len(evs) != 1 || evs[0].At != 0 || !evs[0].True {
+		t.Fatalf("events %+v, want one true alarm at 0", evs)
+	}
+}
+
+func TestRealizedPrecisionAndRecall(t *testing.T) {
+	cfg := Config{Precision: 0.7, Recall: 0.6, LeadSec: 120}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	var tp, fp, periods int
+	for i := 0; i < 20000; i++ {
+		periods++
+		for _, ev := range p.PeriodEvents(3600, rng) {
+			if ev.True {
+				tp++
+			} else {
+				fp++
+			}
+		}
+	}
+	recall := float64(tp) / float64(periods)
+	if math.Abs(recall-cfg.Recall) > 0.02 {
+		t.Errorf("realized recall %.3f, want ≈%.2f", recall, cfg.Recall)
+	}
+	precision := float64(tp) / float64(tp+fp)
+	if math.Abs(precision-cfg.Precision) > 0.03 {
+		t.Errorf("realized precision %.3f, want ≈%.2f", precision, cfg.Precision)
+	}
+}
+
+func TestPeriodEventsSortedAndDeterministic(t *testing.T) {
+	p, _ := New(Config{Precision: 0.3, Recall: 0.9, LeadSec: 60})
+	draw := func() [][]Event {
+		rng := rand.New(rand.NewSource(11))
+		out := make([][]Event, 50)
+		for i := range out {
+			out[i] = p.PeriodEvents(1800, rng)
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same stream produced different alarm sequences")
+	}
+	for i, evs := range a {
+		for j := 1; j < len(evs); j++ {
+			if evs[j].At < evs[j-1].At {
+				t.Fatalf("draw %d: events unsorted: %+v", i, evs)
+			}
+		}
+		for _, ev := range evs {
+			if ev.At < 0 || ev.At > 1800 {
+				t.Fatalf("draw %d: alarm outside period: %+v", i, ev)
+			}
+		}
+	}
+}
+
+func TestPeriodEventsNilAndDegenerate(t *testing.T) {
+	var p *Predictor
+	if evs := p.PeriodEvents(100, nil); evs != nil {
+		t.Errorf("nil predictor returned %v", evs)
+	}
+	pp, _ := New(Perfect(60))
+	if evs := pp.PeriodEvents(0, rand.New(rand.NewSource(1))); evs != nil {
+		t.Errorf("zero period returned %v", evs)
+	}
+	if evs := pp.PeriodEvents(-5, rand.New(rand.NewSource(1))); evs != nil {
+		t.Errorf("negative period returned %v", evs)
+	}
+}
+
+func TestPolicyParseAndString(t *testing.T) {
+	for _, p := range []Policy{PolicyReactive, PolicyProactive, PolicyMigrate} {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("round trip %v: got %v, %v", p, got, err)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Error("bogus policy should error")
+	}
+	if s := Policy(99).String(); s != "policy(99)" {
+		t.Errorf("unknown policy renders %q", s)
+	}
+}
+
+func TestStreamSeedDecorrelates(t *testing.T) {
+	if StreamSeed(1) == 1 || StreamSeed(1) == StreamSeed(2) {
+		t.Error("stream seeds not decorrelated")
+	}
+	if StreamSeed(42) != StreamSeed(42) {
+		t.Error("stream seed not deterministic")
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	if s := (Config{}).String(); s != "off" {
+		t.Errorf("zero config renders %q", s)
+	}
+	if s := Perfect(240).String(); s != "p1.00/r1.00/lead240s" {
+		t.Errorf("perfect renders %q", s)
+	}
+}

@@ -1,0 +1,225 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/cycleharvest/ckptsched/internal/dist"
+	"github.com/cycleharvest/ckptsched/internal/predict"
+)
+
+func randomTrace(seed int64, n int) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	d := dist.NewExponential(1.0 / 4000)
+	avail := make([]float64, n)
+	for i := range avail {
+		avail[i] = d.Rand(rng)
+	}
+	return avail
+}
+
+// A disabled predictor must leave every Result field bit-identical to a
+// run that never heard of prediction — the determinism contract for the
+// whole subsystem.
+func TestDisabledPredictorChangesNothing(t *testing.T) {
+	avail := randomTrace(7, 200)
+	base, err := Run(avail, FixedInterval(600), cfg(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, policy := range []predict.Policy{predict.PolicyReactive, predict.PolicyProactive, predict.PolicyMigrate} {
+		c := cfg(100)
+		c.Policy = policy
+		c.PredictSeed = 99
+		got, err := Run(avail, FixedInterval(600), c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base, got) {
+			t.Errorf("policy %v with disabled predictor diverged:\nbase %+v\ngot  %+v", policy, base, got)
+		}
+	}
+}
+
+func TestReactivePolicyCountsButDoesNotAct(t *testing.T) {
+	avail := randomTrace(11, 300)
+	base, _ := Run(avail, FixedInterval(600), cfg(100))
+	c := cfg(100)
+	c.Predict = predict.Config{Precision: 0.5, Recall: 0.8, LeadSec: 300}
+	c.PredictSeed = 5
+	got, err := Run(avail, FixedInterval(600), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The physics are untouched...
+	if got.UsefulWork != base.UsefulWork || got.LostWork != base.LostWork ||
+		got.MBTransferred != base.MBTransferred || got.Commits != base.Commits {
+		t.Errorf("reactive policy changed the run: base %+v got %+v", base, got)
+	}
+	// ...but the predictor's books are kept.
+	if got.Predictions == 0 || got.PredHits == 0 || got.PredFalse == 0 {
+		t.Errorf("expected fired/hit/false counts, got %+v", got)
+	}
+	if got.PredHits+got.PredMissed != len(avail) {
+		t.Errorf("hits %d + missed %d != %d periods", got.PredHits, got.PredMissed, len(avail))
+	}
+	if got.ProactiveCheckpoints != 0 || got.Migrations != 0 {
+		t.Errorf("reactive policy acted: %+v", got)
+	}
+}
+
+// A perfect predictor with a proactive policy must strictly dominate
+// the reactive baseline on wasted work: every failure is seen coming
+// and a checkpoint lands just before it.
+func TestPerfectProactiveDominatesReactive(t *testing.T) {
+	avail := randomTrace(13, 500)
+	base, _ := Run(avail, FixedInterval(600), cfg(100))
+	c := cfg(100)
+	c.Predict = predict.Perfect(150) // lead covers C=100 with margin
+	c.Policy = predict.PolicyProactive
+	got, err := Run(avail, FixedInterval(600), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LostWork >= base.LostWork {
+		t.Errorf("proactive lost %g >= reactive lost %g", got.LostWork, base.LostWork)
+	}
+	if got.UsefulWork <= base.UsefulWork {
+		t.Errorf("proactive useful %g <= reactive useful %g", got.UsefulWork, base.UsefulWork)
+	}
+	if got.ProactiveCheckpoints == 0 {
+		t.Error("no proactive checkpoints taken")
+	}
+	if got.PredMissed != 0 || got.PredFalse != 0 {
+		t.Errorf("perfect predictor missed %d / false %d", got.PredMissed, got.PredFalse)
+	}
+}
+
+func TestMigratePolicyAccountsMigrations(t *testing.T) {
+	avail := randomTrace(17, 500)
+	base, _ := Run(avail, FixedInterval(600), cfg(100))
+	c := cfg(100)
+	c.Predict = predict.Perfect(300)
+	c.Policy = predict.PolicyMigrate
+	got, err := Run(avail, FixedInterval(600), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Migrations == 0 {
+		t.Fatal("no migrations happened")
+	}
+	if got.MigrationMB != float64(got.Migrations)*500 {
+		t.Errorf("migration MB %g, want %g", got.MigrationMB, float64(got.Migrations)*500)
+	}
+	if got.MigrationMB > got.MBTransferred {
+		t.Errorf("migration MB %g exceeds total %g", got.MigrationMB, got.MBTransferred)
+	}
+	// Leaving before the eviction means the abandoned tails are not
+	// occupied time.
+	if got.TotalTime >= base.TotalTime {
+		t.Errorf("migrate total %g >= baseline total %g", got.TotalTime, base.TotalTime)
+	}
+	if got.LostWork >= base.LostWork {
+		t.Errorf("migrate lost %g >= reactive lost %g", got.LostWork, base.LostWork)
+	}
+}
+
+func TestProactiveHandArithmetic(t *testing.T) {
+	// One availability of 1000 s, C=R=100, fixed T=600, perfect
+	// predictor with 150 s lead. Recovery ends at 100; the interval
+	// would run 600..700, but the alarm fires at 850. Timeline:
+	// work 100..850 is cut by the alarm — wait, the first interval is
+	// 100..700 with checkpoint 700..800 (commit, 600 useful). Next
+	// interval starts at 800; alarm at 850 interrupts it with w=50;
+	// proactive checkpoint 850..950 commits 50 more. Then 50 s remain:
+	// a fresh interval is evicted mid-work (50 lost).
+	c := cfg(100)
+	c.Predict = predict.Perfect(150)
+	c.Policy = predict.PolicyProactive
+	res, err := Run([]float64{1000}, FixedInterval(600), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UsefulWork != 650 {
+		t.Errorf("useful = %g, want 650", res.UsefulWork)
+	}
+	if res.LostWork != 50 || res.FailedIntervals != 1 {
+		t.Errorf("lost=%g failedIntervals=%d, want 50/1", res.LostWork, res.FailedIntervals)
+	}
+	if res.ProactiveCheckpoints != 1 || res.Commits != 1 {
+		t.Errorf("proactive=%d commits=%d, want 1/1", res.ProactiveCheckpoints, res.Commits)
+	}
+	if res.PredHits != 1 || res.Predictions != 1 {
+		t.Errorf("hits=%d fired=%d, want 1/1", res.PredHits, res.Predictions)
+	}
+	// MB: recovery 500 + commit 500 + proactive 500.
+	if res.MBTransferred != 1500 {
+		t.Errorf("MB = %g, want 1500", res.MBTransferred)
+	}
+}
+
+func TestMigrateHandArithmetic(t *testing.T) {
+	// Same setup under migration: the alarm at 850 triggers a
+	// migration 850..950 committing w=50; the job leaves and the final
+	// 50 s tail is not occupied time.
+	c := cfg(100)
+	c.Predict = predict.Perfect(150)
+	c.Policy = predict.PolicyMigrate
+	res, err := Run([]float64{1000}, FixedInterval(600), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalTime != 950 {
+		t.Errorf("total = %g, want 950", res.TotalTime)
+	}
+	if res.UsefulWork != 650 || res.LostWork != 0 {
+		t.Errorf("useful=%g lost=%g, want 650/0", res.UsefulWork, res.LostWork)
+	}
+	if res.Migrations != 1 || res.MigrationMB != 500 {
+		t.Errorf("migrations=%d mb=%g, want 1/500", res.Migrations, res.MigrationMB)
+	}
+	// The job never experiences the eviction, so the failure is
+	// neither hit nor miss.
+	if res.PredHits != 0 || res.PredMissed != 0 {
+		t.Errorf("hits=%d missed=%d, want 0/0", res.PredHits, res.PredMissed)
+	}
+}
+
+func TestZeroRecallPredictorMissesEverything(t *testing.T) {
+	avail := randomTrace(23, 100)
+	c := cfg(100)
+	c.Predict = predict.Config{Precision: 1, Recall: 0, LeadSec: 60}
+	c.Policy = predict.PolicyProactive
+	got, err := Run(avail, FixedInterval(600), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Predictions != 0 || got.PredMissed != len(avail) {
+		t.Errorf("fired=%d missed=%d, want 0/%d", got.Predictions, got.PredMissed, len(avail))
+	}
+}
+
+func TestPredictRunsAreDeterministic(t *testing.T) {
+	avail := randomTrace(29, 300)
+	c := cfg(100)
+	c.Predict = predict.Config{Precision: 0.6, Recall: 0.7, LeadSec: 200}
+	c.Policy = predict.PolicyMigrate
+	c.PredictSeed = 314
+	a, err := Run(avail, FixedInterval(600), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Run(avail, FixedInterval(600), c)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same config diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestInvalidPredictConfigRejected(t *testing.T) {
+	c := cfg(100)
+	c.Predict = predict.Config{Precision: 1.5, Recall: 0.5}
+	if _, err := Run([]float64{1000}, FixedInterval(600), c); err == nil {
+		t.Error("invalid predictor config accepted")
+	}
+}

@@ -21,9 +21,11 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 
 	"github.com/cycleharvest/ckptsched/internal/markov"
 	"github.com/cycleharvest/ckptsched/internal/obs"
+	"github.com/cycleharvest/ckptsched/internal/predict"
 )
 
 // Planner supplies the work-interval length to use when the machine
@@ -87,6 +89,16 @@ type Config struct {
 	// 0 means lane 1. Concurrent runs over distinct lanes export
 	// deterministically.
 	TracePid uint64
+	// Predict configures the oracle fault predictor (DESIGN.md §13).
+	// The zero value disables prediction entirely: no RNG draws happen
+	// and results are bit-identical to pre-predictor runs.
+	Predict predict.Config
+	// Policy selects how the job acts on predictor alarms. Ignored
+	// (reactive) when Predict is disabled.
+	Policy predict.Policy
+	// PredictSeed seeds the predictor's private RNG stream (salted via
+	// predict.StreamSeed so it never collides with consumer streams).
+	PredictSeed int64
 }
 
 // Result accumulates the outcome of a simulated job.
@@ -115,6 +127,22 @@ type Result struct {
 	// FailedCheckpoints counts checkpoints interrupted by eviction;
 	// FailedIntervals counts work intervals interrupted by eviction.
 	FailedCheckpoints, FailedIntervals int
+	// Predictions counts predictor alarms fired (true and false);
+	// PredHits counts failures that arrived with a true alarm raised,
+	// PredFalse counts false alarms, and PredMissed counts failures
+	// that arrived unwarned. All zero when prediction is disabled.
+	Predictions, PredHits, PredFalse, PredMissed int
+	// ProactiveCheckpoints counts checkpoints taken because an alarm
+	// fired (PolicyProactive); Migrations counts completed
+	// prediction-triggered migrations (PolicyMigrate).
+	ProactiveCheckpoints, Migrations int
+	// MigrationMB is the megabytes moved by migrations (a subset of
+	// MBTransferred). Under PolicyMigrate the abandoned tail of each
+	// migrated-away period is subtracted from TotalTime — the job left
+	// the machine, so the time was not occupied — which makes the
+	// migration's cost exactly one transfer plus the recovery on the
+	// destination.
+	MigrationMB float64
 }
 
 // Efficiency returns UsefulWork/TotalTime, the paper's machine
@@ -148,6 +176,13 @@ func (r *Result) add(o Result) {
 	r.FailedRecoveries += o.FailedRecoveries
 	r.FailedCheckpoints += o.FailedCheckpoints
 	r.FailedIntervals += o.FailedIntervals
+	r.Predictions += o.Predictions
+	r.PredHits += o.PredHits
+	r.PredFalse += o.PredFalse
+	r.PredMissed += o.PredMissed
+	r.ProactiveCheckpoints += o.ProactiveCheckpoints
+	r.Migrations += o.Migrations
+	r.MigrationMB += o.MigrationMB
 }
 
 // ErrNoAvailabilities is returned when Run is given an empty trace.
@@ -184,6 +219,16 @@ func Run(avail []float64, planner Planner, cfg Config) (Result, error) {
 	if cfg.CheckpointMB < 0 {
 		return Result{}, fmt.Errorf("sim: negative checkpoint size %g", cfg.CheckpointMB)
 	}
+	var pred *predict.Predictor
+	var prng *rand.Rand
+	if cfg.Predict.Enabled() {
+		p, err := predict.New(cfg.Predict)
+		if err != nil {
+			return Result{}, err
+		}
+		pred = p
+		prng = rand.New(rand.NewSource(predict.StreamSeed(cfg.PredictSeed)))
+	}
 	C, R := cfg.Costs.C, cfg.Costs.R
 	tr, pid := cfg.Trace, cfg.TracePid
 	if tr != nil && pid == 0 {
@@ -205,6 +250,57 @@ func Run(avail []float64, planner Planner, cfg Config) (Result, error) {
 		age := 0.0
 		remaining := a
 
+		// Draw this period's predictor alarms up front (the oracle knows
+		// the eviction lands at a). Alarms are consumed in firing order
+		// at decision points; predictor events live on trace lane tid 2.
+		alarms := pred.PeriodEvents(a, prng)
+		ai := 0
+		trueFired := false
+		migrated := false
+		fireAlarm := func(ev predict.Event) {
+			res.Predictions++
+			if ev.True {
+				trueFired = true
+			} else {
+				res.PredFalse++
+			}
+			predict.Metrics.Fired.Inc()
+			if tr != nil {
+				tr.EventAt(pid, 2, "predict.fired", start+ev.At, obs.AttrBool("true", ev.True))
+				if !ev.True {
+					tr.EventAt(pid, 2, "predict.false", start+ev.At)
+				}
+			}
+			if !ev.True {
+				predict.Metrics.False.Inc()
+			}
+		}
+		// endPeriod settles the predictor books when the eviction lands:
+		// alarms the job never reached a decision point for still fired,
+		// and the failure is a hit or a miss depending on whether a true
+		// alarm preceded it. A migrated-away job experiences no eviction.
+		endPeriod := func() {
+			if pred == nil || migrated {
+				return
+			}
+			for ; ai < len(alarms); ai++ {
+				fireAlarm(alarms[ai])
+			}
+			if trueFired {
+				res.PredHits++
+				predict.Metrics.Hits.Inc()
+				if tr != nil {
+					tr.EventAt(pid, 2, "predict.hit", start+a)
+				}
+			} else {
+				res.PredMissed++
+				predict.Metrics.Missed.Inc()
+				if tr != nil {
+					tr.EventAt(pid, 2, "predict.miss", start+a)
+				}
+			}
+		}
+
 		if !(idx == 0 && cfg.SkipFirstRecovery) {
 			if remaining < R {
 				// Evicted during recovery.
@@ -217,6 +313,7 @@ func Run(avail []float64, planner Planner, cfg Config) (Result, error) {
 						obs.AttrStr("outcome", "interrupted"), obs.AttrFloat("mb", charged))
 					tr.EventAt(pid, 1, "evicted", start+a)
 				}
+				endPeriod()
 				continue
 			}
 			res.RecoveryTime += R
@@ -235,6 +332,91 @@ func Run(avail []float64, planner Planner, cfg Config) (Result, error) {
 			T, ok := planner.IntervalAt(age)
 			if !ok || T <= 0 {
 				return Result{}, fmt.Errorf("sim: planner returned invalid interval %g at age %g", T, age)
+			}
+
+			// Settle alarms that fired while the job was busy (mid-recovery
+			// or mid-checkpoint). A proactive checkpoint here would commit
+			// no new work, so only migration acts; the alarms still count.
+			actNow := false
+			for ai < len(alarms) && alarms[ai].At <= age {
+				fireAlarm(alarms[ai])
+				ai++
+				if cfg.Policy == predict.PolicyMigrate {
+					actNow = true
+				}
+			}
+			// An alarm due mid-interval interrupts the interval at its
+			// firing instant under the proactive and migrate policies (the
+			// job cannot tell true alarms from false ones — that is what
+			// precision costs).
+			w := 0.0
+			if !actNow && cfg.Policy != predict.PolicyReactive &&
+				ai < len(alarms) && alarms[ai].At < age+T {
+				w = alarms[ai].At - age
+				fireAlarm(alarms[ai])
+				ai++
+				actNow = true
+			}
+			if actNow {
+				kind := "transfer.checkpoint"
+				if cfg.Policy == predict.PolicyMigrate {
+					kind = "transfer.migrate"
+				}
+				switch {
+				case remaining >= w+C:
+					// The image makes it out before the predicted failure.
+					res.UsefulWork += w
+					res.CheckpointTime += C
+					res.MBTransferred += cfg.CheckpointMB
+					if tr != nil {
+						tr.SpanAt(pid, 1, kind, now+w, C,
+							obs.AttrStr("outcome", "done"),
+							obs.AttrFloat("mb", cfg.CheckpointMB),
+							obs.AttrStr("trigger", "predict"))
+					}
+					if cfg.Policy == predict.PolicyMigrate {
+						res.Migrations++
+						res.MigrationMB += cfg.CheckpointMB
+						predict.Metrics.Migrations.Inc()
+						// The job left for a fresher resource: the tail of
+						// this period is no longer occupied time, so the
+						// migration costs one transfer plus the next
+						// period's recovery.
+						res.TotalTime -= remaining - (w + C)
+						migrated = true
+						remaining = 0
+					} else {
+						res.ProactiveCheckpoints++
+						predict.Metrics.ProactiveCheckpoints.Inc()
+						now += w + C
+						remaining -= w + C
+						age += w + C
+					}
+				case remaining > w:
+					// The real eviction lands mid-transfer: the alarm came
+					// too late (or the image is too large) to finish.
+					partial := remaining - w
+					charged := chargeMB(cfg.CheckpointMB, partial, C, false, cfg.Interrupted)
+					res.LostWork += w
+					res.CheckpointTime += partial
+					res.FailedCheckpoints++
+					res.MBTransferred += charged
+					if tr != nil {
+						tr.SpanAt(pid, 1, kind, now+w, partial,
+							obs.AttrStr("outcome", "interrupted"), obs.AttrFloat("mb", charged))
+						tr.EventAt(pid, 1, "evicted", start+a)
+					}
+					remaining = 0
+				default:
+					// Evicted at the alarm instant itself.
+					res.LostWork += w
+					res.FailedIntervals++
+					if tr != nil {
+						tr.EventAt(pid, 1, "evicted", start+a)
+					}
+					remaining = 0
+				}
+				continue
 			}
 			switch {
 			case remaining >= T+C:
@@ -280,6 +462,7 @@ func Run(avail []float64, planner Planner, cfg Config) (Result, error) {
 				break
 			}
 		}
+		endPeriod()
 	}
 	return res, nil
 }
