@@ -17,7 +17,7 @@
 //
 // Usage:
 //
-//	ckpt-parallel [-workers 16] [-link 5] [-mb 500] [-hours 72] \
+//	ckpt-parallel [-workers 16] [-shards 0] [-link 5] [-mb 500] [-hours 72] \
 //	    [-shape 0.43] [-scale 3409] [-seed 42] [-seeds 1] [-maxprocs N] \
 //	    [-policies reactive,proactive,migrate] \
 //	    [-predict-precision 0.85] [-predict-recall 0.8] [-predict-lead 240] \
@@ -48,6 +48,7 @@ import (
 
 func main() {
 	workers := flag.Int("workers", 16, "processes (one per machine)")
+	shards := flag.Int("shards", 0, "event-calendar sub-engines (0 = auto from worker count; results are identical for any value)")
 	link := flag.Float64("link", 5, "shared link capacity, MB/s")
 	mb := flag.Float64("mb", 500, "checkpoint image size, MB")
 	hours := flag.Float64("hours", 72, "simulated horizon, hours")
@@ -67,6 +68,7 @@ func main() {
 	pcfg := predict.Config{Precision: *predPrecision, Recall: *predRecall, LeadSec: *predLead}
 	var check cliflag.Checker
 	check.PositiveInt("-workers", *workers)
+	check.NonNegativeInt("-shards", *shards)
 	check.Positive("-link", *link)
 	check.Positive("-mb", *mb)
 	check.Positive("-hours", *hours)
@@ -89,7 +91,7 @@ func main() {
 		markov.Instrument(reg)
 		predict.Instrument(reg)
 	}
-	err := run(*workers, *link, *mb, *hours, *shape, *scale, *seed, *seeds, *maxprocs, policies, *tracePath)
+	err := run(*workers, *shards, *link, *mb, *hours, *shape, *scale, *seed, *seeds, *maxprocs, policies, *tracePath)
 	if *statsDump {
 		if serr := json.NewEncoder(os.Stderr).Encode(reg.Snapshot()); serr != nil && err == nil {
 			err = serr
@@ -125,7 +127,7 @@ func parsePolicies(list string, pcfg predict.Config) ([]parallel.GridPolicy, err
 	return out, nil
 }
 
-func run(workers int, link, mb, hours, shape, scale float64, seed int64, seeds, maxprocs int, policies []parallel.GridPolicy, tracePath string) error {
+func run(workers, shards int, link, mb, hours, shape, scale float64, seed int64, seeds, maxprocs int, policies []parallel.GridPolicy, tracePath string) error {
 	avail := dist.NewWeibull(shape, scale)
 	expFit := dist.NewExponential(1 / avail.Mean())
 	var tracer *obs.Tracer
@@ -137,6 +139,7 @@ func run(workers int, link, mb, hours, shape, scale float64, seed int64, seeds, 
 	grid, err := parallel.RunGrid(parallel.GridConfig{
 		Base: parallel.Config{
 			Workers:      workers,
+			Shards:       shards,
 			Avail:        avail,
 			LinkMBps:     link,
 			CheckpointMB: mb,

@@ -60,6 +60,14 @@ func (c *Checker) PositiveInt(name string, v int) {
 	}
 }
 
+// NonNegativeInt requires v ≥ 0, for count flags where zero selects an
+// automatic default (e.g. -shards 0 = size from the worker count).
+func (c *Checker) NonNegativeInt(name string, v int) {
+	if v < 0 {
+		c.failf("%s must be ≥ 0, got %d", name, v)
+	}
+}
+
 // Check attaches an error produced elsewhere (a parser, a config
 // Validate) under the flag's name; nil is ignored.
 func (c *Checker) Check(name string, err error) {

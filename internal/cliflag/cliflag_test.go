@@ -14,6 +14,7 @@ func TestCheckerPasses(t *testing.T) {
 	c.NonNegative("-n", 0)
 	c.Positive("-x", 0.001)
 	c.PositiveInt("-k", 3)
+	c.NonNegativeInt("-shards", 0)
 	c.Check("-cfg", nil)
 	if err := c.Err(); err != nil {
 		t.Fatalf("all-valid checker errored: %v", err)
@@ -27,6 +28,7 @@ func TestCheckerCollectsEveryFailure(t *testing.T) {
 	c.NonNegative("-chaos-stall-sec", -30)
 	c.Positive("-months", 0)
 	c.PositiveInt("-machines", 0)
+	c.NonNegativeInt("-shards", -2)
 	c.Check("-policy", errors.New("unknown policy \"x\""))
 	err := c.Err()
 	if err == nil {
@@ -35,7 +37,7 @@ func TestCheckerCollectsEveryFailure(t *testing.T) {
 	msg := err.Error()
 	for _, want := range []string{
 		"-chaos-tear", "-chaos-outage", "-chaos-stall-sec",
-		"-months", "-machines", "-policy",
+		"-months", "-machines", "-shards", "-policy",
 	} {
 		if !strings.Contains(msg, want) {
 			t.Errorf("error omits %s: %q", want, msg)
@@ -67,5 +69,10 @@ func TestCheckerBoundaries(t *testing.T) {
 	c2.NonNegative("-n", 0)
 	if c2.Err() != nil {
 		t.Error("NonNegative rejected 0")
+	}
+	var c3 Checker
+	c3.NonNegativeInt("-shards", 0)
+	if c3.Err() != nil {
+		t.Error("NonNegativeInt rejected 0")
 	}
 }

@@ -2,7 +2,6 @@ package markov
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 	"sync"
 
@@ -29,14 +28,24 @@ type Schedule struct {
 	Costs Costs
 
 	// bounds caches Ages[i] + Intervals[i] + Costs.C — the age at which
-	// interval i's checkpoint completes — so IntervalAt can binary-search
-	// instead of scanning. BuildSchedule fills it eagerly; schedules
-	// arriving by other routes (JSON decoding, literals) build it on
-	// first lookup, guarded by boundsOnce so concurrent Lookup calls on
-	// a decoded schedule never race on the rebuild. The exported fields
-	// are treated as immutable once the first Lookup runs.
+	// interval i's checkpoint completes — so lookups can index instead
+	// of scanning. BuildSchedule fills it eagerly; schedules arriving by
+	// other routes (JSON decoding, literals) build it on first lookup,
+	// guarded by boundsOnce so concurrent Lookup calls on a decoded
+	// schedule never race on the rebuild. The exported fields are
+	// treated as immutable once the first Lookup runs.
+	//
+	// lut is a quantized index over bounds: lut[q] is the first interval
+	// still in effect at age q·lutStep, so a lookup lands within a
+	// bucket of its answer in O(1) and walks forward at most the few
+	// intervals sharing that bucket — constant time in practice where a
+	// binary search pays ~log2(n) dependent probes. The table is sized
+	// to roughly one bucket per interval (capped), making the average
+	// walk about one step.
 	boundsOnce sync.Once
 	bounds     []float64
+	lut        []int32
+	invStep    float64 // buckets per second of age
 }
 
 // Len returns the number of planned intervals.
@@ -81,16 +90,51 @@ func (s *Schedule) IntervalAt(age float64) (T float64, ok bool) {
 // schedule that arrived by JSON decoding or literal construction
 // builds it exactly once under a sync.Once on first lookup.
 func (s *Schedule) Lookup(age float64) (T float64, extended, ok bool) {
+	T, _, extended, ok = s.LookupFrom(age, -1)
+	return T, extended, ok
+}
+
+// LookupFrom is Lookup plus a position hint for hot loops: idx is the
+// planned interval the returned T came from (n-1 when extended), and
+// feeding it back as the hint on the next call serves lookups whose
+// age lands in the same interval without touching the index. Any hint
+// value is safe — an out-of-range or stale hint only costs the
+// fast-path check — so callers can seed with -1 and then blindly
+// thread idx through. Consumers simulating many workers against one
+// shared schedule (internal/parallel keeps one hint per worker) serve
+// the rest of their lookups from the quantized index in O(1).
+func (s *Schedule) LookupFrom(age float64, hint int) (T float64, idx int, extended, ok bool) {
 	n := len(s.Intervals)
 	if n == 0 {
-		return 0, false, false
+		return 0, 0, false, false
 	}
 	s.ensureBounds()
-	i := sort.Search(n, func(j int) bool { return age < s.bounds[j] })
-	if i == n {
-		return s.Intervals[n-1], true, true
+	b := s.bounds
+	if hint >= 0 && hint < n && age < b[hint] && (hint == 0 || age >= b[hint-1]) {
+		return s.Intervals[hint], hint, false, true
 	}
-	return s.Intervals[i], false, true
+	if age >= b[n-1] {
+		return s.Intervals[n-1], n - 1, true, true
+	}
+	// The bucket holding age starts near the answer; the two walks make
+	// the result exact regardless of the quantization arithmetic (the
+	// backward one fires only when bucket rounding overshot by an ulp),
+	// so the index is purely advisory — typically one step total.
+	i := 0
+	if age > 0 {
+		if q := int(age * s.invStep); q < len(s.lut) {
+			i = int(s.lut[q])
+		} else {
+			i = n - 1 // age*invStep rounded past the end: last bound is > age
+		}
+	}
+	for i > 0 && age < b[i-1] {
+		i--
+	}
+	for age >= b[i] {
+		i++
+	}
+	return s.Intervals[i], i, false, true
 }
 
 // ensureBounds builds the boundary cache exactly once. Both
@@ -99,14 +143,33 @@ func (s *Schedule) Lookup(age float64) (T float64, extended, ok bool) {
 // and never written concurrently with a read.
 func (s *Schedule) ensureBounds() { s.boundsOnce.Do(s.rebuildBounds) }
 
-// rebuildBounds recomputes the interval-end boundary cache from the
-// exported fields.
+// rebuildBounds recomputes the interval-end boundary cache and its
+// quantized index from the exported fields.
 func (s *Schedule) rebuildBounds() {
-	b := make([]float64, len(s.Intervals))
+	n := len(s.Intervals)
+	b := make([]float64, n)
 	for i := range s.Intervals {
 		b[i] = s.Ages[i] + s.Intervals[i] + s.Costs.C
 	}
 	s.bounds = b
+	if n == 0 || b[n-1] <= 0 {
+		return
+	}
+	size := 1
+	for size < n && size < 1<<16 {
+		size <<= 1
+	}
+	s.invStep = float64(size) / b[n-1]
+	step := b[n-1] / float64(size)
+	lut := make([]int32, size)
+	i := 0
+	for q := range lut {
+		for i < n-1 && b[i] <= float64(q)*step {
+			i++
+		}
+		lut[q] = int32(i)
+	}
+	s.lut = lut
 }
 
 // String renders the first few intervals for human inspection.

@@ -346,3 +346,50 @@ func TestLookupExtendedFlag(t *testing.T) {
 		t.Errorf("empty Lookup = %g, %v, %v; want 0, false, false", T, extended, ok)
 	}
 }
+
+// TestLookupFromMatchesLinearScan drives the hinted, quantized-index
+// lookup against the linear scan with every flavor of hint — fresh
+// (the previous call's idx, the hot-loop pattern), stale, out of
+// range, and absent — plus exact-boundary ages, the adversarial
+// inputs for an off-by-one in the index walk. The returned idx must
+// itself be the answer's interval, since callers blindly feed it back.
+func TestLookupFromMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	m := Model{Avail: dist.NewWeibull(0.43, 3409), Costs: mustCosts(t, 100, 100, 100)}
+	s, err := m.BuildSchedule(0, ScheduleOptions{Horizon: 40000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := s.Len()
+	if n < 3 {
+		t.Fatalf("want a multi-interval schedule, got %d intervals", n)
+	}
+	hint := -1
+	for trial := 0; trial < 4000; trial++ {
+		age := rng.Float64() * 1.5 * s.Horizon()
+		switch trial % 8 {
+		case 1: // exact interval-end boundary
+			i := rng.Intn(n)
+			age = s.Ages[i] + s.Intervals[i] + s.Costs.C
+		case 2: // poison the hint: stale
+			hint = rng.Intn(n)
+		case 3: // poison the hint: out of range
+			hint = n + rng.Intn(5)
+		case 4:
+			hint = -1 - rng.Intn(3)
+		}
+		gotT, idx, extended, ok := s.LookupFrom(age, hint)
+		wantT, wantOK := linearIntervalAt(s, age)
+		if gotT != wantT || ok != wantOK {
+			t.Fatalf("trial %d age=%g hint=%d: LookupFrom %g,%v != linear %g,%v",
+				trial, age, hint, gotT, ok, wantT, wantOK)
+		}
+		if wantExt := age >= s.Horizon(); extended != wantExt {
+			t.Fatalf("trial %d age=%g: extended=%v, want %v", trial, age, extended, wantExt)
+		}
+		if idx < 0 || idx >= n || s.Intervals[idx] != gotT {
+			t.Fatalf("trial %d age=%g: idx %d does not name the returned interval", trial, age, idx)
+		}
+		hint = idx
+	}
+}

@@ -33,7 +33,10 @@ type GridPolicy struct {
 // one shared base configuration.
 type GridConfig struct {
 	// Base is the per-cell template; its ScheduleDist, Stagger and
-	// Seed fields are overwritten per cell.
+	// Seed fields are overwritten per cell. Every other field — Shards
+	// included — flows to every cell unchanged, so a grid sweeps one
+	// engine layout across models and policies (and, per the sharding
+	// contract, the Shards value cannot change any cell's numbers).
 	Base Config
 	// Models are the schedule models to compare (Avail in Base stays
 	// the true law; each model drives only the schedules).

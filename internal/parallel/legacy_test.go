@@ -16,7 +16,7 @@ import (
 )
 
 type legacyWorker struct {
-	state      wstate
+	state      uint8
 	availStart float64
 	failAt     float64
 	workEnd    float64

@@ -14,19 +14,24 @@
 // overhead by incurring it as lost execution work and not sequential
 // network load" (§5.2), which this simulator quantifies.
 //
-// The simulator is an event-calendar discrete-event engine: an indexed
-// min-heap of per-worker events plus a service-mark heap for in-flight
-// transfers give O(log Workers) cost per event, so herds of thousands
-// of processes simulate in seconds (see DESIGN.md §10). Checkpoint
-// intervals come from one markov.Schedule built per availability
-// model and shared by every worker, with jitter applied on top.
+// The simulator is a sharded event-calendar discrete-event engine: the
+// worker population is partitioned into per-shard sub-heaps (packed
+// 64-byte hot records, inline 4-ary heap nodes) merged through a small
+// tournament, and the in-flight transfer calendar degenerates to a
+// FIFO ring because same-size images complete in start order on the
+// processor-shared link. A serial coordinator processes the merged
+// event stream, so results are bit-identical for any shard count and
+// any GOMAXPROCS; herds of 10⁶ processes simulate a 24 h horizon in
+// seconds (see DESIGN.md §14). Checkpoint intervals come from one
+// markov.Schedule built per availability model — memoized across runs
+// — and shared by every worker, with jitter applied on top.
 package parallel
 
 import (
 	"errors"
 	"fmt"
-	"math"
-	"math/rand"
+	"reflect"
+	"sync"
 
 	"github.com/cycleharvest/ckptsched/internal/dist"
 	"github.com/cycleharvest/ckptsched/internal/markov"
@@ -86,6 +91,15 @@ type Config struct {
 	Stagger StaggerPolicy
 	// Seed drives machine lifetimes.
 	Seed int64
+	// Shards selects how many event-calendar sub-engines the worker
+	// population partitions across; 0 (the default) sizes shards
+	// automatically from the worker count. Sharding is a data-layout
+	// decomposition, not a concurrency knob: a serial coordinator
+	// merges the sub-calendars in the one global event order, so the
+	// Result (and any trace) is bit-identical for every Shards value —
+	// including 1, the unsharded engine — at any GOMAXPROCS
+	// (DESIGN.md §14). Negative values are rejected.
+	Shards int
 	// Trace, when set, records the run's timeline on the *simulation*
 	// clock: one "run" span per engine plus per-worker transfer spans
 	// and failure events, all on pid TracePid (tid = worker index + 1).
@@ -110,6 +124,9 @@ type Config struct {
 func (cfg Config) validate() error {
 	if cfg.Workers <= 0 {
 		return fmt.Errorf("parallel: need workers > 0, got %d", cfg.Workers)
+	}
+	if cfg.Shards < 0 {
+		return fmt.Errorf("parallel: need shards >= 0 (0 = auto), got %d", cfg.Shards)
 	}
 	if cfg.Avail == nil || cfg.ScheduleDist == nil {
 		return errors.New("parallel: need Avail and ScheduleDist")
@@ -178,57 +195,50 @@ func (r Result) CollisionStretch() float64 {
 	return r.MeanTransferSec / r.SoloTransferSec
 }
 
-type wstate int
-
-const (
-	wRecovering wstate = iota
-	wWorking
-	wTransferring // checkpoint upload
-	wQueued       // waiting for the transfer token (StaggerToken)
-)
-
-type worker struct {
-	state      wstate
-	availStart float64 // when the current availability began
-	failAt     float64 // when the owner reclaims the machine
-	workEnd    float64 // when the current interval completes (wWorking)
-	topt       float64 // current interval length
-	target     float64 // cumulative service mark at which the transfer completes
-	totalMB    float64 // MB of the current transfer
-	started    float64 // transfer start time
-	// Queue bookkeeping (StaggerToken).
-	queuedSince  float64
-	queueSeq     int  // bumped per enqueue; stale FIFO entries are skipped
-	wantRecovery bool // queued transfer is a recovery (no work at stake)
-	// Predictor bookkeeping (Config.Predict enabled only).
-	alarms    []predict.Event // this availability period's alarms
-	alarmIdx  int             // next alarm to fire
-	predTrue  bool            // a true alarm fired this period
-	migrating bool            // current transfer is a migration
-	proactive bool            // current transfer was alarm-triggered
+// schedKey identifies one memoizable schedule build: the model value,
+// the solo transfer cost (which sets all three of C, R and L) and the
+// planning horizon.
+type schedKey struct {
+	d       dist.Distribution
+	solo    float64
+	horizon float64
 }
 
-// movedMB reports how much of w's in-flight transfer has crossed the
-// link, given the current cumulative service mark.
-func movedMB(w *worker, svc float64) float64 {
-	left := w.target - svc
-	if left < 0 {
-		left = 0
-	}
-	if left > w.totalMB {
-		left = w.totalMB
-	}
-	return w.totalMB - left
+// schedCache memoizes scheduleFor across runs. BuildSchedule is
+// deterministic and a Schedule is immutable (and safe for concurrent
+// Lookup) once built, so two configs with the same comparable model
+// value, costs and horizon can share one plan; a build costs tens of
+// milliseconds — more than a whole 1024-worker simulation on the
+// sharded engine. Bounded by wholesale reset so a sweep over many
+// fitted models cannot grow it without limit.
+var schedCache struct {
+	sync.Mutex
+	m map[schedKey]*markov.Schedule
 }
 
-// scheduleFor builds the checkpoint schedule shared by every worker of
-// a run: one markov.BuildSchedule per (ScheduleDist, Costs) pair, with
-// intervals served by Schedule.Lookup at each worker's actual age. A
-// nil return means the model was degenerate at age zero; the engine
-// then degrades every interval to the solo transfer cost and counts it
-// in Result.ScheduleFallbacks.
+const schedCacheMax = 64
+
+// scheduleFor builds (or recalls) the checkpoint schedule shared by
+// every worker of a run: one markov.BuildSchedule per (ScheduleDist,
+// Costs, Horizon) triple, with intervals served by Schedule.LookupFrom
+// at each worker's actual age. A nil return means the model was
+// degenerate at age zero; the engine then degrades every interval to
+// the solo transfer cost and counts it in Result.ScheduleFallbacks.
+// Distribution values that are not comparable (slice-backed models
+// like Hyperexponential) skip the cache.
 func scheduleFor(cfg Config) *markov.Schedule {
 	solo := cfg.CheckpointMB / cfg.LinkMBps
+	cacheable := cfg.ScheduleDist != nil && reflect.ValueOf(cfg.ScheduleDist).Comparable()
+	var key schedKey
+	if cacheable {
+		key = schedKey{d: cfg.ScheduleDist, solo: solo, horizon: cfg.Duration}
+		schedCache.Lock()
+		s, ok := schedCache.m[key]
+		schedCache.Unlock()
+		if ok {
+			return s
+		}
+	}
 	model := markov.Model{
 		Avail: cfg.ScheduleDist,
 		Costs: markov.Costs{C: solo, R: solo, L: solo},
@@ -239,7 +249,15 @@ func scheduleFor(cfg Config) *markov.Schedule {
 	// memoryless (periodic by design).
 	s, err := model.BuildSchedule(0, markov.ScheduleOptions{Horizon: cfg.Duration})
 	if err != nil {
-		return nil
+		s = nil // degenerate models are memoized too
+	}
+	if cacheable {
+		schedCache.Lock()
+		if schedCache.m == nil || len(schedCache.m) >= schedCacheMax {
+			schedCache.m = make(map[schedKey]*markov.Schedule)
+		}
+		schedCache.m[key] = s
+		schedCache.Unlock()
 	}
 	return s
 }
@@ -252,493 +270,13 @@ func Run(cfg Config) (Result, error) {
 	return runScheduled(cfg, scheduleFor(cfg))
 }
 
-type queueEntry struct{ id, seq int }
-
-// engine is the event-calendar simulation state. Transfers progress
-// under processor sharing, tracked in "service" units: svc is the
-// cumulative MB a hypothetical always-active transfer would have
-// received since t=0, advancing at LinkMBps/max(1, nActive). A
-// transfer starting at service mark s completes at mark s +
-// CheckpointMB regardless of how the rate changes in between, so
-// completion order is fixed at start time and the service-keyed heap
-// never needs rekeying — the rate-change bookkeeping reduces to
-// advancing one (svc, svcAt) pair per event.
-type engine struct {
-	cfg        Config
-	rng        *rand.Rand
-	res        Result
-	sched      *markov.Schedule
-	memoryless bool
-	solo       float64
-
-	ws []worker
-
-	timeEv *eventHeap // per worker: earlier of failure and work-end (wall clock)
-	xferEv *eventHeap // per in-flight transfer: completion service mark
-	predEv *eventHeap // per worker: next predictor alarm (wall clock)
-
-	pred *predict.Predictor // nil = prediction off
-	prng *rand.Rand         // predictor's private stream (predict.StreamSeed)
-
-	svc     float64 // cumulative per-transfer service (MB)
-	svcAt   float64 // wall-clock time svc was advanced to
-	nActive int     // concurrent transfers (recoveries included)
-
-	lastMulti float64 // last instant the link was shared; seeds collision counting
-
-	queue []queueEntry // token-policy FIFO
-	qHead int
-
-	xferSum   float64 // streaming mean of completed transfer durations
-	xferCount int
-
-	svcClamps int // transfer timestamps pinned to now by the last-ulp guard
-
-	tr  *obs.Tracer // nil = tracing off
-	pid uint64      // trace lane (Config.TracePid, default 1)
-
-	now float64
-}
-
-// traceTransfer emits the span of a transfer that just ended — torn by
-// a failure or run to completion — on the simulation clock.
-func (e *engine) traceTransfer(id int, w *worker, outcome string) {
-	name := "transfer.checkpoint"
-	if w.state == wRecovering {
-		name = "transfer.recovery"
-	}
-	if w.migrating {
-		name = "transfer.migrate"
-	}
-	e.tr.SpanAt(e.pid, uint64(id)+1, name, w.started, e.now-w.started,
-		obs.AttrFloat("mb", movedMB(w, e.svc)),
-		obs.AttrStr("outcome", outcome),
-		obs.AttrBool("collided", e.lastMulti >= w.started))
-}
-
-// newEngine initializes the simulation state shared by the heap engine
-// and the linear-scan reference engine: workers drawn their first
-// lifetimes in index order, then initial recoveries started (the token
-// policy serializes even these).
-func newEngine(cfg Config, sched *markov.Schedule) *engine {
-	e := &engine{
-		cfg:        cfg,
-		rng:        rand.New(rand.NewSource(cfg.Seed)),
-		sched:      sched,
-		memoryless: dist.IsMemoryless(cfg.ScheduleDist),
-		solo:       cfg.CheckpointMB / cfg.LinkMBps,
-		ws:         make([]worker, cfg.Workers),
-		timeEv:     newEventHeap(cfg.Workers),
-		xferEv:     newEventHeap(cfg.Workers),
-		predEv:     newEventHeap(cfg.Workers),
-		lastMulti:  math.Inf(-1),
-		tr:         cfg.Trace,
-		pid:        cfg.TracePid,
-	}
-	if e.tr != nil && e.pid == 0 {
-		e.pid = 1
-	}
-	if cfg.Predict.Enabled() {
-		// validate() vetted the config; New only fails on invalid input.
-		e.pred, _ = predict.New(cfg.Predict)
-		e.prng = rand.New(rand.NewSource(predict.StreamSeed(cfg.Seed)))
-	}
-	e.res.SoloTransferSec = e.solo
-	for i := range e.ws {
-		e.ws[i] = worker{
-			availStart: 0,
-			failAt:     cfg.Avail.Rand(e.rng),
-			state:      wWorking, // neutral until startTransfer assigns one
-		}
-	}
-	// Alarm draws come after every lifetime draw, in worker order, from
-	// the predictor's own stream — the lifetime stream stays untouched.
-	for i := range e.ws {
-		e.newPeriod(i)
-	}
-	for i := range e.ws {
-		e.startTransfer(i, true)
-	}
-	return e
-}
-
-// predTid is the predictor's trace lane for worker id: the alarm lanes
-// sit in a band above the per-worker transfer lanes.
-func (e *engine) predTid(id int) uint64 {
-	return uint64(e.cfg.Workers) + uint64(id) + 1
-}
-
-// newPeriod draws the predictor alarms for id's freshly started
-// availability period and schedules the first one. A disabled predictor
-// draws nothing.
-func (e *engine) newPeriod(id int) {
-	w := &e.ws[id]
-	w.predTrue = false
-	w.alarms = nil
-	w.alarmIdx = 0
-	if e.pred == nil {
-		return
-	}
-	w.alarms = e.pred.PeriodEvents(w.failAt-w.availStart, e.prng)
-	e.schedAlarm(id)
-}
-
-// schedAlarm refreshes id's calendar entry for its next pending alarm.
-// Under the reactive policy alarms never enter the calendar: nothing
-// acts on them, so they are settled in bulk when the failure lands —
-// which keeps every clock advance, and therefore every float in the
-// service arithmetic, bit-identical to a run with no predictor at all.
-func (e *engine) schedAlarm(id int) {
-	if e.cfg.Policy == predict.PolicyReactive {
-		return
-	}
-	w := &e.ws[id]
-	if w.alarmIdx < len(w.alarms) {
-		e.predEv.Update(id, w.availStart+w.alarms[w.alarmIdx].At, kindPred)
-	} else {
-		e.predEv.Remove(id)
-	}
-}
-
-// countAlarm settles one fired alarm in the books and on the trace.
-func (e *engine) countAlarm(id int, ev predict.Event) {
-	e.res.Predictions++
-	if ev.True {
-		e.ws[id].predTrue = true
-	} else {
-		e.res.PredFalse++
-	}
-	if e.tr != nil {
-		at := e.ws[id].availStart + ev.At
-		e.tr.EventAt(e.pid, e.predTid(id), "predict.fired", at, obs.AttrBool("true", ev.True))
-		if !ev.True {
-			e.tr.EventAt(e.pid, e.predTid(id), "predict.false", at)
-		}
-	}
-}
-
-// firePred processes a predictor alarm. The alarm always counts; under
-// the proactive and migrate policies it additionally interrupts an
-// in-flight work interval (the worker cannot tell true alarms from
-// false ones — that is what precision costs) and ships the image, as a
-// checkpoint that commits the truncated interval or as a migration off
-// the doomed machine. Workers mid-recovery, mid-transfer or queued have
-// nothing new to save and let the alarm pass.
-func (e *engine) firePred(id int) {
-	w := &e.ws[id]
-	ev := w.alarms[w.alarmIdx]
-	w.alarmIdx++
-	e.schedAlarm(id)
-	e.countAlarm(id, ev)
-	if e.cfg.Policy == predict.PolicyReactive || w.state != wWorking {
-		return
-	}
-	w.topt = e.now - (w.workEnd - w.topt) // truncate to work done so far
-	if e.cfg.Policy == predict.PolicyMigrate {
-		w.migrating = true
-	} else {
-		w.proactive = true
-	}
-	e.startTransfer(id, false)
-}
-
-// fire advances the clock to t and processes the selected event.
-func (e *engine) fire(id int, kind uint8, t float64) {
-	e.advance(t)
-	switch kind {
-	case kindFail:
-		e.fail(id)
-	case kindXfer:
-		e.finishTransfer(id)
-	case kindWork:
-		e.startTransfer(id, false)
-	case kindPred:
-		e.firePred(id)
-	}
-	if e.nActive > 1 {
-		e.lastMulti = e.now
-	}
-}
-
-// finish closes the books, flushes the run's local tallies to the
-// registry in a handful of atomic adds, and returns the result.
-func (e *engine) finish() Result {
-	total := float64(e.cfg.Workers) * e.cfg.Duration
-	e.res.Efficiency = e.res.CommittedWork / total
-	if e.xferCount > 0 {
-		e.res.MeanTransferSec = e.xferSum / float64(e.xferCount)
-	}
-	e.tr.SpanAt(e.pid, 0, "run", 0, e.cfg.Duration,
-		obs.AttrInt("workers", int64(e.cfg.Workers)),
-		obs.AttrStr("stagger", e.cfg.Stagger.String()),
-		obs.AttrFloat("efficiency", e.res.Efficiency),
-		obs.AttrInt("commits", int64(e.res.Commits)),
-		obs.AttrInt("failures", int64(e.res.Failures)))
-	metrics.runs.Inc()
-	metrics.heapOps.Add(e.timeEv.ops + e.xferEv.ops + e.predEv.ops)
-	metrics.fallbacks.Add(uint64(e.res.ScheduleFallbacks))
-	metrics.svcResets.Add(uint64(e.svcClamps))
-	metrics.linkPeak.SetMax(int64(e.res.MaxConcurrent))
-	if e.pred != nil {
-		predict.Metrics.Fired.Add(uint64(e.res.Predictions))
-		predict.Metrics.Hits.Add(uint64(e.res.PredHits))
-		predict.Metrics.False.Add(uint64(e.res.PredFalse))
-		predict.Metrics.Missed.Add(uint64(e.res.PredMissed))
-		predict.Metrics.ProactiveCheckpoints.Add(uint64(e.res.ProactiveCheckpoints))
-		predict.Metrics.Migrations.Add(uint64(e.res.Migrations))
-	}
-	return e.res
-}
-
-// runScheduled runs the heap engine against a prebuilt schedule (which
-// RunGrid shares across every cell of one model column).
+// runScheduled runs the sharded engine against a prebuilt schedule
+// (which RunGrid shares across every cell of one model column).
 func runScheduled(cfg Config, sched *markov.Schedule) (Result, error) {
 	if err := cfg.validate(); err != nil {
 		return Result{}, err
 	}
 	e := newEngine(cfg, sched)
-	for {
-		id, t, kind, ok := e.timeEv.Min()
-		if !ok {
-			break
-		}
-		if aid, at, _, aok := e.predEv.Min(); aok && eventLess(at, kindPred, aid, t, kind, id) {
-			id, t, kind = aid, at, kindPred
-		}
-		if xid, target, _, xok := e.xferEv.Min(); xok {
-			xt := e.svcAt + (target-e.svc)/e.rate()
-			if xt < e.now {
-				xt = e.now // guard the last-ulp of service arithmetic
-				e.svcClamps++
-			}
-			if eventLess(xt, kindXfer, xid, t, kind, id) {
-				id, t, kind = xid, xt, kindXfer
-			}
-		}
-		if t >= e.cfg.Duration {
-			break
-		}
-		e.fire(id, kind, t)
-	}
+	e.run()
 	return e.finish(), nil
-}
-
-// rate is the per-transfer processor-sharing rate in MB/s.
-func (e *engine) rate() float64 {
-	return e.cfg.LinkMBps / math.Max(1, float64(e.nActive))
-}
-
-// advance moves the clock to t, accruing service at the rate that has
-// been in effect since the last event.
-func (e *engine) advance(t float64) {
-	if e.nActive > 0 {
-		e.svc += (t - e.svcAt) * e.rate()
-	}
-	e.svcAt = t
-	e.now = t
-}
-
-// retime refreshes id's wall-clock calendar entry: the earlier of its
-// failure and (when working) its interval completion, failure winning
-// exact ties.
-func (e *engine) retime(id int) {
-	w := &e.ws[id]
-	if w.state == wWorking && w.workEnd < w.failAt {
-		e.timeEv.Update(id, w.workEnd, kindWork)
-		return
-	}
-	e.timeEv.Update(id, w.failAt, kindFail)
-}
-
-// intervalAt serves the next work interval for a worker whose
-// availability period has reached the given age.
-func (e *engine) intervalAt(age float64) float64 {
-	T := e.solo
-	if e.sched != nil {
-		t, extended, ok := e.sched.Lookup(age)
-		switch {
-		case !ok:
-			e.res.ScheduleFallbacks++
-		case extended && !e.memoryless:
-			T = t
-			e.res.ScheduleFallbacks++
-		default:
-			T = t
-		}
-	} else {
-		e.res.ScheduleFallbacks++
-	}
-	if e.cfg.Stagger == StaggerJitter {
-		T *= 1 + 0.3*e.rng.Float64()
-	}
-	return T
-}
-
-// startTransfer either begins the transfer or, under the token policy
-// with a busy link, parks the worker in the FIFO queue.
-func (e *engine) startTransfer(id int, isRecovery bool) {
-	w := &e.ws[id]
-	if e.cfg.Stagger == StaggerToken && e.nActive > 0 {
-		w.state = wQueued
-		w.queuedSince = e.now
-		w.queueSeq++
-		w.wantRecovery = isRecovery
-		e.queue = append(e.queue, queueEntry{id, w.queueSeq})
-		e.retime(id)
-		return
-	}
-	if isRecovery {
-		w.state = wRecovering
-	} else {
-		w.state = wTransferring
-	}
-	w.totalMB = e.cfg.CheckpointMB
-	w.started = e.now
-	w.target = e.svc + e.cfg.CheckpointMB
-	e.nActive++
-	if e.nActive > e.res.MaxConcurrent {
-		e.res.MaxConcurrent = e.nActive
-	}
-	if e.nActive > 1 {
-		e.lastMulti = e.now
-	}
-	e.xferEv.Update(id, w.target, kindXfer)
-	e.retime(id)
-}
-
-// dequeue hands the free token to the longest-waiting queued worker
-// (StaggerToken only). Entries whose worker failed while queued are
-// stale (the failure re-enqueued it with a new sequence number) and
-// are skipped.
-func (e *engine) dequeue() {
-	if e.cfg.Stagger != StaggerToken {
-		return
-	}
-	for e.qHead < len(e.queue) {
-		qe := e.queue[e.qHead]
-		e.qHead++
-		w := &e.ws[qe.id]
-		if w.state != wQueued || w.queueSeq != qe.seq {
-			continue
-		}
-		e.res.QueueWaitSec += e.now - w.queuedSince
-		e.startTransfer(qe.id, w.wantRecovery)
-		return
-	}
-	e.queue = e.queue[:0]
-	e.qHead = 0
-}
-
-func (e *engine) finishTransfer(id int) {
-	w := &e.ws[id]
-	if e.tr != nil {
-		e.traceTransfer(id, w, "done")
-	}
-	e.res.MBMoved += w.totalMB
-	e.xferSum += e.now - w.started
-	e.xferCount++
-	if e.lastMulti >= w.started {
-		e.res.Collisions++
-	}
-	if w.state == wTransferring {
-		e.res.CommittedWork += w.topt
-		e.res.Commits++
-	}
-	e.xferEv.Remove(id)
-	e.nActive--
-	if w.migrating {
-		// Migration landed: the process leaves the doomed machine for a
-		// fresh one. The abandoned period's pending alarms die with it
-		// (no eviction is experienced there), the destination draws its
-		// own lifetime and alarms, and the process recovers there.
-		w.migrating = false
-		e.res.Migrations++
-		e.res.MigrationMB += w.totalMB
-		w.availStart = e.now
-		w.failAt = e.now + e.cfg.Avail.Rand(e.rng)
-		e.newPeriod(id)
-		e.dequeue()
-		e.startTransfer(id, true)
-		return
-	}
-	if w.proactive {
-		w.proactive = false
-		e.res.ProactiveCheckpoints++
-	}
-	// Recovery or checkpoint done: begin the next work interval.
-	age := e.now - w.availStart
-	w.topt = e.intervalAt(age)
-	w.state = wWorking
-	w.workEnd = e.now + w.topt
-	e.retime(id)
-	e.dequeue()
-}
-
-func (e *engine) fail(id int) {
-	w := &e.ws[id]
-	e.res.Failures++
-	if e.tr != nil {
-		if w.state == wTransferring || w.state == wRecovering {
-			e.traceTransfer(id, w, "interrupted")
-		}
-		e.tr.EventAt(e.pid, uint64(id)+1, "fail", e.now,
-			obs.AttrFloat("age", e.now-w.availStart))
-	}
-	heldLink := false
-	switch w.state {
-	case wWorking:
-		e.res.LostWork += w.topt - (w.workEnd - e.now)
-	case wTransferring:
-		e.res.LostWork += w.topt
-		e.res.MBMoved += movedMB(w, e.svc)
-		heldLink = true
-	case wRecovering:
-		e.res.MBMoved += movedMB(w, e.svc)
-		heldLink = true
-	case wQueued:
-		e.res.QueueWaitSec += e.now - w.queuedSince
-		if !w.wantRecovery {
-			e.res.LostWork += w.topt // interval done but never stored
-		}
-	}
-	if heldLink {
-		e.xferEv.Remove(id)
-		e.nActive--
-	}
-	// Settle the predictor's books for the period that just ended:
-	// alarms scheduled at the eviction instant itself still fired, and
-	// the eviction is a hit or a miss depending on whether a true alarm
-	// preceded it.
-	if e.pred != nil {
-		for ; w.alarmIdx < len(w.alarms); w.alarmIdx++ {
-			e.countAlarm(id, w.alarms[w.alarmIdx])
-		}
-		if w.predTrue {
-			e.res.PredHits++
-			if e.tr != nil {
-				e.tr.EventAt(e.pid, e.predTid(id), "predict.hit", e.now)
-			}
-		} else {
-			e.res.PredMissed++
-			if e.tr != nil {
-				e.tr.EventAt(e.pid, e.predTid(id), "predict.miss", e.now)
-			}
-		}
-	}
-	w.migrating = false
-	w.proactive = false
-	// The machine comes back immediately in a fresh availability
-	// period (busy gaps affect neither the link nor efficiency-of-
-	// occupied-time accounting) and the process restarts with a
-	// recovery.
-	w.state = wWorking // neutral until startTransfer assigns one
-	w.availStart = e.now
-	w.failAt = e.now + e.cfg.Avail.Rand(e.rng)
-	e.newPeriod(id)
-	if heldLink {
-		// The token is free now; waiting workers go first, and the
-		// failed process joins the back of the queue.
-		e.dequeue()
-	}
-	e.startTransfer(id, true)
 }

@@ -4,78 +4,92 @@ import (
 	"math"
 
 	"github.com/cycleharvest/ckptsched/internal/markov"
-	"github.com/cycleharvest/ckptsched/internal/predict"
 )
 
 // runReference is the O(Workers)-per-event twin of Run, retained as
 // the oracle for the property tests: it shares the engine's event
-// handlers and float arithmetic but selects each next event by linear
-// scan over the worker array, never consulting the event heaps. A
-// bookkeeping bug in the indexed heaps (a missed decrease-key, a stale
-// entry after Remove, a broken tie-break) therefore shows up as a
-// Result divergence between Run and runReference on the same seed,
-// while both engines stay bit-for-bit identical when the heaps are
-// correct.
+// handlers and float arithmetic but selects each next event by brute
+// force — a linear scan over every worker's state for the wall-clock
+// candidate and over every ring entry for the transfer candidate —
+// never consulting the sub-heaps, the tournament or the ring-head
+// cursor's skip logic. A bookkeeping bug in the sharded calendar (a
+// missed decrease-key, a stale tournament root, a mispopped ring
+// entry, a broken tie-break) therefore shows up as a Result divergence
+// between Run and runReference on the same seed, while both engines
+// stay bit-for-bit identical when the calendar is correct.
 //
-// Transfer candidates are compared in service space — (target, id),
-// exactly the xferEv key order — and only the winner is converted to
-// wall-clock time, mirroring the heap engine so the conversion's
-// rounding cannot reorder events between the two.
+// Transfer candidates are compared in service space — (target, ring
+// position), the FIFO discipline — and only the winner is converted to
+// wall-clock time, mirroring the sharded engine so the conversion's
+// rounding cannot reorder events between the two. The scan takes the
+// minimum completion mark over every live entry rather than trusting
+// the ring's FIFO invariant (marks monotone in start order), so the
+// invariant itself is under test.
 func runReference(cfg Config, sched *markov.Schedule) (Result, error) {
 	if err := cfg.validate(); err != nil {
 		return Result{}, err
 	}
 	e := newEngine(cfg, sched)
 	for {
-		// Wall-clock candidates: per worker, the earlier of its failure
-		// and (when working) its interval completion, failure winning
-		// exact ties — the retime rule.
+		// Wall-clock candidates: per worker, the earliest of its
+		// failure, (when working) its interval completion and (when
+		// alarms are in the calendar) its next predictor alarm — the
+		// retime rule, with failure winning exact ties.
 		id, t, kind := -1, math.Inf(1), kindFail
-		for i := range e.ws {
-			w := &e.ws[i]
-			ct, ck := w.failAt, kindFail
-			if w.state == wWorking && w.workEnd < w.failAt {
-				ct, ck = w.workEnd, kindWork
-			}
-			if id < 0 || eventLess(ct, ck, i, t, kind, id) {
-				id, t, kind = i, ct, ck
+		for s := range e.shards {
+			sh := &e.shards[s]
+			for l := range sh.ws {
+				w := &sh.ws[l]
+				gid := sh.base + l
+				ct, ck := w.failAt, kindFail
+				if w.state == wWorking && w.workEnd < w.failAt {
+					ct, ck = w.workEnd, kindWork
+				}
+				if e.predInCal {
+					if ai := int(sh.alarmIdx[l]); ai < len(sh.alarms[l]) {
+						if at := w.availStart + sh.alarms[l][ai].At; at < ct {
+							ct, ck = at, kindPred
+						}
+					}
+				}
+				if id < 0 || eventLess(ct, ck, gid, t, kind, id) {
+					id, t, kind = gid, ct, ck
+				}
 			}
 		}
 		if id < 0 {
 			break
 		}
-		// Pending predictor alarms, compared by wall-clock firing time —
-		// the predEv key order. Reactive alarms stay out of the calendar
-		// (settled at failure time), mirroring schedAlarm.
-		if e.pred != nil && e.cfg.Policy != predict.PolicyReactive {
-			for i := range e.ws {
-				w := &e.ws[i]
-				if w.alarmIdx >= len(w.alarms) {
-					continue
-				}
-				at := w.availStart + w.alarms[w.alarmIdx].At
-				if eventLess(at, kindPred, i, t, kind, id) {
-					id, t, kind = i, at, kindPred
-				}
+		// In-flight transfer with the smallest completion service mark,
+		// earliest start winning exact ties.
+		best, bTarget := -1, 0.0
+		for i := e.rHead; i < len(e.ring); i++ {
+			re := e.ring[i]
+			_, w := e.wref(int(re.id))
+			if w.xferGen != re.gen || (w.state != wTransferring && w.state != wRecovering) {
+				continue // aborted transfer: stale entry
+			}
+			if best < 0 || re.target < bTarget {
+				best, bTarget = i, re.target
 			}
 		}
-		// In-flight transfer with the smallest completion service mark.
-		xid, xTarget := -1, 0.0
-		for i := range e.ws {
-			w := &e.ws[i]
-			if w.state != wTransferring && w.state != wRecovering {
-				continue
+		if best >= 0 {
+			// Service-coordinate comparison, mirroring the sharded
+			// engine's selection arithmetic exactly.
+			xid := int(e.ring[best].id)
+			take := false
+			if bTarget <= e.svc {
+				take = eventLess(e.now, kindXfer, xid, t, kind, id)
+			} else if svcT := e.svc + (t-e.svcAt)*e.rateNow; bTarget != svcT {
+				take = bTarget < svcT
+			} else {
+				take = kindXfer < kind
 			}
-			if xid < 0 || w.target < xTarget {
-				xid, xTarget = i, w.target
-			}
-		}
-		if xid >= 0 {
-			xt := e.svcAt + (xTarget-e.svc)/e.rate()
-			if xt < e.now {
-				xt = e.now
-			}
-			if eventLess(xt, kindXfer, xid, t, kind, id) {
+			if take {
+				xt := e.svcAt + (bTarget-e.svc)/e.rateNow
+				if xt < e.now {
+					xt = e.now
+				}
 				id, t, kind = xid, xt, kindXfer
 			}
 		}

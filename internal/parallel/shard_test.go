@@ -1,0 +1,100 @@
+package parallel
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"github.com/cycleharvest/ckptsched/internal/dist"
+	"github.com/cycleharvest/ckptsched/internal/predict"
+)
+
+// TestShardCountInvariance is the sharding determinism contract
+// (DESIGN.md §14) as a property test: for every worker count that
+// stresses the partition arithmetic (1, one under a shard width, exact
+// widths, a ragged tail, several shards), every stagger policy and
+// every predictor policy, the Result under any explicit or automatic
+// shard count — and any GOMAXPROCS — is reflect.DeepEqual to the
+// single-shard engine. Sharding is a data layout, not a concurrency
+// knob; any divergence means a shard-boundary bug (a worker filed in
+// the wrong sub-heap, a tournament miss, a base-offset slip).
+func TestShardCountInvariance(t *testing.T) {
+	avail := dist.NewWeibull(0.43, 3409)
+	policies := []struct {
+		name    string
+		stagger StaggerPolicy
+		predict predict.Config
+		policy  predict.Policy
+	}{
+		{"none", StaggerNone, predict.Config{}, predict.PolicyReactive},
+		{"token", StaggerToken, predict.Config{}, predict.PolicyReactive},
+		{"jitter", StaggerJitter, predict.Config{}, predict.PolicyReactive},
+		{"proactive", StaggerNone, predict.Config{Precision: 0.8, Recall: 0.7, LeadSec: 120}, predict.PolicyProactive},
+		{"migrate", StaggerJitter, predict.Config{Precision: 0.9, Recall: 0.5, LeadSec: 300}, predict.PolicyMigrate},
+	}
+	maxProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(maxProcs)
+
+	for _, workers := range []int{1, 63, 64, 1000, 4096} {
+		for _, pol := range policies {
+			cfg := Config{
+				Workers:      workers,
+				Avail:        avail,
+				ScheduleDist: avail,
+				LinkMBps:     2 * float64(workers),
+				CheckpointMB: 500,
+				Duration:     4 * 3600,
+				Stagger:      pol.stagger,
+				Seed:         29,
+				Shards:       1,
+				Predict:      pol.predict,
+				Policy:       pol.policy,
+			}
+			want, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("w%d/%s: single-shard run: %v", workers, pol.name, err)
+			}
+			for _, procs := range []int{1, 4, maxProcs} {
+				runtime.GOMAXPROCS(procs)
+				for _, shards := range []int{0, 2, 7, 64, workers} {
+					c := cfg
+					c.Shards = shards
+					got, err := Run(c)
+					if err != nil {
+						t.Fatalf("w%d/%s shards=%d procs=%d: %v", workers, pol.name, shards, procs, err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Errorf("w%d/%s shards=%d procs=%d: Result diverges from shards=1\n got %+v\nwant %+v",
+							workers, pol.name, shards, procs, got, want)
+					}
+				}
+			}
+			runtime.GOMAXPROCS(maxProcs)
+		}
+	}
+}
+
+// TestShardWidthPartition pins the partition arithmetic: every worker
+// lands in exactly one shard, bases tile the population in order, and
+// an explicit shard count is honored (capped at one worker per shard).
+func TestShardWidthPartition(t *testing.T) {
+	for _, tc := range []struct {
+		workers, shards, wantWidth int
+	}{
+		{1, 0, defaultShardSize},
+		{256, 0, defaultShardSize},
+		{1 << 20, 0, defaultShardSize},
+		{1000, 1, 1024},
+		{1000, 7, 256},
+		{64, 64, 1},
+		{64, 1 << 20, 1},
+	} {
+		w := shardWidth(tc.workers, tc.shards)
+		if w != tc.wantWidth {
+			t.Errorf("shardWidth(%d, %d) = %d, want %d", tc.workers, tc.shards, w, tc.wantWidth)
+		}
+		if w&(w-1) != 0 {
+			t.Errorf("shardWidth(%d, %d) = %d: not a power of two", tc.workers, tc.shards, w)
+		}
+	}
+}

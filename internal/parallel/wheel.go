@@ -1,0 +1,209 @@
+package parallel
+
+import "math/bits"
+
+// workWheel is a timing wheel holding every working worker keyed by
+// its interval completion time. Work completions are the engine's
+// highest-rate wall-clock event class and have two properties the
+// general sub-heaps cannot exploit: the clock only moves forward, and
+// every key lies within a bounded span of now (workEnd = now + T with
+// T at most the longest planned interval, known at engine start). That
+// makes bucket address arithmetic sufficient for ordering across
+// buckets — int64(key·invW) is monotone in key, so the earliest live
+// bucket provably holds the minimum — and exact (key, id) comparisons
+// are only ever needed among the few entries sharing one bucket.
+// Insert and remove are O(1) pointer splices into intrusive per-bucket
+// lists; finding the minimum is O(1) amortized (the cursor sweeps each
+// bucket at most once per lap, and the bucket scan touches ~1 entry at
+// the tuned density). The comparison sifts this replaces were the
+// sharded engine's single largest cost.
+//
+// Exactness does not rest on the float bucket arithmetic: rounding at
+// a bucket edge only shifts where an entry sits, never the order the
+// scan reports, because the mapping stays monotone and ties are always
+// settled by comparing the stored keys and ids themselves.
+//
+// Bucket lists are kept sorted by (key, gid) with a tail pointer, so
+// the bucket head IS the bucket minimum and a rescan never walks a
+// list. Sortedness costs nothing where it matters most: under the
+// shared link's processor sharing, transfers that start together
+// finish at the same instant, so whole cohorts re-enter the wheel with
+// an identical key in ascending gid order — each lands exactly at its
+// bucket's tail, an O(1) append. (An unsorted bucket with a scan-for-
+// min rescan turns those cohorts into O(W²) per wave: every completion
+// removes the minimum and rescans the tie list.) Out-of-order inserts
+// into a populated bucket pay a list walk, but distinct keys rarely
+// share a bucket at the tuned density — ties from synchronized
+// cohorts are the only crowds, and those append.
+type workWheel struct {
+	head []int32   // slot -> first gid in bucket (its minimum), -1 if empty
+	tail []int32   // slot -> last gid in bucket (its maximum)
+	next []int32   // gid -> next in its bucket, -1 at end
+	prev []int32   // gid -> previous in its bucket, -1 at head
+	slot []int32   // gid -> occupied slot, -1 when absent
+	key  []float64 // gid -> workEnd
+	occ  []uint64  // occupancy bitmap over slots: rescans skip empty
+	// buckets a word at a time instead of probing head one by one
+
+	mask  int64
+	wmask int     // len(occ) - 1
+	invW  float64 // buckets per second
+	cur   int64   // absolute bucket cursor; never past any live key's bucket
+	count int
+	min   int32 // cached min gid; -1 = unknown (rescan lazily)
+}
+
+// newWorkWheel sizes a wheel for the given herd and key span (the
+// largest possible workEnd - now). The bucket count targets a few
+// buckets per worker so occupied buckets hold ~1 entry, and the bucket
+// width is derived from the span with slack so the live window — keys
+// in [now, now+span] — can never wrap onto itself.
+func newWorkWheel(workers int, span float64) *workWheel {
+	n := 256
+	for n < 4*workers && n < 1<<18 {
+		n <<= 1
+	}
+	w := &workWheel{
+		head:  make([]int32, n),
+		tail:  make([]int32, n),
+		next:  make([]int32, workers),
+		prev:  make([]int32, workers),
+		slot:  make([]int32, workers),
+		key:   make([]float64, workers),
+		occ:   make([]uint64, n/64),
+		mask:  int64(n - 1),
+		wmask: n/64 - 1,
+		invW:  float64(n-4) / span,
+		min:   -1,
+	}
+	for i := range w.head {
+		w.head[i] = -1
+	}
+	for i := range w.slot {
+		w.slot[i] = -1
+	}
+	return w
+}
+
+// insert files gid under key k, keeping the bucket list sorted by
+// (key, gid). The tail check makes synchronized-cohort inserts — equal
+// keys arriving in ascending gid order — O(1) appends; the cached
+// minimum stays valid by direct comparison.
+func (w *workWheel) insert(gid int, k float64) {
+	b := int64(k * w.invW)
+	if b < w.cur {
+		// The cursor sits at the current minimum's bucket, which a new
+		// key may undercut (a young worker's short interval finishing
+		// before an old worker's long one); pull it back so the scan
+		// can never start past a live entry.
+		w.cur = b
+	}
+	s := int32(b & w.mask)
+	g := int32(gid)
+	if t := w.tail[s]; w.head[s] < 0 {
+		// Empty bucket.
+		w.head[s], w.tail[s] = g, g
+		w.next[gid], w.prev[gid] = -1, -1
+		w.occ[s>>6] |= 1 << (s & 63)
+	} else if k > w.key[t] || (k == w.key[t] && g > t) {
+		// At or past the tail — the cohort fast path.
+		w.next[t], w.prev[gid], w.next[gid] = g, t, -1
+		w.tail[s] = g
+	} else {
+		// Walk to the first entry ordered after (k, gid); rare, since
+		// distinct keys seldom share a bucket at the tuned density.
+		at := w.head[s]
+		for w.key[at] < k || (w.key[at] == k && at < g) {
+			at = w.next[at]
+		}
+		p := w.prev[at]
+		w.next[gid], w.prev[gid], w.prev[at] = at, p, g
+		if p >= 0 {
+			w.next[p] = g
+		} else {
+			w.head[s] = g
+		}
+	}
+	w.slot[gid] = s
+	w.key[gid] = k
+	w.count++
+	if m := w.min; m >= 0 {
+		if k < w.key[m] || (k == w.key[m] && g < m) {
+			w.min = g
+		}
+	}
+}
+
+// remove unfiles gid; absent gids are a no-op. Removing the cached
+// minimum defers the rescan to the next minOf.
+func (w *workWheel) remove(gid int) {
+	s := w.slot[gid]
+	if s < 0 {
+		return
+	}
+	n, p := w.next[gid], w.prev[gid]
+	if n >= 0 {
+		w.prev[n] = p
+	} else {
+		w.tail[s] = p
+	}
+	if p >= 0 {
+		w.next[p] = n
+	} else {
+		w.head[s] = n
+		if n < 0 {
+			w.occ[s>>6] &^= 1 << (s & 63)
+		}
+	}
+	w.slot[gid] = -1
+	w.count--
+	if w.min == int32(gid) {
+		w.min = -1
+	}
+}
+
+// minOf returns the earliest entry by (key, gid), given the current
+// simulation time (every live key is ≥ now: pending completions are
+// future events). On a cache miss it advances the cursor to the first
+// occupied bucket — every live key's bucket is at or past the cursor,
+// an invariant kept by the insert-time pull-back and the cursor only
+// ever skipping empty buckets — and takes the exact minimum within it.
+// Clamping the cursor up to now's bucket first keeps it fresh across
+// long cache-valid stretches; without it the live window (at most
+// span, i.e. under N buckets, wide) could drift a full lap past a
+// stale cursor and alias into slots the scan still has to cross.
+func (w *workWheel) minOf(now float64) (gid int32, k float64, ok bool) {
+	if m := w.min; m >= 0 { // cache-valid fast path, inlined in the event loop
+		return m, w.key[m], true
+	}
+	if w.count == 0 {
+		return 0, 0, false
+	}
+	return w.rescan(now)
+}
+
+// rescan recomputes the cached minimum after the previous one left the
+// wheel — once per commit cycle, against minOf's once per event.
+func (w *workWheel) rescan(now float64) (gid int32, k float64, ok bool) {
+	if c := int64(now * w.invW); c > w.cur {
+		w.cur = c
+	}
+	s := int(w.cur & w.mask)
+	wi := s >> 6
+	if word := w.occ[wi] >> (s & 63); word != 0 {
+		w.cur += int64(bits.TrailingZeros64(word))
+	} else {
+		w.cur += int64(64 - s&63)
+		for {
+			wi = (wi + 1) & w.wmask
+			if word := w.occ[wi]; word != 0 {
+				w.cur += int64(bits.TrailingZeros64(word))
+				break
+			}
+			w.cur += 64
+		}
+	}
+	best := w.head[w.cur&w.mask] // sorted bucket: head is the minimum
+	w.min = best
+	return best, w.key[best], true
+}

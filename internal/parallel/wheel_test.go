@@ -1,0 +1,140 @@
+package parallel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// wheelModel is the naive twin of workWheel: a flat presence/key table
+// scanned linearly for the minimum, the ordering the wheel must match.
+type wheelModel struct {
+	key     []float64
+	present []bool
+}
+
+func (m *wheelModel) min() (int, bool) {
+	best := -1
+	for i := range m.key {
+		if !m.present[i] {
+			continue
+		}
+		if best < 0 || m.key[i] < m.key[best] || (m.key[i] == m.key[best] && i < best) {
+			best = i
+		}
+	}
+	return best, best >= 0
+}
+
+// TestWheelOrdering pins the (key, gid) order across buckets and the
+// gid tie-break within one: equal keys drain in ascending gid order.
+func TestWheelOrdering(t *testing.T) {
+	w := newWorkWheel(6, 100)
+	w.insert(3, 40)
+	w.insert(0, 10)
+	w.insert(5, 40) // ties with gid 3: gid order decides
+	w.insert(1, 70)
+	w.insert(2, 10.0000001) // same bucket as gid 0 at this width
+	w.insert(4, 25)
+	want := []int32{0, 2, 4, 3, 5, 1}
+	now := 0.0
+	for i, wid := range want {
+		gid, k, ok := w.minOf(now)
+		if !ok || gid != wid {
+			t.Fatalf("drain step %d: min = (%d, ok=%v), want gid %d", i, gid, ok, wid)
+		}
+		now = k
+		w.remove(int(gid))
+	}
+	if _, _, ok := w.minOf(now); ok {
+		t.Fatal("drained wheel still reports a minimum")
+	}
+}
+
+// TestWheelCohortAppend pins the synchronized-cohort path: a wave of
+// identical keys inserted in ascending gid order (the order the event
+// loop produces, since simultaneous completions fire gid-ascending)
+// must land as sorted tail appends and drain in gid order.
+func TestWheelCohortAppend(t *testing.T) {
+	const n = 500
+	w := newWorkWheel(n, 1000)
+	for i := range n {
+		w.insert(i, 333.25)
+	}
+	for i := range n {
+		gid, k, ok := w.minOf(300)
+		if !ok || int(gid) != i || k != 333.25 {
+			t.Fatalf("cohort drain step %d: min = (%d, %g, ok=%v), want (%d, 333.25)", i, gid, k, ok, i)
+		}
+		w.remove(int(gid))
+	}
+}
+
+// TestWheelReinsertBehindCursor pins the insert-time cursor pull-back:
+// after the cursor has advanced to a late bucket, a new key earlier
+// than the cached minimum (a young worker's short interval) must still
+// be found.
+func TestWheelReinsertBehindCursor(t *testing.T) {
+	w := newWorkWheel(4, 1000)
+	w.insert(0, 900)
+	if gid, _, _ := w.minOf(890); gid != 0 {
+		t.Fatal("setup: expected gid 0 at the cursor")
+	}
+	w.insert(1, 895) // behind the cursor's bucket
+	w.remove(0)
+	if gid, k, ok := w.minOf(890); !ok || gid != 1 || k != 895 {
+		t.Fatalf("min after early insert = (%d, %g, ok=%v), want (1, 895)", gid, k, ok)
+	}
+}
+
+// TestWheelRandomOps drives the wheel with random insert/remove/drain
+// traffic against the naive model and checks the minimum agrees after
+// every step, under the wheel's operating contract: time only moves
+// forward and every live key lies in [now, now+span].
+func TestWheelRandomOps(t *testing.T) {
+	const n = 64
+	const span = 50.0
+	rng := rand.New(rand.NewSource(23))
+	w := newWorkWheel(n, span)
+	m := &wheelModel{key: make([]float64, n), present: make([]bool, n)}
+	now := 0.0
+
+	for step := range 20000 {
+		switch rng.Intn(5) {
+		case 0: // remove a random live gid (a failure unfiling a worker)
+			gid := rng.Intn(n)
+			w.remove(gid)
+			m.present[gid] = false
+		case 1: // advance time to the current minimum and drain it
+			if gid, k, ok := w.minOf(now); ok {
+				now = k
+				w.remove(int(gid))
+				m.present[gid] = false
+			}
+		default: // file an absent gid at a key within the live window
+			gid := rng.Intn(n)
+			if m.present[gid] {
+				break
+			}
+			// Coarse grid so equal keys (synchronized cohorts) are common.
+			k := now + math.Floor(rng.Float64()*span/2*8)/8
+			w.insert(gid, k)
+			m.key[gid], m.present[gid] = k, true
+		}
+		wantID, wantOK := m.min()
+		gid, k, ok := w.minOf(now)
+		if ok != wantOK {
+			t.Fatalf("step %d: minOf ok = %v, want %v", step, ok, wantOK)
+		}
+		if !wantOK {
+			continue
+		}
+		if int(gid) != wantID || k != m.key[wantID] {
+			t.Fatalf("step %d: minOf = (%d, %g), want (%d, %g)",
+				step, gid, k, wantID, m.key[wantID])
+		}
+		if w.count != countTrue(m.present) {
+			t.Fatalf("step %d: count = %d, want %d", step, w.count, countTrue(m.present))
+		}
+	}
+}

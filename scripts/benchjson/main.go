@@ -15,9 +15,14 @@
 // Each benchmark's repetitions collapse to the minimum ns/op — the
 // least-noise estimate of the code's true cost on the host — so a
 // -count of 5 or more is recommended for both the baseline and the
-// gated run. Custom b.ReportMetric values (figures of merit like
-// eff@C100) are carried into the JSON for reference but never gated:
-// they are workload metrics, not performance.
+// gated run. Benchmarks that b.ReportAllocs() also record allocs/op
+// (again the minimum over repetitions), gated by the same percentage —
+// except a zero-alloc baseline, where any allocation at all fails:
+// hot paths that were allocation-free must stay allocation-free, and a
+// percentage of zero grants no slack. Custom b.ReportMetric values
+// (figures of merit like eff@C100) are carried into the JSON for
+// reference but never gated: they are workload metrics, not
+// performance.
 package main
 
 import (
@@ -35,6 +40,9 @@ import (
 // Entry is one benchmark's collapsed measurement.
 type Entry struct {
 	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp is the minimum allocs/op, present only for
+	// benchmarks that b.ReportAllocs().
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 	// Runs is how many repetitions the minimum was taken over.
 	Runs int `json:"runs"`
 	// Metrics holds custom figures of merit (unit -> value, last run).
@@ -131,7 +139,7 @@ func gateRun(w io.Writer, base Baseline, current map[string]Entry, prefixes []st
 	}
 	sort.Strings(names)
 
-	fmt.Fprintf(w, "%-50s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	fmt.Fprintf(w, "%-50s %14s %14s %8s %12s %12s\n", "benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs")
 	compared := 0
 	for _, name := range names {
 		old := base.Benchmarks[name]
@@ -147,7 +155,24 @@ func gateRun(w io.Writer, base Baseline, current map[string]Entry, prefixes []st
 			verdict = "  REGRESSION"
 			failed = true
 		}
-		fmt.Fprintf(w, "%-50s %14.0f %14.0f %+7.1f%%%s\n", name, old.NsPerOp, cur.NsPerOp, delta, verdict)
+		oldAllocs, newAllocs := "-", "-"
+		if old.AllocsPerOp != nil {
+			oldAllocs = fmt.Sprintf("%.0f", *old.AllocsPerOp)
+			if cur.AllocsPerOp != nil {
+				newAllocs = fmt.Sprintf("%.0f", *cur.AllocsPerOp)
+				switch a, b := *old.AllocsPerOp, *cur.AllocsPerOp; {
+				case a == 0 && b > 0:
+					// A zero-alloc baseline is a contract, not a number a
+					// percentage can grow: any allocation fails.
+					verdict = "  ALLOC REGRESSION"
+					failed = true
+				case a > 0 && 100*(b-a)/a > maxReg:
+					verdict = "  ALLOC REGRESSION"
+					failed = true
+				}
+			}
+		}
+		fmt.Fprintf(w, "%-50s %14.0f %14.0f %+7.1f%% %12s %12s%s\n", name, old.NsPerOp, cur.NsPerOp, delta, oldAllocs, newAllocs, verdict)
 	}
 	if compared == 0 {
 		fmt.Fprintln(w, "benchjson: nothing to compare — selected baseline entries absent from input")
@@ -186,8 +211,8 @@ func parseBench(r io.Reader) (map[string]Entry, error) {
 		if _, err := strconv.Atoi(fields[1]); err != nil {
 			continue // not a benchmark result line
 		}
-		var ns float64
-		nsSeen := false
+		var ns, allocs float64
+		nsSeen, allocsSeen := false, false
 		metrics := map[string]float64{}
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
@@ -197,7 +222,9 @@ func parseBench(r io.Reader) (map[string]Entry, error) {
 			switch unit := fields[i+1]; unit {
 			case "ns/op":
 				ns, nsSeen = v, true
-			case "B/op", "allocs/op", "MB/s":
+			case "allocs/op":
+				allocs, allocsSeen = v, true
+			case "B/op", "MB/s":
 				// standard units we don't gate
 			default:
 				metrics[unit] = v
@@ -209,6 +236,10 @@ func parseBench(r io.Reader) (map[string]Entry, error) {
 		e, seen := out[name]
 		if !seen || ns < e.NsPerOp {
 			e.NsPerOp = ns
+		}
+		if allocsSeen && (e.AllocsPerOp == nil || allocs < *e.AllocsPerOp) {
+			a := allocs
+			e.AllocsPerOp = &a
 		}
 		e.Runs++
 		if len(metrics) > 0 {

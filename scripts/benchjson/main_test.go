@@ -1,0 +1,96 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func parse(t *testing.T, text string) map[string]Entry {
+	t.Helper()
+	out, err := parseBench(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestParseCollapsesToMin(t *testing.T) {
+	out := parse(t, `
+BenchmarkX-4	100	2000 ns/op	12 B/op	3 allocs/op
+BenchmarkX-4	100	1500 ns/op	12 B/op	2 allocs/op
+BenchmarkX-4	100	1800 ns/op	12 B/op	5 allocs/op
+BenchmarkY-4	100	900 ns/op	0.5 efficiency
+`)
+	x := out["BenchmarkX"]
+	if x.NsPerOp != 1500 || x.Runs != 3 {
+		t.Fatalf("X = %+v, want min 1500 over 3 runs", x)
+	}
+	if x.AllocsPerOp == nil || *x.AllocsPerOp != 2 {
+		t.Fatalf("X allocs = %v, want min 2", x.AllocsPerOp)
+	}
+	y := out["BenchmarkY"]
+	if y.AllocsPerOp != nil {
+		t.Fatal("Y has no ReportAllocs: allocs_per_op must stay absent")
+	}
+	if y.Metrics["efficiency"] != 0.5 {
+		t.Fatalf("Y metrics = %v, want efficiency 0.5", y.Metrics)
+	}
+}
+
+func allocs(v float64) *float64 { return &v }
+
+func gateOnce(t *testing.T, base Baseline, text string, maxReg float64) (failed bool, table string) {
+	t.Helper()
+	var sb strings.Builder
+	failed = gateRun(&sb, base, parse(t, text), nil, maxReg)
+	return failed, sb.String()
+}
+
+func TestGateAllocRegression(t *testing.T) {
+	base := Baseline{Benchmarks: map[string]Entry{
+		"BenchmarkX": {NsPerOp: 1000, AllocsPerOp: allocs(10)},
+	}}
+	// Within the percentage: passes even though allocs moved.
+	if failed, out := gateOnce(t, base, "BenchmarkX-4\t100\t1000 ns/op\t11 allocs/op\n", 20); failed {
+		t.Fatalf("11 vs 10 allocs at 20%% failed:\n%s", out)
+	}
+	// Beyond it: fails on allocations alone, ns/op flat.
+	failed, out := gateOnce(t, base, "BenchmarkX-4\t100\t1000 ns/op\t13 allocs/op\n", 20)
+	if !failed || !strings.Contains(out, "ALLOC REGRESSION") {
+		t.Fatalf("13 vs 10 allocs at 20%% passed:\n%s", out)
+	}
+}
+
+func TestGateZeroAllocBaselineIsContract(t *testing.T) {
+	base := Baseline{Benchmarks: map[string]Entry{
+		"BenchmarkHot": {NsPerOp: 50, AllocsPerOp: allocs(0)},
+	}}
+	failed, out := gateOnce(t, base, "BenchmarkHot-4\t100\t50 ns/op\t1 allocs/op\n", 20)
+	if !failed || !strings.Contains(out, "ALLOC REGRESSION") {
+		t.Fatalf("alloc on a zero-alloc baseline passed:\n%s", out)
+	}
+	if failed, out := gateOnce(t, base, "BenchmarkHot-4\t100\t50 ns/op\t0 allocs/op\n", 20); failed {
+		t.Fatalf("zero allocs on zero baseline failed:\n%s", out)
+	}
+}
+
+func TestGateAllocsAbsentFromBaseline(t *testing.T) {
+	// A baseline recorded before a benchmark grew ReportAllocs must not
+	// gate the new counter (nothing to compare against).
+	base := Baseline{Benchmarks: map[string]Entry{
+		"BenchmarkX": {NsPerOp: 1000},
+	}}
+	if failed, out := gateOnce(t, base, "BenchmarkX-4\t100\t1000 ns/op\t99 allocs/op\n", 20); failed {
+		t.Fatalf("allocs without a baseline gated:\n%s", out)
+	}
+}
+
+func TestGateNsRegressionStillFails(t *testing.T) {
+	base := Baseline{Benchmarks: map[string]Entry{
+		"BenchmarkX": {NsPerOp: 1000, AllocsPerOp: allocs(10)},
+	}}
+	failed, out := gateOnce(t, base, "BenchmarkX-4\t100\t1300 ns/op\t10 allocs/op\n", 20)
+	if !failed || !strings.Contains(out, "REGRESSION") {
+		t.Fatalf("30%% ns/op regression passed:\n%s", out)
+	}
+}
