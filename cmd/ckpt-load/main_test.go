@@ -1,0 +1,75 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestLoadSmoke runs the full harness — in-process server (main API +
+// fast path), install phase, open-loop measured phase with skew and
+// cold keys — at a rate small enough for CI, and checks the run's
+// accounting adds up.
+func TestLoadSmoke(t *testing.T) {
+	cfg := config{
+		self:     true,
+		rate:     2000,
+		duration: 500 * time.Millisecond,
+		conns:    2,
+		keys:     16,
+		zipf:     1.1,
+		cold:     0.05,
+		seed:     1,
+		c:        60,
+		mtbf:     3600,
+	}
+	res, err := run(cfg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.completed != 1000 {
+		t.Fatalf("completed = %d, want 1000", res.completed)
+	}
+	if res.ok+res.notFound != res.completed || res.other != 0 {
+		t.Fatalf("accounting: ok %d + cold-miss %d != completed %d (other %d)",
+			res.ok, res.notFound, res.completed, res.other)
+	}
+	if res.notFound == 0 {
+		t.Error("cold fraction 0.05 produced no cold misses")
+	}
+	if res.achieved <= 0 || res.p50 <= 0 || res.p99 < res.p50 || res.max < res.p999 {
+		t.Errorf("implausible stats: achieved %g p50 %v p99 %v p999 %v max %v",
+			res.achieved, res.p50, res.p99, res.p999, res.max)
+	}
+	rep := res.report()
+	for _, want := range []string{"offered", "p50", "p99", "p999", "shed"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+// TestPickKeysDeterministic pins the key sequence to the seed so load
+// runs are reproducible.
+func TestPickKeysDeterministic(t *testing.T) {
+	cfg := config{keys: 32, zipf: 1.3, cold: 0.1, seed: 7}
+	a := pickKeys(cfg, 1000)
+	b := pickKeys(cfg, 1000)
+	cold := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sequence diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+		if a[i] < 0 {
+			cold++
+			if -1-a[i] >= int32(cfg.keys) {
+				t.Fatalf("cold index %d out of range", a[i])
+			}
+		} else if a[i] >= int32(cfg.keys) {
+			t.Fatalf("warm index %d out of range", a[i])
+		}
+	}
+	if cold == 0 || cold > 250 {
+		t.Errorf("cold draws = %d, want roughly 100 of 1000", cold)
+	}
+}

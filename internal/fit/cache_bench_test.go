@@ -1,0 +1,77 @@
+package fit
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// contentionGoroutines is the concurrency level both cache-contention
+// benchmarks run at. GOMAXPROCS is forced up to match for the duration
+// of the benchmark so the goroutines are backed by real OS threads and
+// lock contention is physical even on a small CI box: with fewer
+// threads than goroutines a mutex is almost never held across a
+// preemption point and the single-mutex reference measures its
+// uncontended fast path, which is not the regime the sharded rewrite
+// exists for.
+const contentionGoroutines = 16
+
+// benchCacheHits drives hit-path lookups (the steady state of a
+// long-running scheduling server) from contentionGoroutines goroutines
+// over a pre-fitted key set through any cache with a Fit method.
+func benchCacheHits(b *testing.B, fit func(key string, model Model, data []float64)) {
+	const nkeys = 512
+	keys := make([]string, nkeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("machine%04d", i)
+	}
+	data := cacheTestData
+	for _, k := range keys {
+		fit(k, ModelExponential, data)
+	}
+	prev := runtime.GOMAXPROCS(contentionGoroutines)
+	defer runtime.GOMAXPROCS(prev)
+	var next atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		// Per-goroutine stride offset so the goroutines sweep the key
+		// space out of phase instead of convoying on one entry.
+		i := next.Add(nkeys / 4)
+		for pb.Next() {
+			fit(keys[i%nkeys], ModelExponential, data)
+			i++
+		}
+	})
+}
+
+// BenchmarkFitCacheContention measures the sharded cache's hit-path
+// throughput at 16 goroutines; BENCH gates ns/op and its zero-alloc
+// contract. Compare against BenchmarkFitCacheContentionMutexRef (the
+// retired single-mutex design, kept as a reference implementation):
+// with ≥4 hardware threads the reference's global lock goes contended
+// and the shard rewrite separates by ≥4×, while per-op cost at either
+// concurrency extreme stays at the reference's uncontended fast path
+// (~60 ns on the 1-core 2.1 GHz CI box, where a single hardware
+// thread timeslices the goroutines and no mutex is ever physically
+// contended — both benchmarks measure equal there by construction).
+func BenchmarkFitCacheContention(b *testing.B) {
+	// RunParallel spawns one goroutine per P once GOMAXPROCS is forced
+	// to contentionGoroutines, so no SetParallelism is needed.
+	c := NewCache()
+	benchCacheHits(b, func(key string, model Model, data []float64) {
+		c.Fit(key, model, data)
+	})
+}
+
+// BenchmarkFitCacheContentionMutexRef is the same workload against the
+// single-mutex reference cache. Recorded for the ratio, not gated: the
+// reference never changes, and a heavily contended mutex benchmark is
+// scheduler-noisy by nature.
+func BenchmarkFitCacheContentionMutexRef(b *testing.B) {
+	c := newMutexCache()
+	benchCacheHits(b, func(key string, model Model, data []float64) {
+		c.Fit(key, model, data)
+	})
+}

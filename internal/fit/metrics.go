@@ -15,6 +15,9 @@ var metrics struct {
 	// served from a finished entry, first caller running the fit, or
 	// blocked behind another caller's in-flight fit (single-flight).
 	cacheHits, cacheMisses, cacheWaits *obs.Counter
+	// cacheEvictions counts entries a bounded cache dropped to stay
+	// within its size budget.
+	cacheEvictions *obs.Counter
 }
 
 // Instrument points the package's estimation metrics at r (DESIGN.md
@@ -32,4 +35,6 @@ func Instrument(r *obs.Registry) {
 		"Cache.Fit calls that created the entry and ran the fit.")
 	metrics.cacheWaits = r.Counter("fit_cache_waits_total",
 		"Cache.Fit calls that blocked behind another caller's in-flight fit.")
+	metrics.cacheEvictions = r.Counter("fit_cache_evictions_total",
+		"Finished entries a bounded Cache evicted to stay within MaxEntries.")
 }

@@ -1,0 +1,56 @@
+package fit
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/cycleharvest/ckptsched/internal/dist"
+)
+
+// mutexCache is the pre-sharding Cache kept verbatim as a reference:
+// one global mutex in front of one map, single-flight per entry. The
+// classification test pins the sharded cache's hit/miss/wait partition
+// against this implementation's, and BenchmarkFitCacheContention
+// measures the throughput the sharded rewrite buys over it. Instead of
+// the obs counters it tallies classifications locally so the two
+// implementations can be compared inside one registry-free test.
+type mutexCache struct {
+	mu      sync.Mutex
+	entries map[cacheKey]*cacheEntry
+
+	hits, misses, waits atomic.Uint64
+}
+
+func newMutexCache() *mutexCache {
+	return &mutexCache{entries: make(map[cacheKey]*cacheEntry)}
+}
+
+func (c *mutexCache) Fit(key string, model Model, data []float64) (dist.Distribution, error) {
+	k := cacheKey{key: key, model: model}
+	c.mu.Lock()
+	e, ok := c.entries[k]
+	if !ok {
+		e = &cacheEntry{}
+		c.entries[k] = e
+	}
+	c.mu.Unlock()
+	switch {
+	case !ok:
+		c.misses.Add(1)
+	case e.done.Load():
+		c.hits.Add(1)
+	default:
+		c.waits.Add(1)
+	}
+	e.once.Do(func() {
+		e.d, e.err = Fit(model, data)
+		e.done.Store(true)
+	})
+	return e.d, e.err
+}
+
+func (c *mutexCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// RouteLimit is one route's admission-control policy: at most
+// MaxInFlight requests executing, at most MaxQueued more waiting, and
+// no wait longer than MaxWait. A request that cannot be admitted under
+// those bounds is shed with 429 + Retry-After instead of queued — the
+// bounded queue is what keeps an overloaded server's latency finite.
+//
+// Zero fields select per-route defaults; MaxInFlight < 0 disables
+// admission control for the route entirely.
+type RouteLimit struct {
+	MaxInFlight int
+	MaxQueued   int
+	MaxWait     time.Duration
+}
+
+// withDefaults fills zero fields from d.
+func (l RouteLimit) withDefaults(d RouteLimit) RouteLimit {
+	if l.MaxInFlight == 0 {
+		l.MaxInFlight = d.MaxInFlight
+	}
+	if l.MaxQueued == 0 {
+		l.MaxQueued = d.MaxQueued
+	}
+	if l.MaxWait == 0 {
+		l.MaxWait = d.MaxWait
+	}
+	return l
+}
+
+// limiter enforces one RouteLimit: a channel semaphore for the
+// in-flight bound and an atomic waiter count for the queue bound. The
+// uncontended admit is one non-blocking channel send; the timer and
+// its allocation are paid only by requests that actually queue.
+type limiter struct {
+	sem       chan struct{}
+	queued    atomic.Int64
+	maxQueued int64
+	maxWait   time.Duration
+}
+
+// newLimiter builds a limiter for l, or nil (admit everything) when
+// the route is unlimited.
+func newLimiter(l RouteLimit) *limiter {
+	if l.MaxInFlight < 0 {
+		return nil
+	}
+	return &limiter{
+		sem:       make(chan struct{}, l.MaxInFlight),
+		maxQueued: int64(l.MaxQueued),
+		maxWait:   l.MaxWait,
+	}
+}
+
+// acquire admits the caller or reports that it must be shed. Every
+// true return must be paired with exactly one release.
+func (l *limiter) acquire() bool {
+	if l == nil {
+		return true
+	}
+	select {
+	case l.sem <- struct{}{}:
+		return true
+	default:
+	}
+	if l.maxQueued <= 0 || l.maxWait <= 0 {
+		return false
+	}
+	if l.queued.Add(1) > l.maxQueued {
+		l.queued.Add(-1)
+		return false
+	}
+	defer l.queued.Add(-1)
+	t := time.NewTimer(l.maxWait)
+	defer t.Stop()
+	select {
+	case l.sem <- struct{}{}:
+		return true
+	case <-t.C:
+		return false
+	}
+}
+
+// release returns the caller's in-flight slot.
+func (l *limiter) release() {
+	if l != nil {
+		<-l.sem
+	}
+}

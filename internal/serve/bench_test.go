@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// BenchmarkServeInterval measures the interval hot path through the
+// full handler stack — routing, admission, store probe, quantized
+// lookup, hand-rolled JSON — without the kernel's TCP stack in the
+// way (ckpt-load measures that end to end). BENCH gates ns/op and
+// allocs/op; the alloc budget is what keeps the hot path honest, since
+// one stray fmt.Sprintf or url.Values would show up immediately.
+func BenchmarkServeInterval(b *testing.B) {
+	s := New(Options{})
+	const nkeys = 64
+	for i := 0; i < nkeys; i++ {
+		w := postJSON2(s, "/v1/schedule", scheduleRequest{
+			Key: fmt.Sprintf("machine%03d", i), Model: "exp",
+			Params: []float64{1.0 / 3600}, C: 60,
+		})
+		if w.Code != http.StatusOK {
+			b.Fatalf("schedule %d = %d, body %s", i, w.Code, w.Body)
+		}
+	}
+	reqs := make([]*http.Request, nkeys)
+	for i := range reqs {
+		reqs[i] = httptest.NewRequest(http.MethodGet,
+			fmt.Sprintf("/v1/schedule/machine%03d/interval?age=120.5", i), nil)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		w := &nopResponseWriter{h: make(http.Header)}
+		i := 0
+		for pb.Next() {
+			s.ServeHTTP(w, reqs[i%nkeys])
+			i++
+		}
+	})
+}
+
+// postJSON2 is the benchmark-side POST helper (no *testing.T).
+func postJSON2(h http.Handler, path string, body any) *httptest.ResponseRecorder {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(body); err != nil {
+		panic(err)
+	}
+	w := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, path, &buf)
+	h.ServeHTTP(w, req)
+	return w
+}
+
+// nopResponseWriter discards the response so the benchmark measures
+// the handler, not httptest.ResponseRecorder's buffer growth.
+type nopResponseWriter struct{ h http.Header }
+
+func (w *nopResponseWriter) Header() http.Header         { return w.h }
+func (w *nopResponseWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (w *nopResponseWriter) WriteHeader(int)             {}

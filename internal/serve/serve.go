@@ -1,0 +1,636 @@
+// Package serve exposes the fit→optimize→schedule pipeline as a
+// long-running HTTP JSON service — the "schedule as a service" layer
+// (DESIGN.md §15) that turns the one-shot CLI pipeline into something
+// a fleet can query at rate.
+//
+// Routes:
+//
+//	POST /v1/fit                          fit a model family to a history (memoized per key)
+//	POST /v1/schedule                     fit (or take params) and build a checkpoint schedule
+//	GET  /v1/schedule/{key}               the stored schedule, in full
+//	GET  /v1/schedule/{key}/interval?age= the O(1) interval lookup — the hot path
+//	GET  /healthz, /metrics, /debug/vars, /debug/trace/snapshot
+//
+// Three layers make it sustain load (cmd/ckpt-load drives ≥100k
+// lookups/sec against one process):
+//
+//   - Sharded state. Fits go through the sharded single-flight
+//     fit.Cache; schedules live in an equally sharded store whose
+//     entries coalesce concurrent builders, so a thundering herd for
+//     one cold key does the expensive work exactly once.
+//
+//   - Admission control. Each route has a bounded in-flight limit and
+//     a bounded, deadline-capped wait queue; what doesn't fit is shed
+//     with 429 + Retry-After rather than queued without bound, so
+//     overload degrades throughput, not latency.
+//
+//   - An allocation-lean hot path. The interval route parses its own
+//     query string, reuses the schedule's quantized O(1) lookup with a
+//     shared position hint, and renders its response into a stack
+//     buffer — no encoding/json, no url.Values.
+//
+// Graceful drain: Running.Shutdown stops the listener, lets in-flight
+// requests finish, and returns once the serve goroutine has exited.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/cycleharvest/ckptsched/internal/cliflag"
+	"github.com/cycleharvest/ckptsched/internal/core"
+	"github.com/cycleharvest/ckptsched/internal/dist"
+	"github.com/cycleharvest/ckptsched/internal/fit"
+	"github.com/cycleharvest/ckptsched/internal/markov"
+	"github.com/cycleharvest/ckptsched/internal/obs"
+)
+
+// Options configures a Server. The zero value is serviceable: no
+// metrics, no tracing, host-sized sharding, bounded stores, default
+// admission limits.
+type Options struct {
+	// Registry receives the serve_* metrics (DESIGN.md §15); nil turns
+	// instrumentation off. The caller wires fit.Instrument and
+	// markov.Instrument separately if it wants those layers observed.
+	Registry *obs.Registry
+	// Tracer records fit/schedule request spans and shed events on the
+	// serve lane (pid 2). The interval hot path is deliberately
+	// untraced. Nil disables tracing.
+	Tracer *obs.Tracer
+	// FitCache is the shared fit memo; nil builds a bounded sharded
+	// cache (MaxFits entries).
+	FitCache *fit.Cache
+	// MaxFits bounds the default fit cache; 0 means 131072 entries.
+	// Ignored when FitCache is supplied.
+	MaxFits int
+	// MaxSchedules bounds the schedule store; 0 means 65536, negative
+	// means unbounded.
+	MaxSchedules int
+	// MaxBody caps request bodies in bytes; 0 means 8 MiB.
+	MaxBody int64
+	// Fit, Schedule, Interval are the per-route admission policies.
+	// Zero fields take defaults: fits and schedule builds admit
+	// 2×GOMAXPROCS with a 64-deep, 250 ms queue; interval lookups
+	// admit 256 with a 1024-deep, 5 ms queue.
+	Fit, Schedule, Interval RouteLimit
+	// RetryAfter is the advisory Retry-After on 429 responses,
+	// rounded up to whole seconds; 0 means 1 s.
+	RetryAfter time.Duration
+}
+
+// Server routes and serves the scheduling API. Build with New; it is
+// an http.Handler, so it can be mounted under a caller's server or run
+// with Start.
+type Server struct {
+	opts                          Options
+	fits                          *fit.Cache
+	store                         *scheduleStore
+	m                             serveMetrics
+	limFit, limSched, limInterval *limiter
+	retryAfterSec                 string
+
+	// hookAdmitted, when set (tests only), runs after a request passes
+	// admission for the named route — the seam the overload and drain
+	// tests use to hold a request in flight deterministically.
+	hookAdmitted func(route string)
+}
+
+// servePid is the trace lane (DESIGN.md §12) for request spans.
+const servePid = 2
+
+// New builds a Server from opts.
+func New(opts Options) *Server {
+	s := &Server{opts: opts}
+	s.m.register(opts.Registry)
+	s.fits = opts.FitCache
+	if s.fits == nil {
+		maxFits := opts.MaxFits
+		if maxFits == 0 {
+			maxFits = 1 << 17
+		}
+		s.fits = fit.NewCacheOpts(fit.CacheOptions{MaxEntries: maxFits})
+	}
+	maxSched := opts.MaxSchedules
+	if maxSched == 0 {
+		maxSched = 1 << 16
+	}
+	if maxSched < 0 {
+		maxSched = 0
+	}
+	s.store = newScheduleStore(shardDefault(), maxSched, &s.m)
+
+	heavy := RouteLimit{MaxInFlight: 2 * runtime.GOMAXPROCS(0), MaxQueued: 64, MaxWait: 250 * time.Millisecond}
+	s.limFit = newLimiter(opts.Fit.withDefaults(heavy))
+	s.limSched = newLimiter(opts.Schedule.withDefaults(heavy))
+	s.limInterval = newLimiter(opts.Interval.withDefaults(
+		RouteLimit{MaxInFlight: 256, MaxQueued: 1024, MaxWait: 5 * time.Millisecond}))
+
+	ra := opts.RetryAfter
+	if ra <= 0 {
+		ra = time.Second
+	}
+	s.retryAfterSec = strconv.Itoa(int((ra + time.Second - 1) / time.Second))
+	return s
+}
+
+// shardDefault sizes the schedule store's shard count like the fit
+// cache does: 8 lock domains per P, clamped to [8, 512].
+func shardDefault() int {
+	n := 8 * runtime.GOMAXPROCS(0)
+	if n < 8 {
+		n = 8
+	}
+	if n > 512 {
+		n = 512
+	}
+	return n
+}
+
+// FitCache returns the server's fit memo (for preloading).
+func (s *Server) FitCache() *fit.Cache { return s.fits }
+
+// Schedules reports how many schedules are resident.
+func (s *Server) Schedules() int { return s.store.len() }
+
+// ServeHTTP routes requests. The interval route is matched by hand —
+// not via http.ServeMux patterns — because mux wildcard matching
+// allocates per request and this path is the one that runs a hundred
+// thousand times a second.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.m.requests.Inc()
+	s.m.inflight.Add(1)
+	defer s.m.inflight.Add(-1)
+	path := r.URL.Path
+	if strings.HasPrefix(path, "/v1/schedule/") {
+		rest := path[len("/v1/schedule/"):]
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			if rest[i+1:] == "interval" && i > 0 {
+				s.handleInterval(w, r, rest[:i])
+				return
+			}
+		} else if rest != "" {
+			s.handleGetSchedule(w, r, rest)
+			return
+		}
+		s.errorf(w, http.StatusNotFound, "no such route")
+		return
+	}
+	switch path {
+	case "/v1/fit":
+		s.handleFit(w, r)
+	case "/v1/schedule":
+		s.handleSchedule(w, r)
+	case "/healthz":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	case "/metrics":
+		s.opts.Registry.Handler().ServeHTTP(w, r)
+	case "/debug/vars":
+		expvar.Handler().ServeHTTP(w, r)
+	case "/debug/trace/snapshot":
+		if s.opts.Tracer == nil {
+			s.errorf(w, http.StatusNotFound, "tracing is not enabled")
+			return
+		}
+		s.opts.Tracer.SnapshotHandler().ServeHTTP(w, r)
+	default:
+		s.errorf(w, http.StatusNotFound, "no such route")
+	}
+}
+
+// errorf writes a JSON error body with the given status.
+func (s *Server) errorf(w http.ResponseWriter, status int, format string, args ...any) {
+	s.m.errors.Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	msg, _ := json.Marshal(fmt.Sprintf(format, args...))
+	fmt.Fprintf(w, `{"error":%s}`+"\n", msg)
+}
+
+// shed answers 429 with the advisory Retry-After — admission control
+// turned the request away to keep the queues bounded.
+func (s *Server) shed(w http.ResponseWriter, route string) {
+	s.m.shed.Inc()
+	if t := s.opts.Tracer; t != nil {
+		t.Event(servePid, 1, "serve.shed", obs.AttrStr("route", route))
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("Retry-After", s.retryAfterSec)
+	w.WriteHeader(http.StatusTooManyRequests)
+	io.WriteString(w, `{"error":"overloaded; retry after the indicated delay"}`+"\n")
+}
+
+// decodeBody decodes a JSON request body into dst, bounding its size.
+func (s *Server) decodeBody(r *http.Request, dst any) error {
+	maxBody := s.opts.MaxBody
+	if maxBody <= 0 {
+		maxBody = 8 << 20
+	}
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBody+1))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("body: %w", err)
+	}
+	return nil
+}
+
+// fieldErr labels a request-field failure the way cliflag does, so the
+// joined 400 body names every bad field at once.
+func fieldErr(ck *cliflag.Checker, field, msg string) {
+	ck.Check(field, errors.New(msg))
+}
+
+type fitRequest struct {
+	Key   string    `json:"key"`
+	Model string    `json:"model"`
+	Data  []float64 `json:"data"`
+}
+
+type fitResponse struct {
+	Key    string    `json:"key"`
+	Model  string    `json:"model"`
+	Params []float64 `json:"params"`
+	N      int       `json:"n"`
+}
+
+func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
+	s.m.fitReqs.Inc()
+	if r.Method != http.MethodPost {
+		s.errorf(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if !s.limFit.acquire() {
+		s.shed(w, "fit")
+		return
+	}
+	defer s.limFit.release()
+	if s.hookAdmitted != nil {
+		s.hookAdmitted("fit")
+	}
+	start := time.Now()
+	var sp *obs.Span
+	if t := s.opts.Tracer; t != nil {
+		sp = t.StartSpan(servePid, 1, "serve.fit")
+		defer sp.End()
+	}
+
+	var req fitRequest
+	if err := s.decodeBody(r, &req); err != nil {
+		s.errorf(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var ck cliflag.Checker
+	if req.Key == "" {
+		fieldErr(&ck, "key", "must be non-empty")
+	}
+	model, err := fit.ParseModel(req.Model)
+	ck.Check("model", err)
+	if len(req.Data) == 0 {
+		fieldErr(&ck, "data", "must be non-empty")
+	}
+	if err := ck.Err(); err != nil {
+		s.errorf(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sp.SetAttr(obs.AttrStr("key", req.Key), obs.AttrStr("model", req.Model))
+
+	d, err := s.fits.Fit(req.Key, model, req.Data)
+	switch {
+	case errors.Is(err, fit.ErrKeyReuse):
+		s.errorf(w, http.StatusConflict, "%v", err)
+		return
+	case err != nil:
+		s.errorf(w, http.StatusUnprocessableEntity, "fit: %v", err)
+		return
+	}
+	_, params, err := core.ParamsOf(d)
+	if err != nil {
+		s.errorf(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.writeJSON(w, fitResponse{Key: req.Key, Model: model.String(), Params: params, N: len(req.Data)})
+	s.m.fitLat.Observe(time.Since(start).Seconds())
+}
+
+type scheduleRequest struct {
+	Key    string    `json:"key"`
+	Model  string    `json:"model"`
+	Data   []float64 `json:"data,omitempty"`
+	Params []float64 `json:"params,omitempty"`
+	// C and R are the overhead costs in seconds; omit R (or send -1)
+	// for the paper's R = C convention.
+	C float64  `json:"c"`
+	R *float64 `json:"r,omitempty"`
+	// Telapsed is how long the resource has already been available.
+	Telapsed float64 `json:"telapsed"`
+	// Horizon and MaxIntervals bound the plan (markov defaults apply
+	// when zero).
+	Horizon      float64 `json:"horizon"`
+	MaxIntervals int     `json:"max_intervals"`
+	// Replace rebuilds even if the key already has a schedule;
+	// otherwise a POST for a stored key returns it (coalesced).
+	Replace bool `json:"replace"`
+}
+
+type scheduleResponse struct {
+	Key       string  `json:"key"`
+	Model     string  `json:"model,omitempty"`
+	Intervals int     `json:"intervals"`
+	Horizon   float64 `json:"horizon"`
+	T0        float64 `json:"t0"`
+	Cached    bool    `json:"cached"`
+}
+
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	s.m.schedReqs.Inc()
+	if r.Method != http.MethodPost {
+		s.errorf(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if !s.limSched.acquire() {
+		s.shed(w, "schedule")
+		return
+	}
+	defer s.limSched.release()
+	if s.hookAdmitted != nil {
+		s.hookAdmitted("schedule")
+	}
+	start := time.Now()
+	var sp *obs.Span
+	if t := s.opts.Tracer; t != nil {
+		sp = t.StartSpan(servePid, 1, "serve.schedule")
+		defer sp.End()
+	}
+
+	var req scheduleRequest
+	if err := s.decodeBody(r, &req); err != nil {
+		s.errorf(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var ck cliflag.Checker
+	if req.Key == "" {
+		fieldErr(&ck, "key", "must be non-empty")
+	}
+	model, err := fit.ParseModel(req.Model)
+	ck.Check("model", err)
+	switch {
+	case len(req.Data) == 0 && len(req.Params) == 0:
+		fieldErr(&ck, "data", "need data (a history to fit) or params (an explicit distribution)")
+	case len(req.Data) > 0 && len(req.Params) > 0:
+		fieldErr(&ck, "data", "data and params are mutually exclusive")
+	}
+	ck.NonNegative("c", req.C)
+	// A missing or negative r selects the paper's R = C convention, so
+	// the only thing to validate is finiteness — and JSON cannot carry
+	// NaN or ±Inf, so there is nothing left to reject.
+	rCost := -1.0
+	if req.R != nil {
+		rCost = *req.R
+	}
+	ck.NonNegative("telapsed", req.Telapsed)
+	ck.NonNegative("horizon", req.Horizon)
+	ck.NonNegativeInt("max_intervals", req.MaxIntervals)
+	if err := ck.Err(); err != nil {
+		s.errorf(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	costs, err := markov.NewCosts(req.C, rCost, -1)
+	if err != nil {
+		s.errorf(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sp.SetAttr(obs.AttrStr("key", req.Key), obs.AttrStr("model", req.Model))
+
+	e, created := s.store.create(req.Key, req.Replace)
+	if !created {
+		// Coalesce: join the stored (or in-flight) build.
+		s.m.coalesced.Inc()
+		e.wait()
+		if e.err != nil {
+			s.errorf(w, http.StatusUnprocessableEntity, "schedule: %v", e.err)
+			return
+		}
+		s.respondSchedule(w, req.Key, "", e.sched, true)
+		s.m.schedLat.Observe(time.Since(start).Seconds())
+		return
+	}
+
+	sched, err := s.buildSchedule(req, model, costs)
+	s.store.complete(e, sched, err)
+	if err != nil {
+		s.errorf(w, http.StatusUnprocessableEntity, "schedule: %v", err)
+		return
+	}
+	s.respondSchedule(w, req.Key, model.String(), sched, false)
+	s.m.schedLat.Observe(time.Since(start).Seconds())
+}
+
+// buildSchedule resolves the availability distribution (explicit
+// params, or a cached fit of the posted history) and plans from it.
+func (s *Server) buildSchedule(req scheduleRequest, model fit.Model, costs markov.Costs) (*markov.Schedule, error) {
+	var d dist.Distribution
+	var err error
+	if len(req.Params) > 0 {
+		d, err = core.DistFromParams(model, req.Params)
+	} else {
+		d, err = s.fits.Fit(req.Key, model, req.Data)
+	}
+	if err != nil {
+		return nil, err
+	}
+	m := markov.Model{Avail: d, Costs: costs}
+	return m.BuildSchedule(req.Telapsed, markov.ScheduleOptions{
+		Horizon:      req.Horizon,
+		MaxIntervals: req.MaxIntervals,
+	})
+}
+
+func (s *Server) respondSchedule(w http.ResponseWriter, key, model string, sched *markov.Schedule, cached bool) {
+	resp := scheduleResponse{
+		Key:       key,
+		Model:     model,
+		Intervals: sched.Len(),
+		Horizon:   sched.Horizon(),
+		Cached:    cached,
+	}
+	if sched.Len() > 0 {
+		resp.T0 = sched.Intervals[0]
+	}
+	s.writeJSON(w, resp)
+}
+
+type scheduleDoc struct {
+	Key       string       `json:"key"`
+	Costs     markov.Costs `json:"costs"`
+	Intervals []float64    `json:"intervals"`
+	Ages      []float64    `json:"ages"`
+	Ratios    []float64    `json:"ratios"`
+}
+
+func (s *Server) handleGetSchedule(w http.ResponseWriter, r *http.Request, key string) {
+	if r.Method != http.MethodGet {
+		s.errorf(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	e := s.store.get(key)
+	if e == nil {
+		s.errorf(w, http.StatusNotFound, "no schedule for key %q", key)
+		return
+	}
+	e.wait()
+	if e.err != nil {
+		s.errorf(w, http.StatusUnprocessableEntity, "schedule: %v", e.err)
+		return
+	}
+	s.writeJSON(w, scheduleDoc{
+		Key:       key,
+		Costs:     e.sched.Costs,
+		Intervals: e.sched.Intervals,
+		Ages:      e.sched.Ages,
+		Ratios:    e.sched.Ratios,
+	})
+}
+
+// handleInterval is the hot path: an O(1) quantized schedule lookup
+// rendered without encoding/json or url.Values.
+func (s *Server) handleInterval(w http.ResponseWriter, r *http.Request, key string) {
+	start := time.Now()
+	s.m.intervalReqs.Inc()
+	if r.Method != http.MethodGet {
+		s.errorf(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	if !s.limInterval.acquire() {
+		s.shed(w, "interval")
+		return
+	}
+	defer s.limInterval.release()
+	if s.hookAdmitted != nil {
+		s.hookAdmitted("interval")
+	}
+	age, ok := ageFromQuery(r.URL.RawQuery)
+	if !ok {
+		s.errorf(w, http.StatusBadRequest, "age: must be a finite number ≥ 0")
+		return
+	}
+	e := s.store.get(key)
+	if e == nil {
+		s.errorf(w, http.StatusNotFound, "no schedule for key %q", key)
+		return
+	}
+	e.wait()
+	if e.err != nil {
+		s.errorf(w, http.StatusUnprocessableEntity, "schedule: %v", e.err)
+		return
+	}
+	T, idx, extended, ok := e.sched.LookupFrom(age, int(e.hint.Load()))
+	if !ok {
+		s.errorf(w, http.StatusUnprocessableEntity, "schedule for %q is empty", key)
+		return
+	}
+	e.hint.Store(int32(idx))
+
+	var buf [96]byte
+	b := append(buf[:0], `{"t":`...)
+	b = strconv.AppendFloat(b, T, 'g', -1, 64)
+	b = append(b, `,"index":`...)
+	b = strconv.AppendInt(b, int64(idx), 10)
+	if extended {
+		b = append(b, `,"extended":true}`...)
+	} else {
+		b = append(b, `,"extended":false}`...)
+	}
+	b = append(b, '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b)
+	s.m.intervalLat.Observe(time.Since(start).Seconds())
+}
+
+// ageFromQuery extracts the age parameter from a raw query string.
+// Absent age means 0 (a fresh resource); a malformed, negative, or
+// non-finite age is rejected.
+func ageFromQuery(q string) (float64, bool) {
+	for len(q) > 0 {
+		kv := q
+		if i := strings.IndexByte(q, '&'); i >= 0 {
+			kv, q = q[:i], q[i+1:]
+		} else {
+			q = ""
+		}
+		if strings.HasPrefix(kv, "age=") {
+			v, err := strconv.ParseFloat(kv[len("age="):], 64)
+			if err != nil || math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return 0, false
+			}
+			return v, true
+		}
+	}
+	return 0, true
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		// The header is out; nothing useful left to do.
+		_ = err
+	}
+}
+
+// Running is a live listener serving a Server, with graceful drain.
+type Running struct {
+	srv  *http.Server
+	ln   net.Listener
+	done chan struct{}
+}
+
+// Start binds addr (":0" for an ephemeral port) and serves s on it.
+func (s *Server) Start(addr string) (*Running, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	rn := &Running{
+		srv: &http.Server{
+			Handler: s,
+			// Slowloris guard; generous because ckpt-load batches.
+			ReadHeaderTimeout: 30 * time.Second,
+			IdleTimeout:       2 * time.Minute,
+		},
+		ln:   ln,
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(rn.done)
+		if err := rn.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			// Serve only fails this way on a broken listener; the next
+			// Shutdown returns the real story.
+			_ = err
+		}
+	}()
+	return rn, nil
+}
+
+// Addr is the bound listen address.
+func (rn *Running) Addr() net.Addr { return rn.ln.Addr() }
+
+// Shutdown gracefully drains: no new connections, in-flight requests
+// run to completion (until ctx expires), and the serve goroutine has
+// exited by the time it returns.
+func (rn *Running) Shutdown(ctx context.Context) error {
+	err := rn.srv.Shutdown(ctx)
+	<-rn.done
+	return err
+}
