@@ -5,10 +5,11 @@
 //
 // Usage:
 //
-//	ckpt-experiments [-run all|table1|table2|table3|table4|table5|figure3|figure4|validate|chaos|predict] \
+//	ckpt-experiments [-run all|table1|table2|table3|table4|table5|figure3|figure4|validate|chaos|predict|delta] \
 //	    [-machines 80] [-months 18] [-samples 85] [-seed 2005] [-trace out.json] \
 //	    [-chaos-tear 0.10] [-chaos-stall 0.05] [-chaos-stall-sec 30] [-chaos-outage 0.10] \
-//	    [-predict-precision 0.85] [-predict-recall 0.8] [-predict-lead 240] [-policy migrate]
+//	    [-predict-precision 0.85] [-predict-recall 0.8] [-predict-lead 240] [-policy migrate] \
+//	    [-delta-dirty-rate 0.001]
 //
 // Results print to stdout in the paper's layouts. -trace writes a
 // Chrome-trace (Perfetto-loadable) timeline of every live-campaign
@@ -53,10 +54,11 @@ type options struct {
 	faults      ckptnet.LinkFaultConfig
 	predict     predict.Config
 	policy      predict.Policy
+	dirtyRate   float64
 }
 
 func main() {
-	run := flag.String("run", "all", "experiment to run: all, table1, table2, table3, table4, table5, figure3, figure4, validate, censoring, sensitivity, chaos, predict")
+	run := flag.String("run", "all", "experiment to run: all, table1, table2, table3, table4, table5, figure3, figure4, validate, censoring, sensitivity, chaos, predict, delta")
 	machines := flag.Int("machines", 80, "synthetic pool size")
 	months := flag.Float64("months", 18, "monitor campaign length (30-day months)")
 	samples := flag.Int("samples", 85, "live-experiment samples per model")
@@ -72,6 +74,7 @@ func main() {
 	predPrecision := flag.Float64("predict-precision", 0.85, "fault predictor precision (fraction of alarms that are true)")
 	predRecall := flag.Float64("predict-recall", 0.8, "fault predictor recall (fraction of failures predicted)")
 	predLead := flag.Float64("predict-lead", 240, "fault predictor lead time before failure, seconds")
+	dirtyRate := flag.Float64("delta-dirty-rate", 0.001, "delta: per-chunk dirtying rate, 1/seconds")
 	policy := flag.String("policy", "migrate", "prediction policy for the chaos experiment: reactive, proactive, migrate")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -98,6 +101,7 @@ func main() {
 			Recall:    *predRecall,
 			LeadSec:   *predLead,
 		},
+		dirtyRate: *dirtyRate,
 	}
 	if *chaos {
 		opts.which = "chaos"
@@ -113,6 +117,7 @@ func main() {
 	check.NonNegative("-chaos-stall-sec", opts.faults.StallSec)
 	check.Probability("-chaos-outage", opts.faults.OutageProb)
 	check.Check("-predict-precision/-predict-recall/-predict-lead", opts.predict.Validate())
+	check.Positive("-delta-dirty-rate", opts.dirtyRate)
 	pol, perr := predict.ParsePolicy(*policy)
 	check.Check("-policy", perr)
 	opts.policy = pol
@@ -215,7 +220,7 @@ func runExperiments(opts options) error {
 		return false
 	}
 
-	needWorkload := want("table1", "table3", "figure3", "figure4", "table4", "table5", "validate", "chaos")
+	needWorkload := want("table1", "table3", "figure3", "figure4", "table4", "table5", "validate", "chaos", "delta")
 	var w *experiments.Workload
 	if needWorkload {
 		start := time.Now()
@@ -320,6 +325,21 @@ func runExperiments(opts options) error {
 			return err
 		}
 		fmt.Println(experiments.RenderChaos(res))
+	}
+
+	if want("delta") {
+		res, err := experiments.RunDelta(experiments.DeltaConfig{
+			Workload:     w,
+			Link:         ckptnet.CampusLink(),
+			DirtyRate:    opts.dirtyRate,
+			Seed:         seed + 8,
+			Tracer:       tracer,
+			TracePidBase: traceBase(3),
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderDelta(res))
 	}
 
 	if want("predict") {

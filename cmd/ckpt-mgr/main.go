@@ -45,6 +45,7 @@ import (
 	"github.com/cycleharvest/ckptsched/internal/ckptnet"
 	"github.com/cycleharvest/ckptsched/internal/core"
 	"github.com/cycleharvest/ckptsched/internal/fit"
+	"github.com/cycleharvest/ckptsched/internal/imagestore"
 	"github.com/cycleharvest/ckptsched/internal/obs"
 	"github.com/cycleharvest/ckptsched/internal/trace"
 )
@@ -78,6 +79,7 @@ func main() {
 		reg = obs.NewRegistry()
 		opts.Metrics = reg
 		fit.Instrument(reg)
+		imagestore.Instrument(reg)
 		if expvar.Get("ckptsched") == nil {
 			obs.PublishExpvar("ckptsched", reg)
 		}

@@ -7,14 +7,18 @@
 //
 //	ckpt-proc -addr 127.0.0.1:7419 -job desktop0001/1 [-telapsed 0] \
 //	    [-scale 1] [-intervals 0] [-lifetime 0] \
-//	    [-retries 1] [-backoff 200ms] [-frame-timeout 0]
+//	    [-retries 1] [-backoff 200ms] [-frame-timeout 0] \
+//	    [-delta] [-delta-dirty-rate 0.002] [-delta-chunk-kb 64] [-delta-compress]
 //
 // -scale compresses virtual time (0.001 → a 10 s heartbeat every
 // 10 ms). -intervals stops voluntarily after N checkpoints; -lifetime
 // kills the process after that many wall seconds, emulating an
 // eviction. -retries enables session-level recovery from transport
 // failures: the process reconnects with exponential backoff and
-// resumes from the manager's last good checkpoint image.
+// resumes from the manager's last good checkpoint image. -delta
+// switches to content-addressed checkpoints (DESIGN.md §16): the
+// first checkpoint ships the full image, later ones only the chunks
+// dirtied since the last commit.
 package main
 
 import (
@@ -37,6 +41,10 @@ func main() {
 	retries := flag.Int("retries", 1, "total session attempts on transport failure (1 = fail fast)")
 	backoff := flag.Duration("backoff", 200*time.Millisecond, "base delay before the first session retry")
 	frameTO := flag.Duration("frame-timeout", 0, "per-frame read deadline (0 = derive from the heartbeat cadence)")
+	delta := flag.Bool("delta", false, "content-addressed checkpoints: full image first, dirty-chunk deltas afterwards")
+	dirtyRate := flag.Float64("delta-dirty-rate", 0.002, "delta: per-chunk dirtying rate, 1/virtual-second")
+	chunkKB := flag.Int("delta-chunk-kb", 64, "delta: dedup chunk size, KiB")
+	compress := flag.Bool("delta-compress", false, "delta: DEFLATE payloads when that shrinks them")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -56,6 +64,13 @@ func main() {
 	if *retries > 1 {
 		cfg.Retry = ckptnet.RetryPolicy{MaxAttempts: *retries, BackoffBase: *backoff}
 	}
+	if *delta {
+		cfg.Delta = &ckptnet.DeltaConfig{
+			ChunkSize: *chunkKB << 10,
+			DirtyRate: *dirtyRate,
+			Compress:  *compress,
+		}
+	}
 	rep, err := ckptnet.RunProcess(ctx, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ckpt-proc:", err)
@@ -71,6 +86,10 @@ func main() {
 		fmt.Println()
 	}
 	fmt.Printf("work performed:   %.1f virtual s over %d heartbeats\n", rep.WorkSec, rep.Heartbeats)
+	if *delta {
+		fmt.Printf("delta transfers:  %d of %d checkpoints as deltas, %.1f MB on the wire\n",
+			rep.DeltaCheckpoints, len(rep.CheckpointSecs), float64(rep.WireBytes)/ckptnet.MB)
+	}
 	if rep.Retries+rep.CkptRetries+rep.TornFrames+rep.Fallbacks > 0 {
 		fmt.Printf("resilience:       %d session retries, %d checkpoint retransmits, %d torn frames, %d fallback intervals\n",
 			rep.Retries, rep.CkptRetries, rep.TornFrames, rep.Fallbacks)

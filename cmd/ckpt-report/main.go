@@ -69,8 +69,8 @@ func run(path string, perSession bool) error {
 	}
 
 	if perSession {
-		fmt.Printf("%-24s %-12s %10s %10s %10s %8s %8s %8s %6s %6s\n",
-			"job", "model", "wall s", "work s", "ratio", "ckpts", "MB", "retries", "torn", "fback")
+		fmt.Printf("%-24s %-12s %10s %10s %10s %8s %6s %8s %8s %6s %6s\n",
+			"job", "model", "wall s", "work s", "ratio", "ckpts", "delta", "wire MB", "retries", "torn", "fback")
 		for _, s := range sessions {
 			sum := s.Summarize()
 			wall := s.WallSeconds()
@@ -78,9 +78,9 @@ func run(path string, perSession bool) error {
 			if wall > 0 {
 				ratio = sum.LastHeartbeat / wall
 			}
-			fmt.Printf("%-24s %-12s %10.1f %10.1f %10.3f %8d %8.1f %8d %6d %6d\n",
+			fmt.Printf("%-24s %-12s %10.1f %10.1f %10.3f %8d %6d %8.1f %8d %6d %6d\n",
 				s.JobID, s.Model, wall, sum.LastHeartbeat, ratio,
-				sum.Checkpoints, float64(sum.BytesMoved)/ckptnet.MB,
+				sum.Checkpoints, sum.DeltaCheckpoints, float64(sum.BytesMoved)/ckptnet.MB,
 				sum.Retries, sum.TornFrames, sum.Fallbacks)
 		}
 		fmt.Println()
@@ -89,7 +89,7 @@ func run(path string, perSession bool) error {
 	type agg struct {
 		wall, work               float64
 		bytes                    int64
-		ckpts, n                 int
+		ckpts, deltas, n         int
 		retries, torn, fallbacks int
 	}
 	byModel := make(map[fit.Model]*agg)
@@ -104,13 +104,14 @@ func run(path string, perSession bool) error {
 		a.work += sum.LastHeartbeat
 		a.bytes += sum.BytesMoved
 		a.ckpts += sum.Checkpoints
+		a.deltas += sum.DeltaCheckpoints
 		a.retries += sum.Retries
 		a.torn += sum.TornFrames
 		a.fallbacks += sum.Fallbacks
 		a.n++
 	}
-	fmt.Printf("%-12s %8s %12s %12s %10s %10s %8s %6s %6s\n",
-		"model", "sessions", "wall s", "work s", "ratio", "MB", "retries", "torn", "fback")
+	fmt.Printf("%-12s %8s %12s %12s %10s %6s %10s %8s %6s %6s\n",
+		"model", "sessions", "wall s", "work s", "ratio", "delta", "wire MB", "retries", "torn", "fback")
 	for _, m := range fit.Models {
 		a, ok := byModel[m]
 		if !ok {
@@ -120,8 +121,8 @@ func run(path string, perSession bool) error {
 		if a.wall > 0 {
 			ratio = a.work / a.wall
 		}
-		fmt.Printf("%-12s %8d %12.1f %12.1f %10.3f %10.1f %8d %6d %6d\n",
-			m, a.n, a.wall, a.work, ratio, float64(a.bytes)/ckptnet.MB,
+		fmt.Printf("%-12s %8d %12.1f %12.1f %10.3f %6d %10.1f %8d %6d %6d\n",
+			m, a.n, a.wall, a.work, ratio, a.deltas, float64(a.bytes)/ckptnet.MB,
 			a.retries, a.torn, a.fallbacks)
 	}
 	return nil

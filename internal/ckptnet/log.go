@@ -33,6 +33,10 @@ const (
 	// fresh T_opt — it fell back to its last assigned schedule or the
 	// conservative default (value = the interval used).
 	EvFallback
+	// EvDeltaCheckpointDone marks a committed content-addressed delta
+	// checkpoint (value = payload bytes that crossed the wire, which is
+	// legitimately 0 for a fully deduped image).
+	EvDeltaCheckpointDone
 
 	// evKindEnd is one past the last kind (keeps the serialization
 	// table in logio.go complete).
@@ -63,6 +67,8 @@ func (k EventKind) String() string {
 		return "torn-frame"
 	case EvFallback:
 		return "fallback"
+	case EvDeltaCheckpointDone:
+		return "delta-checkpoint-done"
 	}
 	return fmt.Sprintf("event(%d)", int(k))
 }
@@ -149,6 +155,10 @@ type Summary struct {
 	TornFrames int
 	// Fallbacks counts intervals scheduled on a fallback T_opt.
 	Fallbacks int
+	// DeltaCheckpoints counts checkpoints committed as content-addressed
+	// deltas (included in Checkpoints; their wire bytes — often a small
+	// fraction of the image — are what BytesMoved accumulates for them).
+	DeltaCheckpoints int
 }
 
 // Summarize computes the Summary of the log.
@@ -159,11 +169,27 @@ func (l *SessionLog) Summarize() Summary {
 	for _, e := range l.Events {
 		switch e.Kind {
 		case EvRecoveryDone:
+			// Value is the wire byte count for content-mode transfers;
+			// legacy events carry 0 and bill the assigned image size.
 			s.Recoveries++
-			s.BytesMoved += l.CheckpointBytes
+			if e.Value > 0 {
+				s.BytesMoved += int64(e.Value)
+			} else {
+				s.BytesMoved += l.CheckpointBytes
+			}
 		case EvCheckpointDone:
 			s.Checkpoints++
-			s.BytesMoved += l.CheckpointBytes
+			if e.Value > 0 {
+				s.BytesMoved += int64(e.Value)
+			} else {
+				s.BytesMoved += l.CheckpointBytes
+			}
+		case EvDeltaCheckpointDone:
+			// Delta wire bytes are exact, including a legitimate 0 for a
+			// fully deduped image.
+			s.Checkpoints++
+			s.DeltaCheckpoints++
+			s.BytesMoved += int64(e.Value)
 		case EvRecoveryInterrupted, EvCheckpointInterrupted:
 			s.Interrupted++
 			s.BytesMoved += int64(e.Value)

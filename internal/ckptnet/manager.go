@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/cycleharvest/ckptsched/internal/fit"
+	"github.com/cycleharvest/ckptsched/internal/imagestore"
 	"github.com/cycleharvest/ckptsched/internal/obs"
 )
 
@@ -108,6 +109,11 @@ type Manager struct {
 	opts     Options
 	metrics  managerMetrics
 
+	// store holds the committed content of jobs that checkpoint in a
+	// content mode (full or delta); legacy zero-stream jobs only touch
+	// the images metadata map.
+	store *imagestore.Store
+
 	mu       sync.Mutex
 	listener net.Listener
 	sessions []*SessionLog
@@ -135,11 +141,16 @@ func NewManagerOpts(a Assigner, opts Options) (*Manager, error) {
 		assigner: a,
 		opts:     opts,
 		metrics:  newManagerMetrics(opts.Metrics),
+		store:    imagestore.NewStore(),
 		byJob:    make(map[string]*SessionLog),
 		images:   make(map[string]ImageRecord),
 		conns:    make(map[net.Conn]struct{}),
 	}, nil
 }
+
+// Store exposes the manager's content-addressed image store (tests and
+// tooling inspect committed images through it).
+func (m *Manager) Store() *imagestore.Store { return m.store }
 
 // Listen starts accepting test-process connections on addr (e.g.
 // "127.0.0.1:0") and returns the bound address.
@@ -284,6 +295,15 @@ func (m *Manager) commitImage(jobID string, bytes int64, crc uint32) {
 	m.images[jobID] = rec
 }
 
+// setImage records a content-mode commit's metadata, keeping the
+// ImageRecord generation in lockstep with the store's (the store is
+// the source of truth for content jobs).
+func (m *Manager) setImage(jobID string, rec ImageRecord) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.images[jobID] = rec
+}
+
 // sessionFor finds or creates the SessionLog for a hello: a resuming
 // process reattaches to its existing log so retries, fallbacks, and
 // torn frames accumulate on one per-job record.
@@ -370,22 +390,38 @@ func (m *Manager) serve(conn net.Conn) {
 	// how many bytes arrived, so the manager records the attempt with
 	// an unknown (zero) byte count and relies on its own timing
 	// elsewhere.
-	recBytes := assign.CheckpointBytes
-	recCRC := ZeroCRC(recBytes)
-	if rec, ok := m.Image(hello.JobID); ok {
-		recBytes, recCRC = rec.Bytes, rec.CRC32
+	recBegin := DataBegin{Bytes: assign.CheckpointBytes, CRC32: ZeroCRC(assign.CheckpointBytes)}
+	var recData []byte
+	if data, _, gen, crc, ok := m.store.Lookup(hello.JobID); ok && gen > 0 {
+		// Content job: stream the committed image itself and announce
+		// its generation so the client re-adopts it as a delta base.
+		recData = data
+		recBegin = DataBegin{Bytes: int64(len(data)), CRC32: crc, Mode: ModeFull, Gen: gen}
+	} else if rec, ok := m.Image(hello.JobID); ok {
+		recBegin.Bytes, recBegin.CRC32 = rec.Bytes, rec.CRC32
 	}
-	if err := WriteFrame(rw, MsgRecoveryBegin, DataBegin{Bytes: recBytes, CRC32: recCRC}); err != nil {
+	if err := WriteFrame(rw, MsgRecoveryBegin, recBegin); err != nil {
 		return
 	}
-	rsp := tr.StartSpan(pid, tid, "transfer.recovery").SetAttr(obs.AttrInt("bytes", recBytes))
-	if err := WriteData(rw, recBytes); err != nil {
+	rsp := tr.StartSpan(pid, tid, "transfer.recovery").SetAttr(
+		obs.AttrInt("bytes", recBegin.Bytes),
+		obs.AttrStr("mode", recBegin.Mode))
+	if recData != nil {
+		err = WriteRawData(rw, recData)
+	} else {
+		err = WriteData(rw, recBegin.Bytes)
+	}
+	if err != nil {
 		seq := m.record(log, EvRecoveryInterrupted, 0)
 		rsp.SetAttr(obs.AttrStr("outcome", "interrupted"), obs.AttrInt("seq", seq)).End()
 		return
 	}
+	recWire := 0.0
+	if recData != nil {
+		recWire = float64(recBegin.Bytes)
+	}
 	rsp.SetAttr(obs.AttrStr("outcome", "done"),
-		obs.AttrInt("seq", m.record(log, EvRecoveryDone, 0))).End()
+		obs.AttrInt("seq", m.record(log, EvRecoveryDone, recWire))).End()
 
 	// Event loop: heartbeats, T_opt reports, checkpoints — until the
 	// connection drops (eviction) or the stream turns to garbage.
@@ -405,6 +441,15 @@ func (m *Manager) serve(conn net.Conn) {
 			Bytes     int64   `json:"bytes"`
 			CRC32     uint32  `json:"crc32"`
 			Fallback  bool    `json:"fallback"`
+			// Delta-checkpoint extension (DataBegin's optional fields).
+			Mode       string                `json:"mode"`
+			Encoding   string                `json:"encoding"`
+			RawBytes   int64                 `json:"raw_bytes"`
+			ChunkSize  int                   `json:"chunk_size"`
+			ImageBytes int64                 `json:"image_bytes"`
+			BaseGen    int                   `json:"base_gen"`
+			Dirty      []int                 `json:"dirty"`
+			Sums       []imagestore.ChunkSum `json:"sums"`
 		}
 		t, err := ReadFrame(rw, &raw)
 		if err != nil {
@@ -449,9 +494,21 @@ func (m *Manager) serve(conn net.Conn) {
 					obs.AttrFloat("expected_s", hbExpect))
 			}
 		case MsgCheckpointBegin:
-			csp := tr.StartSpan(pid, tid, "transfer.checkpoint").
-				SetAttr(obs.AttrInt("bytes", raw.Bytes))
-			got, crc, err := ReadDataCRC(rw, raw.Bytes)
+			csp := tr.StartSpan(pid, tid, "transfer.checkpoint").SetAttr(
+				obs.AttrInt("bytes", raw.Bytes),
+				obs.AttrStr("mode", raw.Mode))
+			// Content modes must buffer the stream to verify and commit
+			// it; the legacy zero stream is discarded as it arrives.
+			var (
+				payload []byte
+				got     int64
+				crc     uint32
+			)
+			if raw.Mode == ModeLegacy {
+				got, crc, err = ReadDataCRC(rw, raw.Bytes)
+			} else {
+				payload, got, crc, err = ReadDataBuf(rw, raw.Bytes)
+			}
 			if err != nil {
 				if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
 					csp.SetAttr(obs.AttrStr("outcome", "interrupted"),
@@ -477,11 +534,58 @@ func (m *Manager) serve(conn net.Conn) {
 				}
 				continue
 			}
-			m.commitImage(hello.JobID, raw.Bytes, crc)
-			csp.SetAttr(obs.AttrStr("outcome", "committed"),
-				obs.AttrInt("seq", m.record(log, EvCheckpointDone, 0))).End()
-			if err := WriteFrame(rw, MsgCheckpointAck, struct{}{}); err != nil {
-				return
+			switch raw.Mode {
+			case ModeLegacy:
+				m.commitImage(hello.JobID, raw.Bytes, crc)
+				csp.SetAttr(obs.AttrStr("outcome", "committed"),
+					obs.AttrInt("seq", m.record(log, EvCheckpointDone, 0))).End()
+				rec, _ := m.Image(hello.JobID)
+				if err := WriteFrame(rw, MsgCheckpointAck, CheckpointAck{Gen: rec.Generation}); err != nil {
+					return
+				}
+			case ModeFull, ModeDelta:
+				gen, size, cerr := m.commitContent(hello.JobID, raw.Mode, raw.Encoding,
+					raw.RawBytes, raw.ImageBytes, raw.BaseGen, raw.ChunkSize, raw.Dirty, raw.Sums, payload)
+				if cerr != nil {
+					// The stream arrived intact but the patch doesn't
+					// apply (stale base, bad geometry, failed chunk
+					// verification) or the encoding is broken. The stream
+					// is frame-aligned — exactly Bytes were consumed — so
+					// Nack and let the client retry, typically as a full
+					// image.
+					seq := m.record(log, EvTornFrame, float64(got))
+					csp.SetAttr(obs.AttrStr("outcome", "delta_rejected"),
+						obs.AttrInt("seq", seq)).End()
+					tr.Event(pid, tid, "torn_frame",
+						obs.AttrInt("seq", seq), obs.AttrStr("cause", "delta"),
+						obs.AttrStr("error", cerr.Error()))
+					if err := WriteFrame(rw, MsgCheckpointNack, struct{}{}); err != nil {
+						return
+					}
+					continue
+				}
+				kind, val := EvCheckpointDone, float64(raw.Bytes)
+				if raw.Mode == ModeDelta {
+					kind, val = EvDeltaCheckpointDone, float64(raw.Bytes)
+				}
+				csp.SetAttr(obs.AttrStr("outcome", "committed"),
+					obs.AttrInt("gen", int64(gen)),
+					obs.AttrInt("image_bytes", size),
+					obs.AttrInt("seq", m.record(log, kind, val))).End()
+				if err := WriteFrame(rw, MsgCheckpointAck, CheckpointAck{Gen: gen}); err != nil {
+					return
+				}
+			default:
+				// Unknown mode: refuse rather than commit garbage; the
+				// stream stays aligned.
+				seq := m.record(log, EvTornFrame, float64(got))
+				csp.SetAttr(obs.AttrStr("outcome", "bad_mode"),
+					obs.AttrInt("seq", seq)).End()
+				tr.Event(pid, tid, "torn_frame",
+					obs.AttrInt("seq", seq), obs.AttrStr("cause", "mode"))
+				if err := WriteFrame(rw, MsgCheckpointNack, struct{}{}); err != nil {
+					return
+				}
 			}
 		default:
 			// Unknown frame type: the stream lost alignment (a dropped
@@ -492,6 +596,49 @@ func (m *Manager) serve(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// commitContent commits a verified content-mode checkpoint stream:
+// decode the payload (inflating when the client announced an encoding),
+// then commit it to the store as a full image or apply it as a delta
+// patch. The returned size is the committed image length. Any error
+// leaves the last good image untouched and maps to a Nack in serve.
+func (m *Manager) commitContent(jobID, mode, encoding string, rawBytes, imageBytes int64,
+	baseGen, chunkSize int, dirty []int, sums []imagestore.ChunkSum, payload []byte) (gen int, size int64, err error) {
+	data := payload
+	switch encoding {
+	case "":
+		if rawBytes != 0 && rawBytes != int64(len(payload)) {
+			return 0, 0, fmt.Errorf("ckptnet: raw_bytes %d but %d payload bytes arrived", rawBytes, len(payload))
+		}
+	case "flate":
+		if rawBytes < 0 || rawBytes > MaxImageBytes {
+			return 0, 0, fmt.Errorf("ckptnet: inflated size %d out of range", rawBytes)
+		}
+		if data, err = imagestore.Decompress(payload, rawBytes); err != nil {
+			return 0, 0, err
+		}
+	default:
+		return 0, 0, fmt.Errorf("ckptnet: unknown encoding %q", encoding)
+	}
+	if chunkSize <= 0 {
+		chunkSize = imagestore.DefaultChunkSize
+	}
+	switch mode {
+	case ModeFull:
+		g, _, icrc := m.store.CommitFull(jobID, data, chunkSize)
+		m.setImage(jobID, ImageRecord{Generation: g, Bytes: int64(len(data)), CRC32: icrc})
+		return g, int64(len(data)), nil
+	case ModeDelta:
+		d := imagestore.Delta{BaseGen: baseGen, ChunkSize: chunkSize, Size: imageBytes, Dirty: dirty, Sums: sums}
+		g, icrc, derr := m.store.ApplyDelta(jobID, d, data)
+		if derr != nil {
+			return 0, 0, derr
+		}
+		m.setImage(jobID, ImageRecord{Generation: g, Bytes: imageBytes, CRC32: icrc})
+		return g, imageBytes, nil
+	}
+	return 0, 0, fmt.Errorf("ckptnet: unknown transfer mode %q", mode)
 }
 
 // String describes the manager for logs.

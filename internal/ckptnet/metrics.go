@@ -18,8 +18,11 @@ type managerMetrics struct {
 	active   *obs.Gauge
 
 	// Transfer outcomes, mirroring Summary: completed recoveries,
-	// committed checkpoints, and transfers cut off by eviction.
+	// committed checkpoints (deltaCheckpoints counts the subset that
+	// arrived as content-addressed deltas), and transfers cut off by
+	// eviction.
 	recoveries, checkpoints, interrupted *obs.Counter
+	deltaCheckpoints                     *obs.Counter
 	// bytesMoved mirrors Summary.BytesMoved: full images for completed
 	// transfers plus the partial bytes of interrupted ones.
 	bytesMoved *obs.Counter
@@ -50,6 +53,8 @@ func newManagerMetrics(r *obs.Registry) managerMetrics {
 			"Checkpoint images received, CRC-verified, and committed."),
 		interrupted: r.Counter("ckptnet_interrupted_transfers_total",
 			"Recovery or checkpoint transfers cut off by eviction."),
+		deltaCheckpoints: r.Counter("ckptnet_delta_checkpoints_total",
+			"Checkpoints committed as content-addressed deltas."),
 		bytesMoved: r.Counter("ckptnet_bytes_moved_total",
 			"Total network volume in bytes, including partial interrupted transfers."),
 		heartbeats: r.Counter("ckptnet_heartbeats_total",
@@ -79,10 +84,22 @@ func (m *Manager) record(l *SessionLog, kind EventKind, value float64) int64 {
 	switch kind {
 	case EvRecoveryDone:
 		mm.recoveries.Inc()
-		mm.bytesMoved.Add(uint64(l.CheckpointBytes))
+		if value > 0 {
+			mm.bytesMoved.Add(uint64(value))
+		} else {
+			mm.bytesMoved.Add(uint64(l.CheckpointBytes))
+		}
 	case EvCheckpointDone:
 		mm.checkpoints.Inc()
-		mm.bytesMoved.Add(uint64(l.CheckpointBytes))
+		if value > 0 {
+			mm.bytesMoved.Add(uint64(value))
+		} else {
+			mm.bytesMoved.Add(uint64(l.CheckpointBytes))
+		}
+	case EvDeltaCheckpointDone:
+		mm.checkpoints.Inc()
+		mm.deltaCheckpoints.Inc()
+		mm.bytesMoved.Add(uint64(value))
 	case EvRecoveryInterrupted, EvCheckpointInterrupted:
 		mm.interrupted.Inc()
 		mm.bytesMoved.Add(uint64(value))

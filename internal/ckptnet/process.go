@@ -4,12 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"hash/fnv"
 	"math/rand"
 	"net"
 	"time"
 
 	"github.com/cycleharvest/ckptsched/internal/core"
+	"github.com/cycleharvest/ckptsched/internal/imagestore"
 )
 
 // RetryPolicy bounds how a process recovers from transport failures:
@@ -89,6 +91,28 @@ type ProcessConfig struct {
 	// WrapConn, when set, wraps the dialed connection — the hook the
 	// FaultInjector uses to inject process-side faults.
 	WrapConn func(net.Conn) net.Conn
+	// Delta, when set, switches the process to content-addressed
+	// checkpoints: it keeps a real image buffer and ships full content
+	// on the first checkpoint, dirty-chunk deltas afterwards.
+	Delta *DeltaConfig
+}
+
+// DeltaConfig tunes content-addressed delta checkpointing on the
+// process side.
+type DeltaConfig struct {
+	// ChunkSize is the dedup granularity (≤ 0 = DefaultChunkSize).
+	ChunkSize int
+	// DirtyFrac is the fraction of chunks dirtied per work interval.
+	// When DirtyRate is set it wins: the fraction becomes
+	// 1−exp(−DirtyRate·T) for an interval of T virtual seconds.
+	DirtyFrac float64
+	// DirtyRate is the per-chunk touch rate in 1/virtual-second.
+	DirtyRate float64
+	// Compress DEFLATEs payloads when that shrinks them.
+	Compress bool
+	// Seed makes the synthetic image content deterministic (0 derives
+	// one from JobID).
+	Seed int64
 }
 
 // ProcessReport summarizes a test process run from the client side.
@@ -122,6 +146,11 @@ type ProcessReport struct {
 	TornFrames int
 	// Fallbacks counts intervals scheduled without a fresh T_opt.
 	Fallbacks int
+	// WireBytes accumulates the checkpoint payload bytes actually sent
+	// in content modes (full + delta); 0 for a legacy process.
+	WireBytes int64
+	// DeltaCheckpoints counts checkpoints committed as deltas.
+	DeltaCheckpoints int
 }
 
 // procState is the durable cross-attempt state of a process: what must
@@ -133,6 +162,7 @@ type procState struct {
 	measuredC float64       // last measured transfer cost, virtual seconds
 	wallC     time.Duration // last transfer's wall duration (sizes ack deadlines)
 	started   bool          // first recovery completed at least once
+	img       *imagestore.Image
 }
 
 // RunProcess connects to the checkpoint manager and executes the
@@ -264,13 +294,40 @@ func runSession(ctx context.Context, cfg ProcessConfig, rep *ProcessReport, st *
 		return err
 	}
 	start := time.Now()
-	_, crc, err := ReadDataCRC(rw, begin.Bytes)
+	var (
+		crc     uint32
+		recData []byte
+	)
+	if begin.Mode == ModeLegacy {
+		_, crc, err = ReadDataCRC(rw, begin.Bytes)
+	} else {
+		// Content recovery: the manager streams the committed image
+		// itself; keep it so the delta state can re-adopt it.
+		recData, _, crc, err = ReadDataBuf(rw, begin.Bytes)
+	}
 	if err != nil {
 		return err
 	}
 	if begin.CRC32 != 0 && crc != begin.CRC32 {
 		rep.TornFrames++
 		return errTornRecovery
+	}
+	if cfg.Delta != nil {
+		if st.img == nil {
+			seed := cfg.Delta.Seed
+			if seed == 0 {
+				h := fnv.New64a()
+				h.Write([]byte("img:" + cfg.JobID))
+				seed = int64(h.Sum64())
+			}
+			st.img = imagestore.NewImage(assign.CheckpointBytes, cfg.Delta.ChunkSize, seed)
+		}
+		if recData != nil && begin.Gen > 0 {
+			// Resume against the manager's committed generation: adopt
+			// it as both content and delta base, so the first
+			// post-recovery checkpoint can already go out as a delta.
+			st.img.Adopt(recData, begin.Gen)
+		}
 	}
 	st.wallC = time.Since(start)
 	recSec := st.wallC.Seconds() / cfg.TimeScale
@@ -328,15 +385,38 @@ func runSession(ctx context.Context, cfg ProcessConfig, rep *ProcessReport, st *
 		}
 
 		// Checkpoint, timed to first ack; a NACK (manager detected a
-		// corrupt image) is retried over the same connection.
+		// corrupt image or refused a delta) is retried over the same
+		// connection — a rejected delta falls back to a full image, the
+		// recovery path for a stale or lost base.
+		if cfg.Delta != nil {
+			// Dirty the synthetic image once per interval; retries
+			// retransmit the same content.
+			frac := cfg.Delta.DirtyFrac
+			if cfg.Delta.DirtyRate > 0 {
+				frac = imagestore.DirtyFraction(cfg.Delta.DirtyRate, topt)
+			}
+			st.img.MutateFraction(frac)
+		}
 		var ckptWall time.Duration
+		forceFull := false
 		for try := 0; ; try++ {
 			ckptStart := time.Now()
-			want := ZeroCRC(assign.CheckpointBytes)
-			if err := WriteFrame(rw, MsgCheckpointBegin, DataBegin{Bytes: assign.CheckpointBytes, CRC32: want}); err != nil {
+			var begin DataBegin
+			var wire []byte
+			if cfg.Delta != nil {
+				begin, wire = encodeCheckpoint(st.img, cfg.Delta, forceFull)
+			} else {
+				begin = DataBegin{Bytes: assign.CheckpointBytes, CRC32: ZeroCRC(assign.CheckpointBytes)}
+			}
+			if err := WriteFrame(rw, MsgCheckpointBegin, begin); err != nil {
 				return err
 			}
-			if err := WriteData(rw, assign.CheckpointBytes); err != nil {
+			if cfg.Delta != nil {
+				err = WriteRawData(rw, wire)
+			} else {
+				err = WriteData(rw, begin.Bytes)
+			}
+			if err != nil {
 				return err
 			}
 			// The ack arrives only after the manager drained the whole
@@ -346,7 +426,8 @@ func runSession(ctx context.Context, cfg ProcessConfig, rep *ProcessReport, st *
 			if ackTO := 4*st.wallC + frameTO; ackTO > saved {
 				rw.ReadTimeout = ackTO
 			}
-			t, err := ReadFrame(rw, nil)
+			var ack CheckpointAck
+			t, err := ReadFrame(rw, &ack)
 			rw.ReadTimeout = saved
 			if err != nil {
 				return err
@@ -356,10 +437,20 @@ func runSession(ctx context.Context, cfg ProcessConfig, rep *ProcessReport, st *
 				if try+1 >= cfg.MaxCkptRetries {
 					return fmt.Errorf("ckptnet: checkpoint rejected %d times: %w", try+1, ErrMalformedFrame)
 				}
+				if begin.Mode == ModeDelta {
+					forceFull = true
+				}
 				continue
 			}
 			if t != MsgCheckpointAck {
 				return ErrUnexpectedFrame
+			}
+			if cfg.Delta != nil {
+				rep.WireBytes += begin.Bytes
+				if begin.Mode == ModeDelta {
+					rep.DeltaCheckpoints++
+				}
+				st.img.CommitBase(ack.Gen)
 			}
 			ckptWall = time.Since(ckptStart)
 			break
@@ -374,6 +465,43 @@ func runSession(ctx context.Context, cfg ProcessConfig, rep *ProcessReport, st *
 			return nil
 		}
 	}
+}
+
+// encodeCheckpoint builds the DataBegin frame and wire payload for a
+// content-mode checkpoint: a dirty-chunk delta when a committed base
+// exists (and the caller isn't forcing a full resend after a Nack), the
+// whole image otherwise. The CRC always checksums the bytes as they
+// travel — post-compression — so the manager verifies the stream before
+// decoding it.
+func encodeCheckpoint(img *imagestore.Image, dc *DeltaConfig, forceFull bool) (DataBegin, []byte) {
+	var begin DataBegin
+	var payload []byte
+	if img.HasBase() && !forceFull {
+		d, p := img.EncodeDelta()
+		payload = p
+		begin = DataBegin{
+			Mode:       ModeDelta,
+			ChunkSize:  img.ChunkSize(),
+			ImageBytes: img.Size(),
+			BaseGen:    d.BaseGen,
+			Dirty:      d.Dirty,
+			Sums:       d.Sums,
+		}
+	} else {
+		payload = img.Bytes()
+		begin = DataBegin{Mode: ModeFull, ChunkSize: img.ChunkSize()}
+	}
+	begin.RawBytes = int64(len(payload))
+	wire := payload
+	if dc.Compress {
+		if c, ok := imagestore.Compress(payload); ok {
+			wire = c
+			begin.Encoding = "flate"
+		}
+	}
+	begin.Bytes = int64(len(wire))
+	begin.CRC32 = crc32.ChecksumIEEE(wire)
+	return begin, wire
 }
 
 // spin emulates computation and heartbeats for topt virtual seconds.

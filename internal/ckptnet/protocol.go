@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"github.com/cycleharvest/ckptsched/internal/fit"
+	"github.com/cycleharvest/ckptsched/internal/imagestore"
 )
 
 // MsgType tags a protocol frame.
@@ -65,9 +66,30 @@ type Assign struct {
 	HeartbeatSec float64 `json:"heartbeat_sec"`
 }
 
+// Transfer modes a DataBegin can announce. The zero value is the
+// legacy wire format: a zero-filled stream whose only meaningful
+// property is its byte count.
+const (
+	// ModeLegacy streams Bytes zero bytes (pre-delta wire format).
+	ModeLegacy = ""
+	// ModeFull streams the actual image content, optionally compressed.
+	ModeFull = "full"
+	// ModeDelta streams only the dirty chunks of a content-addressed
+	// delta against the previously committed generation (DESIGN.md §16).
+	ModeDelta = "delta"
+)
+
 // DataBegin announces a raw transfer of Bytes bytes immediately
 // following the frame (used by MsgRecoveryBegin and
 // MsgCheckpointBegin).
+//
+// The delta-checkpoint extension rides in the optional fields: Mode
+// selects the legacy zero-stream, a full content image, or a chunk
+// delta; for content modes the stream carries real bytes (compressed
+// when Encoding says so) and CRC32 still checksums exactly what is on
+// the wire, so torn-transfer detection works identically in every
+// mode — the receiver always consumes exactly Bytes bytes, keeping the
+// frame stream aligned for a Nack.
 type DataBegin struct {
 	Bytes int64 `json:"bytes"`
 	// CRC32 is the IEEE checksum of the data stream (0 = unverified,
@@ -75,6 +97,33 @@ type DataBegin struct {
 	// committing a checkpoint, so a corrupted transfer is rejected
 	// instead of replacing the last good image.
 	CRC32 uint32 `json:"crc32,omitempty"`
+
+	// Mode is ModeLegacy, ModeFull, or ModeDelta.
+	Mode string `json:"mode,omitempty"`
+	// Encoding is "flate" when the stream is DEFLATE-compressed; empty
+	// means raw. RawBytes is the decompressed payload length.
+	Encoding string `json:"encoding,omitempty"`
+	RawBytes int64  `json:"raw_bytes,omitempty"`
+	// ChunkSize is the dedup granularity (content modes).
+	ChunkSize int `json:"chunk_size,omitempty"`
+	// ImageBytes is the full image size a delta reconstructs.
+	ImageBytes int64 `json:"image_bytes,omitempty"`
+	// BaseGen is the committed generation a delta patches.
+	BaseGen int `json:"base_gen,omitempty"`
+	// Dirty and Sums are the delta's patched chunk indices and their
+	// content addresses (the per-chunk manifest the store verifies).
+	Dirty []int                 `json:"dirty,omitempty"`
+	Sums  []imagestore.ChunkSum `json:"sums,omitempty"`
+	// Gen is the committed generation backing a recovery stream, so a
+	// resuming client can re-adopt the image as its delta base.
+	Gen int `json:"gen,omitempty"`
+}
+
+// CheckpointAck is the payload of MsgCheckpointAck: the generation the
+// manager committed, which the client records as its next delta base.
+// Legacy clients decode into nothing and ignore it.
+type CheckpointAck struct {
+	Gen int `json:"gen,omitempty"`
 }
 
 // ToptReport is the process's per-interval log record: the interval it
@@ -170,6 +219,54 @@ func WriteData(w io.Writer, n int64) error {
 	return nil
 }
 
+// WriteRawData streams real content bytes to w in chunkSize units, so
+// each Write stays under the per-Write deadline and the fault
+// injector's per-chunk rolls apply the same way they do to WriteData's
+// zero stream.
+func WriteRawData(w io.Writer, data []byte) error {
+	for len(data) > 0 {
+		c := chunkSize
+		if c > len(data) {
+			c = len(data)
+		}
+		if _, err := w.Write(data[:c]); err != nil {
+			return err
+		}
+		data = data[c:]
+	}
+	return nil
+}
+
+// MaxImageBytes bounds a content-mode transfer the receiver is willing
+// to buffer (content modes must hold the image in memory to verify and
+// commit it; the legacy zero stream is unbounded because it is
+// discarded as it arrives).
+const MaxImageBytes = 1 << 30
+
+// ReadDataBuf consumes exactly n raw bytes from r into a fresh buffer
+// while computing the stream CRC — the content-mode counterpart of
+// ReadDataCRC. got reports how many bytes actually arrived (short on
+// error, for partial-transfer accounting).
+func ReadDataBuf(r io.Reader, n int64) (buf []byte, got int64, crc uint32, err error) {
+	if n < 0 || n > MaxImageBytes {
+		return nil, 0, 0, fmt.Errorf("ckptnet: content transfer of %d bytes: %w", n, ErrMalformedFrame)
+	}
+	buf = make([]byte, n)
+	for got < n {
+		c := int64(chunkSize)
+		if c > n-got {
+			c = n - got
+		}
+		k, err := io.ReadFull(r, buf[got:got+c])
+		crc = crc32.Update(crc, crc32.IEEETable, buf[got:got+int64(k)])
+		got += int64(k)
+		if err != nil {
+			return buf[:got], got, crc, err
+		}
+	}
+	return buf, got, crc, nil
+}
+
 // ReadData consumes exactly n raw bytes from r, returning the number
 // actually read (short on error — the partial-transfer measurement the
 // manager records when a process is evicted mid-checkpoint).
@@ -198,17 +295,38 @@ func ReadDataCRC(r io.Reader, n int64) (got int64, crc uint32, err error) {
 	return got, crc, nil
 }
 
-// zeroCRCCache memoizes ZeroCRC by size; transfers repeat the same
-// image size for a whole campaign.
-var zeroCRCCache sync.Map // int64 → uint32
+// zeroCRCSlots sizes the ZeroCRC memo table. The table is
+// direct-mapped and fixed-size: a campaign reuses a handful of image
+// sizes, so collisions are rare, and when delta transfers make sizes
+// vary per checkpoint the cache stays bounded instead of growing one
+// sync.Map entry per distinct size forever.
+const zeroCRCSlots = 512
+
+// zeroCRCCache memoizes ZeroCRC by size in a fixed table. slot 0 is
+// distinguishable because size 0 short-circuits before the table.
+var zeroCRCCache struct {
+	mu    sync.Mutex
+	sizes [zeroCRCSlots]int64
+	crcs  [zeroCRCSlots]uint32
+}
 
 // ZeroCRC returns the IEEE CRC32 of n zero bytes — the checksum of the
 // pseudo-payload WriteData streams, announced in DataBegin so the
 // receiver can detect in-flight corruption.
 func ZeroCRC(n int64) uint32 {
-	if v, ok := zeroCRCCache.Load(n); ok {
-		return v.(uint32)
+	if n <= 0 {
+		return 0
 	}
+	// Fibonacci-hash the size into a direct-mapped slot; a collision
+	// just evicts (recompute on the next miss).
+	slot := (uint64(n) * 0x9E3779B97F4A7C15) >> 55 % zeroCRCSlots
+	zeroCRCCache.mu.Lock()
+	if zeroCRCCache.sizes[slot] == n {
+		crc := zeroCRCCache.crcs[slot]
+		zeroCRCCache.mu.Unlock()
+		return crc
+	}
+	zeroCRCCache.mu.Unlock()
 	buf := make([]byte, chunkSize)
 	var crc uint32
 	for left := n; left > 0; {
@@ -219,6 +337,9 @@ func ZeroCRC(n int64) uint32 {
 		crc = crc32.Update(crc, crc32.IEEETable, buf[:c])
 		left -= c
 	}
-	zeroCRCCache.Store(n, crc)
+	zeroCRCCache.mu.Lock()
+	zeroCRCCache.sizes[slot] = n
+	zeroCRCCache.crcs[slot] = crc
+	zeroCRCCache.mu.Unlock()
 	return crc
 }

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/cycleharvest/ckptsched/internal/ckptnet"
+)
+
+func TestRunDeltaExperiment(t *testing.T) {
+	w := workload(t)
+	r, err := RunDelta(DeltaConfig{
+		Workload:        w,
+		Link:            ckptnet.CampusLink(),
+		SamplesPerModel: 2,
+		Seed:            42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Sessions != 8 {
+		t.Fatalf("sessions = %d", r.Sessions)
+	}
+	if r.Full == nil || r.Delta == nil || r.VarCost == nil {
+		t.Fatal("missing tables")
+	}
+	// The acceptance criterion: delta reduces bytes-on-wire vs full at
+	// comparable efficiency.
+	if r.DeltaMB >= r.FullMB {
+		t.Errorf("delta moved %.0f MB, full moved %.0f MB; expected a reduction", r.DeltaMB, r.FullMB)
+	}
+	// Variable-C is NOT required to move fewer bytes than full: the
+	// curve makes short intervals cheap in *time*, so the optimizer may
+	// checkpoint much more often — trading wire volume for efficiency.
+	if r.VarCostMB <= 0 {
+		t.Errorf("variable-C campaign moved no bytes")
+	}
+	if r.DeltaCheckpoints == 0 || r.VarCostCheckpoints == 0 {
+		t.Errorf("delta campaigns shipped no deltas: %d, %d", r.DeltaCheckpoints, r.VarCostCheckpoints)
+	}
+	for name, eff := range map[string]float64{
+		"full":    r.FullEfficiency,
+		"delta":   r.DeltaEfficiency,
+		"varcost": r.VarCostEfficiency,
+	} {
+		if eff <= 0 || eff > 1 {
+			t.Errorf("%s efficiency out of range: %g", name, eff)
+		}
+	}
+	if r.DeltaEfficiency < 0.8*r.FullEfficiency {
+		t.Errorf("delta efficiency %.3f collapsed vs full %.3f", r.DeltaEfficiency, r.FullEfficiency)
+	}
+	if r.SavingsPct() <= 0 || r.SavingsPct() >= 100 {
+		t.Errorf("savings = %.1f%%", r.SavingsPct())
+	}
+
+	out := RenderDelta(r)
+	for _, want := range []string{"Delta experiment", "Bytes on wire", "Delta checkpoints",
+		"delta+variable-C", "Wire savings vs full"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+
+	if _, err := RunDelta(DeltaConfig{}); err == nil {
+		t.Error("nil workload should error")
+	}
+}

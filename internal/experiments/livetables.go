@@ -65,6 +65,9 @@ type LiveCampaignConfig struct {
 	// of the campaign (both pass through to live.CampaignConfig).
 	Predict predict.Config
 	Policy  predict.Policy
+	// Delta enables content-addressed delta checkpointing for every
+	// session of the campaign (passes through to live.CampaignConfig).
+	Delta live.DeltaPolicy
 }
 
 // TraceCampaignStride is the pid-lane stride callers should leave
@@ -93,6 +96,7 @@ func RunLiveTable(name string, cfg LiveCampaignConfig) (*LiveTable, *live.Campai
 		TracePidBase:    cfg.TracePidBase,
 		Predict:         cfg.Predict,
 		Policy:          cfg.Policy,
+		Delta:           cfg.Delta,
 	})
 	if err != nil {
 		return nil, nil, err

@@ -142,6 +142,33 @@ func RenderSamples(samples []live.Sample) string {
 	return b.String()
 }
 
+// RenderDelta renders the delta-checkpointing experiment: full vs
+// delta vs delta+variable-C per-model tables, the campaign-level
+// bytes-on-wire comparison, and the dedup counters.
+func RenderDelta(r *DeltaResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Delta experiment: %d sessions over %s, full vs delta vs delta+variable-C (dirty rate %g/s)\n\n",
+		r.Sessions, r.LinkName, r.DirtyRate)
+	b.WriteString(RenderLiveTable(r.Full))
+	b.WriteString("\n")
+	b.WriteString(RenderLiveTable(r.Delta))
+	b.WriteString("\n")
+	b.WriteString(RenderLiveTable(r.VarCost))
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-24s %12s %12s %14s\n", "Campaign aggregate", "Full", "Delta", "Delta+var-C")
+	fmt.Fprintf(&b, "%-24s %12.3f %12.3f %14.3f\n",
+		"Efficiency", r.FullEfficiency, r.DeltaEfficiency, r.VarCostEfficiency)
+	fmt.Fprintf(&b, "%-24s %12.0f %12.0f %14.0f\n",
+		"Bytes on wire (MB)", r.FullMB, r.DeltaMB, r.VarCostMB)
+	fmt.Fprintf(&b, "%-24s %12.0f %12.0f %14.0f\n",
+		"Bandwidth (MB/hour)", r.FullMBPerHour, r.DeltaMBPerHour, r.VarCostMBPerHour)
+	fmt.Fprintf(&b, "%-24s %12s %12d %14d\n",
+		"Delta checkpoints", "-", r.DeltaCheckpoints, r.VarCostCheckpoints)
+	fmt.Fprintf(&b, "\nWire savings vs full: delta %.1f%%, delta+variable-C %.1f%%\n",
+		r.SavingsPct(), r.VarCostSavingsPct())
+	return b.String()
+}
+
 // RenderChaos renders the fault-injection experiment: clean vs chaos
 // vs prediction-enabled per-model tables, the campaign-level deltas,
 // the resilience counters, and the third campaign's predictor score

@@ -1,6 +1,7 @@
 package forecast
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"strings"
@@ -173,11 +174,27 @@ func TestBandwidthPredictor(t *testing.T) {
 	if _, err := p.PredictTransferSec(1000); err == nil {
 		t.Error("prediction without observations should error")
 	}
-	// Ignore invalid observations.
-	p.Observe(0, 10)
-	p.Observe(100, 0)
+	// Invalid observations are rejected with the named error and leave
+	// the predictor untouched.
+	for _, tc := range []struct {
+		bytes int64
+		sec   float64
+	}{
+		{0, 10}, {-4, 10}, {100, 0}, {100, -1},
+		{100, math.NaN()}, {100, math.Inf(1)}, {100, math.Inf(-1)},
+	} {
+		err := p.Observe(tc.bytes, tc.sec)
+		if err == nil {
+			t.Errorf("Observe(%d, %g) accepted an invalid measurement", tc.bytes, tc.sec)
+		} else if !errors.Is(err, ErrInvalidObservation) {
+			t.Errorf("Observe(%d, %g) error %v is not ErrInvalidObservation", tc.bytes, tc.sec, err)
+		}
+	}
 	if p.N() != 0 {
 		t.Errorf("invalid observations counted: %d", p.N())
+	}
+	if _, err := p.Bandwidth(); err == nil {
+		t.Error("Bandwidth without observations should error")
 	}
 	// Stable 5 MB/s link.
 	for range 50 {

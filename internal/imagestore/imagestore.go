@@ -1,0 +1,199 @@
+// Package imagestore implements a content-addressed checkpoint image
+// store: checkpoint images are split into fixed-size chunks, each
+// chunk is addressed by a (rolling-hash, CRC32) pair, and a new image
+// is transferred as a delta against the previously committed one — only
+// the chunks whose address changed cross the wire, so a repeated 500 MB
+// image costs only its dirty fraction in bandwidth. An optional
+// DEFLATE pass squeezes the delta payload further when it helps.
+//
+// The package has a client half and a server half. The client half
+// (Image) owns a mutable image buffer, tracks the manifest of the last
+// image the server committed, and encodes deltas against it. The
+// server half (Store) keeps one committed image per job and applies
+// deltas atomically: a patch that references a stale base generation,
+// carries a malformed geometry, or fails per-chunk verification leaves
+// the last good image untouched — the same commit-or-Nack contract the
+// checkpoint manager enforces for full transfers (DESIGN.md §16).
+package imagestore
+
+import (
+	"bytes"
+	"compress/flate"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// DefaultChunkSize is the dedup granularity (64 KiB): small enough
+// that a scattered write pattern still dedups well, large enough that
+// a 500 MB image's manifest (8000 chunk sums) fits a control frame.
+const DefaultChunkSize = 64 << 10
+
+// rollBase is the multiplier of the polynomial rolling hash. The hash
+// is Rabin–Karp style — h = h·b + byte over the chunk — so it could
+// slide a fixed window in O(1); with fixed-size chunking we evaluate
+// it blockwise and use it as the fast half of the chunk address, with
+// CRC32 as the confirming half (a 96-bit combined address makes
+// accidental cross-chunk collisions negligible at any realistic image
+// count).
+const rollBase = 1099511628211 // FNV-64 prime; full-period odd multiplier
+
+// ChunkSum is the content address of one chunk.
+type ChunkSum struct {
+	// Roll is the polynomial rolling hash of the chunk bytes.
+	Roll uint64 `json:"r"`
+	// CRC is the IEEE CRC32 of the chunk bytes.
+	CRC uint32 `json:"c"`
+}
+
+// sumChunk computes a chunk's content address.
+func sumChunk(b []byte) ChunkSum {
+	var h uint64
+	for _, c := range b {
+		h = h*rollBase + uint64(c)
+	}
+	return ChunkSum{Roll: h, CRC: crc32.ChecksumIEEE(b)}
+}
+
+// Manifest is the chunk-address list of a whole image — what the store
+// remembers about the committed content and what deltas are diffed
+// against.
+type Manifest struct {
+	// ChunkSize is the chunking granularity in bytes.
+	ChunkSize int `json:"chunk_size"`
+	// Size is the image length in bytes; the final chunk is short when
+	// Size is not a multiple of ChunkSize.
+	Size int64 `json:"size"`
+	// Sums[i] addresses bytes [i·ChunkSize, min((i+1)·ChunkSize, Size)).
+	Sums []ChunkSum `json:"sums"`
+}
+
+// NumChunks returns the chunk count for an image of size bytes at the
+// given granularity: ceil(size/chunkSize), 0 for an empty image.
+func NumChunks(size int64, chunkSize int) int {
+	if size <= 0 || chunkSize <= 0 {
+		return 0
+	}
+	return int((size + int64(chunkSize) - 1) / int64(chunkSize))
+}
+
+// chunkSpan returns the byte range of chunk i in an image of the given
+// size.
+func chunkSpan(i, chunkSize int, size int64) (lo, hi int64) {
+	lo = int64(i) * int64(chunkSize)
+	hi = lo + int64(chunkSize)
+	if hi > size {
+		hi = size
+	}
+	return lo, hi
+}
+
+// BuildManifest chunks data and computes every chunk's address.
+// chunkSize ≤ 0 selects DefaultChunkSize. An empty image yields a
+// zero-chunk manifest (Size 0), the degenerate case Diff and Apply
+// both accept.
+func BuildManifest(data []byte, chunkSize int) Manifest {
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	n := NumChunks(int64(len(data)), chunkSize)
+	m := Manifest{ChunkSize: chunkSize, Size: int64(len(data)), Sums: make([]ChunkSum, n)}
+	for i := 0; i < n; i++ {
+		lo, hi := chunkSpan(i, chunkSize, m.Size)
+		m.Sums[i] = sumChunk(data[lo:hi])
+	}
+	Metrics.ChunksHashed.Add(uint64(n))
+	return m
+}
+
+// Compatible reports whether two manifests share chunk geometry, the
+// precondition for diffing one against the other.
+func (m Manifest) Compatible(o Manifest) bool {
+	return m.ChunkSize == o.ChunkSize
+}
+
+// Diff returns the indices of cur's chunks that are not already
+// present at the same position in prev — the dirty set a delta
+// transfer must carry. The comparison is content-addressed: a chunk
+// rewritten with identical bytes dedups away, and an identical image
+// diffs to nil (the zero-chunks-on-wire fast path). Chunks beyond
+// prev's length, and every chunk when geometries differ, are dirty.
+func Diff(prev, cur Manifest) []int {
+	if !prev.Compatible(cur) {
+		all := make([]int, len(cur.Sums))
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	var dirty []int
+	for i, s := range cur.Sums {
+		if i < len(prev.Sums) && prev.Sums[i] == s {
+			// Same address at the same offset: dedup against the
+			// committed image.
+			continue
+		}
+		dirty = append(dirty, i)
+	}
+	// The final prev chunk may be short; if cur grew, its sum covers
+	// different bytes even when the prefix matches, and the address
+	// comparison above already catches that (a short chunk and its
+	// extended successor hash differently).
+	Metrics.ChunksDeduped.Add(uint64(len(cur.Sums) - len(dirty)))
+	return dirty
+}
+
+// DeltaPayload concatenates the bytes of the dirty chunks in index
+// order — the raw wire payload of a delta transfer.
+func DeltaPayload(data []byte, chunkSize int, dirty []int) []byte {
+	size := int64(len(data))
+	var total int64
+	for _, i := range dirty {
+		lo, hi := chunkSpan(i, chunkSize, size)
+		total += hi - lo
+	}
+	out := make([]byte, 0, total)
+	for _, i := range dirty {
+		lo, hi := chunkSpan(i, chunkSize, size)
+		out = append(out, data[lo:hi]...)
+	}
+	return out
+}
+
+// Compress DEFLATEs payload and reports whether that actually won:
+// pseudo-random checkpoint content is incompressible and comes back
+// (slightly) bigger, in which case the original payload is returned
+// and ok is false — callers then ship the raw bytes and announce no
+// encoding.
+func Compress(payload []byte) (out []byte, ok bool) {
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		return payload, false
+	}
+	if _, err := w.Write(payload); err != nil || w.Close() != nil {
+		return payload, false
+	}
+	if buf.Len() >= len(payload) {
+		return payload, false
+	}
+	Metrics.CompressSavedBytes.Add(uint64(len(payload) - buf.Len()))
+	return buf.Bytes(), true
+}
+
+// Decompress inflates a Compress-encoded payload back to rawLen bytes.
+func Decompress(payload []byte, rawLen int64) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(payload))
+	defer r.Close()
+	out := make([]byte, rawLen)
+	if _, err := io.ReadFull(r, out); err != nil {
+		return nil, fmt.Errorf("imagestore: inflate: %w", err)
+	}
+	// A trailing garbage byte means the announced raw length lied.
+	var one [1]byte
+	if n, _ := r.Read(one[:]); n != 0 {
+		return nil, errors.New("imagestore: inflate: payload longer than announced")
+	}
+	return out, nil
+}

@@ -1,0 +1,339 @@
+package imagestore
+
+import (
+	"bytes"
+	"errors"
+	"hash/crc32"
+	"testing"
+)
+
+func TestBuildManifestEmptyImage(t *testing.T) {
+	m := BuildManifest(nil, 1024)
+	if m.Size != 0 || len(m.Sums) != 0 {
+		t.Fatalf("empty image: got size=%d chunks=%d, want 0/0", m.Size, len(m.Sums))
+	}
+	if dirty := Diff(m, m); len(dirty) != 0 {
+		t.Fatalf("empty vs empty diff: got %v, want none", dirty)
+	}
+}
+
+func TestBuildManifestSubChunkImage(t *testing.T) {
+	data := []byte("smaller than one chunk")
+	m := BuildManifest(data, 1024)
+	if len(m.Sums) != 1 {
+		t.Fatalf("sub-chunk image: got %d chunks, want 1", len(m.Sums))
+	}
+	if m.Sums[0] != sumChunk(data) {
+		t.Fatalf("sub-chunk sum mismatch")
+	}
+}
+
+func TestBuildManifestDefaultChunkSize(t *testing.T) {
+	m := BuildManifest(make([]byte, 100), 0)
+	if m.ChunkSize != DefaultChunkSize {
+		t.Fatalf("chunkSize<=0: got %d, want DefaultChunkSize", m.ChunkSize)
+	}
+}
+
+func TestDiffIdenticalImageFastPath(t *testing.T) {
+	im := NewImage(10*1024, 1024, 1)
+	cur := BuildManifest(im.Bytes(), 1024)
+	if dirty := Diff(cur, cur); len(dirty) != 0 {
+		t.Fatalf("identical image: got %d dirty chunks, want 0 on wire", len(dirty))
+	}
+}
+
+func TestDiffDirtyRegionStraddlingChunkBoundary(t *testing.T) {
+	const cs = 1024
+	im := NewImage(8*cs, cs, 2)
+	prev := BuildManifest(im.Bytes(), cs)
+	// Dirty a region straddling the chunk 2/3 boundary: both chunks —
+	// and only those — must turn dirty.
+	copy(im.Bytes()[3*cs-16:3*cs+16], bytes.Repeat([]byte{0xAB}, 32))
+	cur := BuildManifest(im.Bytes(), cs)
+	dirty := Diff(prev, cur)
+	if len(dirty) != 2 || dirty[0] != 2 || dirty[1] != 3 {
+		t.Fatalf("straddling write: dirty=%v, want [2 3]", dirty)
+	}
+}
+
+func TestDiffRewrittenIdenticalChunkDedups(t *testing.T) {
+	const cs = 512
+	im := NewImage(4*cs, cs, 3)
+	prev := BuildManifest(im.Bytes(), cs)
+	// Rewrite chunk 1 with its own bytes: content-addressing must see
+	// no change.
+	chunk := append([]byte(nil), im.Bytes()[cs:2*cs]...)
+	copy(im.Bytes()[cs:2*cs], chunk)
+	cur := BuildManifest(im.Bytes(), cs)
+	if dirty := Diff(prev, cur); len(dirty) != 0 {
+		t.Fatalf("identical rewrite: dirty=%v, want none", dirty)
+	}
+}
+
+func TestDiffIncompatibleGeometryAllDirty(t *testing.T) {
+	data := make([]byte, 4096)
+	prev := BuildManifest(data, 512)
+	cur := BuildManifest(data, 1024)
+	dirty := Diff(prev, cur)
+	if len(dirty) != len(cur.Sums) {
+		t.Fatalf("geometry change: %d dirty of %d, want all", len(dirty), len(cur.Sums))
+	}
+}
+
+func TestDiffGrownImage(t *testing.T) {
+	const cs = 256
+	im := NewImage(3*cs+100, cs, 4)
+	prev := BuildManifest(im.Bytes(), cs)
+	// Grow past the old short final chunk: the extended final chunk and
+	// the brand-new one must both be dirty.
+	grown := append(append([]byte(nil), im.Bytes()...), bytes.Repeat([]byte{7}, cs)...)
+	cur := BuildManifest(grown, cs)
+	dirty := Diff(prev, cur)
+	if len(dirty) != 2 || dirty[0] != 3 || dirty[1] != 4 {
+		t.Fatalf("grown image: dirty=%v, want [3 4]", dirty)
+	}
+}
+
+func TestCompressRoundTripAndIncompressibleFallback(t *testing.T) {
+	// Compressible payload round-trips smaller.
+	comp := bytes.Repeat([]byte("checkpoint"), 1000)
+	out, ok := Compress(comp)
+	if !ok || len(out) >= len(comp) {
+		t.Fatalf("compressible payload: ok=%v len=%d (raw %d)", ok, len(out), len(comp))
+	}
+	back, err := Decompress(out, int64(len(comp)))
+	if err != nil || !bytes.Equal(back, comp) {
+		t.Fatalf("round trip failed: %v", err)
+	}
+	// Pseudo-random payload comes back unchanged with ok=false.
+	rnd := NewImage(16*1024, 1024, 5).Bytes()
+	out, ok = Compress(rnd)
+	if ok || !bytes.Equal(out, rnd) {
+		t.Fatalf("incompressible payload: ok=%v, want raw passthrough", ok)
+	}
+}
+
+func TestDecompressRejectsLengthLies(t *testing.T) {
+	payload := bytes.Repeat([]byte("x"), 4096)
+	out, ok := Compress(payload)
+	if !ok {
+		t.Fatal("expected compressible payload")
+	}
+	if _, err := Decompress(out, int64(len(payload))-1); err == nil {
+		t.Fatal("short announced length: want error, got nil")
+	}
+	if _, err := Decompress(out, int64(len(payload))+1); err == nil {
+		t.Fatal("long announced length: want error, got nil")
+	}
+}
+
+func TestStoreFullThenDeltaCommit(t *testing.T) {
+	const cs = 1024
+	s := NewStore()
+	im := NewImage(8*cs, cs, 10)
+
+	gen, _, crc := s.CommitFull("job", im.Bytes(), cs)
+	if gen != 1 {
+		t.Fatalf("first commit: gen=%d, want 1", gen)
+	}
+	if crc != crc32.ChecksumIEEE(im.Bytes()) {
+		t.Fatal("full commit CRC mismatch")
+	}
+	im.CommitBase(gen)
+
+	im.MutateFraction(0.25)
+	d, payload := im.EncodeDelta()
+	if len(d.Dirty) == 0 || len(d.Dirty) == 8 {
+		t.Fatalf("expected partial dirty set, got %v", d.Dirty)
+	}
+	gen2, crc2, err := s.ApplyDelta("job", d, payload)
+	if err != nil {
+		t.Fatalf("ApplyDelta: %v", err)
+	}
+	if gen2 != 2 {
+		t.Fatalf("delta commit: gen=%d, want 2", gen2)
+	}
+	if want := crc32.ChecksumIEEE(im.Bytes()); crc2 != want {
+		t.Fatalf("delta commit CRC %08x, want %08x", crc2, want)
+	}
+	data, _, _, _, ok := s.Lookup("job")
+	if !ok || !bytes.Equal(data, im.Bytes()) {
+		t.Fatal("committed image differs from client image")
+	}
+}
+
+func TestStoreIdenticalImageZeroChunkDelta(t *testing.T) {
+	const cs = 512
+	s := NewStore()
+	im := NewImage(4*cs, cs, 11)
+	gen, _, _ := s.CommitFull("job", im.Bytes(), cs)
+	im.CommitBase(gen)
+
+	d, payload := im.EncodeDelta()
+	if len(d.Dirty) != 0 || len(payload) != 0 {
+		t.Fatalf("identical image: %d dirty chunks, %d payload bytes, want 0/0", len(d.Dirty), len(payload))
+	}
+	gen2, _, err := s.ApplyDelta("job", d, payload)
+	if err != nil || gen2 != 2 {
+		t.Fatalf("zero-chunk delta: gen=%d err=%v", gen2, err)
+	}
+}
+
+func TestStoreDeltaErrors(t *testing.T) {
+	const cs = 512
+	s := NewStore()
+	im := NewImage(4*cs, cs, 12)
+
+	// No base committed yet.
+	if _, _, err := s.ApplyDelta("job", Delta{BaseGen: 1, ChunkSize: cs, Size: im.Size()}, nil); !errors.Is(err, ErrNoBase) {
+		t.Fatalf("no base: err=%v, want ErrNoBase", err)
+	}
+
+	gen, _, _ := s.CommitFull("job", im.Bytes(), cs)
+	im.CommitBase(gen)
+	im.MutateFraction(0.5)
+	d, payload := im.EncodeDelta()
+
+	// Stale base generation.
+	stale := d
+	stale.BaseGen = gen + 7
+	if _, _, err := s.ApplyDelta("job", stale, payload); !errors.Is(err, ErrBaseMismatch) {
+		t.Fatalf("stale base: err=%v, want ErrBaseMismatch", err)
+	}
+
+	// Wrong chunk geometry.
+	bad := d
+	bad.ChunkSize = cs * 2
+	if _, _, err := s.ApplyDelta("job", bad, payload); !errors.Is(err, ErrBadDelta) {
+		t.Fatalf("bad geometry: err=%v, want ErrBadDelta", err)
+	}
+
+	// Truncated payload.
+	if len(payload) > 0 {
+		if _, _, err := s.ApplyDelta("job", d, payload[:len(payload)-1]); !errors.Is(err, ErrBadDelta) {
+			t.Fatalf("short payload: err=%v, want ErrBadDelta", err)
+		}
+	}
+
+	// Corrupt chunk bytes fail content-address verification, and the
+	// failed apply leaves the committed image untouched.
+	if len(payload) > 0 {
+		corrupt := append([]byte(nil), payload...)
+		corrupt[0] ^= 0xFF
+		if _, _, err := s.ApplyDelta("job", d, corrupt); !errors.Is(err, ErrBadDelta) {
+			t.Fatalf("corrupt payload: err=%v, want ErrBadDelta", err)
+		}
+	}
+	if g := s.Generation("job"); g != gen {
+		t.Fatalf("failed applies advanced generation to %d, want %d", g, gen)
+	}
+
+	// The clean delta still applies after all the failures.
+	if _, _, err := s.ApplyDelta("job", d, payload); err != nil {
+		t.Fatalf("clean delta after failures: %v", err)
+	}
+}
+
+func TestStoreDeltaResize(t *testing.T) {
+	const cs = 256
+	s := NewStore()
+	im := NewImage(4*cs, cs, 13)
+	gen, _, _ := s.CommitFull("job", im.Bytes(), cs)
+	im.CommitBase(gen)
+
+	// Shrink to a non-chunk-aligned size: the client re-encodes; the
+	// store must reject any non-dirty chunk whose span changed.
+	shrunk := append([]byte(nil), im.Bytes()[:3*cs+100]...)
+	im.Adopt(shrunk, 0) // replace content; forget base via explicit reset below
+	im.ResetBase()
+	cur := BuildManifest(shrunk, cs)
+	prev := BuildManifest(nil, cs)
+	_ = prev
+	// Build the delta by hand against gen 1: chunk 3's span changed
+	// (was full, now short), so it must be dirty.
+	d := Delta{BaseGen: gen, ChunkSize: cs, Size: int64(len(shrunk)),
+		Dirty: []int{3}, Sums: []ChunkSum{cur.Sums[3]}}
+	payload := shrunk[3*cs:]
+	gen2, crc, err := s.ApplyDelta("job", d, payload)
+	if err != nil {
+		t.Fatalf("shrinking delta: %v", err)
+	}
+	if gen2 != 2 || crc != crc32.ChecksumIEEE(shrunk) {
+		t.Fatalf("shrinking delta committed wrong image")
+	}
+
+	// A resize that pretends the reinterpreted final chunk is clean
+	// must be rejected.
+	d2 := Delta{BaseGen: gen2, ChunkSize: cs, Size: int64(len(shrunk)) - 50}
+	if _, _, err := s.ApplyDelta("job", d2, nil); !errors.Is(err, ErrBadDelta) {
+		t.Fatalf("uncovered resize: err=%v, want ErrBadDelta", err)
+	}
+}
+
+func TestImageAdoptAndRecoveryRoundTrip(t *testing.T) {
+	const cs = 1024
+	s := NewStore()
+	im := NewImage(4*cs, cs, 14)
+	gen, _, _ := s.CommitFull("job", im.Bytes(), cs)
+	im.CommitBase(gen)
+	im.MutateFraction(0.3)
+	d, payload := im.EncodeDelta()
+	gen, _, err := s.ApplyDelta("job", d, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im.CommitBase(gen)
+	want := append([]byte(nil), im.Bytes()...)
+
+	// A fresh client (restart after failure) adopts the committed image
+	// and can immediately delta against it.
+	data, _, sgen, _, ok := s.Lookup("job")
+	if !ok {
+		t.Fatal("lookup failed")
+	}
+	im2 := NewImage(0, cs, 15)
+	im2.Adopt(data, sgen)
+	if !bytes.Equal(im2.Bytes(), want) {
+		t.Fatal("adopted image differs from committed")
+	}
+	d2, p2 := im2.EncodeDelta()
+	if len(d2.Dirty) != 0 {
+		t.Fatalf("adopted image should diff clean, got %d dirty", len(d2.Dirty))
+	}
+	if _, _, err := s.ApplyDelta("job", d2, p2); err != nil {
+		t.Fatalf("delta from adopted image: %v", err)
+	}
+}
+
+func TestMutateFractionDeterministic(t *testing.T) {
+	a := NewImage(64*1024, 1024, 42)
+	b := NewImage(64*1024, 1024, 42)
+	a.MutateFraction(0.2)
+	b.MutateFraction(0.2)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same seed, same mutations: images differ")
+	}
+	a.MutateFraction(0)
+	snap := append([]byte(nil), a.Bytes()...)
+	a.MutateFraction(-1)
+	if !bytes.Equal(a.Bytes(), snap) {
+		t.Fatal("frac<=0 must not mutate")
+	}
+}
+
+func TestDirtyFractionCurve(t *testing.T) {
+	if f := DirtyFraction(0, 100); f != 0 {
+		t.Fatalf("zero rate: %v", f)
+	}
+	if f := DirtyFraction(0.01, 0); f != 0 {
+		t.Fatalf("zero work: %v", f)
+	}
+	f1, f2 := DirtyFraction(0.01, 10), DirtyFraction(0.01, 100)
+	if !(f1 > 0 && f1 < f2 && f2 < 1) {
+		t.Fatalf("curve not monotone in (0,1): f(10)=%v f(100)=%v", f1, f2)
+	}
+	if f := DirtyFraction(10, 1e6); f > 1 {
+		t.Fatalf("fraction above 1: %v", f)
+	}
+}

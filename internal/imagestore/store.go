@@ -1,0 +1,194 @@
+package imagestore
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+)
+
+// Delta describes a patch from a committed base image to a new image:
+// which generation it applies to, the new image geometry, the dirty
+// chunk indices, and the content address of each dirty chunk. It is
+// the manifest half of a delta transfer; the dirty chunks' bytes
+// travel separately as the payload.
+type Delta struct {
+	// BaseGen is the committed generation this patch applies to.
+	BaseGen int `json:"base_gen"`
+	// ChunkSize is the chunk geometry; it must match the base's.
+	ChunkSize int `json:"chunk_size"`
+	// Size is the new image length in bytes.
+	Size int64 `json:"size"`
+	// Dirty lists the patched chunk indices, ascending.
+	Dirty []int `json:"dirty"`
+	// Sums[i] is the content address of chunk Dirty[i]'s new bytes; the
+	// store verifies each patched chunk against it before committing.
+	Sums []ChunkSum `json:"sums"`
+}
+
+// PayloadBytes returns the raw (uncompressed) payload length the delta
+// announces: the summed spans of its dirty chunks.
+func (d Delta) PayloadBytes() int64 {
+	var total int64
+	for _, i := range d.Dirty {
+		lo, hi := chunkSpan(i, d.ChunkSize, d.Size)
+		total += hi - lo
+	}
+	return total
+}
+
+// Store-side commit errors. All of them leave the last good image
+// untouched; the checkpoint manager maps each to a Nack so the client
+// can retry (typically by falling back to a full transfer).
+var (
+	// ErrNoBase reports a delta for a job with no committed image.
+	ErrNoBase = errors.New("imagestore: no committed base image")
+	// ErrBaseMismatch reports a delta built against a superseded
+	// generation (e.g. an earlier commit the client never learned about).
+	ErrBaseMismatch = errors.New("imagestore: base generation mismatch")
+	// ErrBadDelta reports a structurally invalid or corrupt patch:
+	// wrong geometry, out-of-range or unordered dirty indices, payload
+	// length mismatch, or a patched chunk whose bytes fail address
+	// verification.
+	ErrBadDelta = errors.New("imagestore: invalid delta")
+)
+
+// stored is one job's committed image. Its data slice is never
+// mutated in place — commits build a fresh slice and swap — so readers
+// holding a slice returned by Lookup are safe across later commits.
+type stored struct {
+	gen  int
+	data []byte
+	man  Manifest
+	crc  uint32 // IEEE CRC32 of data
+}
+
+// Store holds the last committed checkpoint image of every job, with
+// atomic generation-checked delta application. The zero value is not
+// usable; call NewStore.
+type Store struct {
+	mu     sync.Mutex
+	images map[string]stored
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{images: make(map[string]stored)}
+}
+
+// Lookup returns the committed image of a job: its content, manifest,
+// generation, and whole-image CRC. The returned slice aliases the
+// committed image and must not be modified.
+func (s *Store) Lookup(job string) (data []byte, man Manifest, gen int, crc uint32, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.images[job]
+	return st.data, st.man, st.gen, st.crc, ok
+}
+
+// Generation returns the committed generation of a job (0 = none).
+func (s *Store) Generation(job string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.images[job].gen
+}
+
+// CommitFull replaces a job's image wholesale. The store copies data,
+// so the caller may reuse its buffer. Returns the new generation and
+// the committed manifest and CRC.
+func (s *Store) CommitFull(job string, data []byte, chunkSize int) (gen int, man Manifest, crc uint32) {
+	own := make([]byte, len(data))
+	copy(own, data)
+	man = BuildManifest(own, chunkSize)
+	crc = crc32.ChecksumIEEE(own)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.images[job]
+	st.gen++
+	st.data, st.man, st.crc = own, man, crc
+	s.images[job] = st
+	Metrics.FullCommits.Inc()
+	Metrics.FullBytes.Add(uint64(len(own)))
+	return st.gen, man, crc
+}
+
+// ApplyDelta patches a job's committed image with a delta and its raw
+// (already decompressed) payload. The commit is atomic: every check —
+// base generation, chunk geometry, dirty-set shape, payload length,
+// per-chunk content-address verification — passes before the new image
+// replaces the old one, and any failure returns a named error with the
+// last good image intact.
+func (s *Store) ApplyDelta(job string, d Delta, payload []byte) (gen int, crc uint32, err error) {
+	s.mu.Lock()
+	base, ok := s.images[job]
+	s.mu.Unlock()
+	if !ok || base.gen == 0 {
+		return 0, 0, ErrNoBase
+	}
+	if d.BaseGen != base.gen {
+		return 0, 0, fmt.Errorf("%w: delta against gen %d, committed gen %d", ErrBaseMismatch, d.BaseGen, base.gen)
+	}
+	if d.ChunkSize != base.man.ChunkSize {
+		return 0, 0, fmt.Errorf("%w: chunk size %d vs committed %d", ErrBadDelta, d.ChunkSize, base.man.ChunkSize)
+	}
+	if d.Size < 0 || len(d.Dirty) != len(d.Sums) {
+		return 0, 0, fmt.Errorf("%w: %d dirty indices, %d sums", ErrBadDelta, len(d.Dirty), len(d.Sums))
+	}
+	n := NumChunks(d.Size, d.ChunkSize)
+	if got := d.PayloadBytes(); got != int64(len(payload)) {
+		return 0, 0, fmt.Errorf("%w: payload %d bytes, dirty spans announce %d", ErrBadDelta, len(payload), got)
+	}
+
+	// Build the new image: start from the base, resize, patch.
+	data := make([]byte, d.Size)
+	copy(data, base.data)
+	dirty := make(map[int]bool, len(d.Dirty))
+	off := int64(0)
+	prev := -1
+	for k, i := range d.Dirty {
+		if i <= prev || i >= n {
+			return 0, 0, fmt.Errorf("%w: dirty index %d out of order or range (chunks %d)", ErrBadDelta, i, n)
+		}
+		prev = i
+		lo, hi := chunkSpan(i, d.ChunkSize, d.Size)
+		chunk := payload[off : off+hi-lo]
+		off += hi - lo
+		if sumChunk(chunk) != d.Sums[k] {
+			Metrics.RejectedDeltas.Inc()
+			return 0, 0, fmt.Errorf("%w: chunk %d failed content-address verification", ErrBadDelta, i)
+		}
+		copy(data[lo:hi], chunk)
+		dirty[i] = true
+	}
+	// Every retained chunk must mean the same bytes it meant in the
+	// base: fully covered there, with an identical span (the base's
+	// final short chunk cannot be silently reinterpreted by a resize).
+	for i := 0; i < n; i++ {
+		if dirty[i] {
+			continue
+		}
+		lo, hi := chunkSpan(i, d.ChunkSize, d.Size)
+		blo, bhi := chunkSpan(i, d.ChunkSize, base.man.Size)
+		if lo != blo || hi != bhi || hi > base.man.Size {
+			Metrics.RejectedDeltas.Inc()
+			return 0, 0, fmt.Errorf("%w: chunk %d not dirty but not covered by base", ErrBadDelta, i)
+		}
+	}
+
+	man := BuildManifest(data, d.ChunkSize)
+	crc = crc32.ChecksumIEEE(data)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.images[job]
+	if cur.gen != base.gen {
+		// A concurrent commit slid in while we verified; the delta's
+		// base is stale after all.
+		return 0, 0, fmt.Errorf("%w: base superseded during apply", ErrBaseMismatch)
+	}
+	cur.gen++
+	cur.data, cur.man, cur.crc = data, man, crc
+	s.images[job] = cur
+	Metrics.DeltaCommits.Inc()
+	Metrics.DeltaBytes.Add(uint64(len(payload)))
+	return cur.gen, crc, nil
+}

@@ -1,0 +1,160 @@
+package live
+
+import (
+	"testing"
+
+	"github.com/cycleharvest/ckptsched/internal/ckptnet"
+)
+
+// totalsOf sums the campaign counters a delta comparison cares about.
+func totalsOf(c *Campaign) (mb float64, ckpts, deltas int) {
+	for _, s := range c.Samples {
+		mb += s.MBMoved
+		ckpts += s.Checkpoints
+		deltas += s.DeltaCheckpoints
+	}
+	return
+}
+
+// TestRunCampaignDeltaReducesWireBytes pins the ISSUE's acceptance
+// criterion at the campaign level: with the same seed and pool, delta
+// checkpointing moves strictly fewer megabytes than full-image
+// checkpointing, and the savings come from actual delta transfers.
+func TestRunCampaignDeltaReducesWireBytes(t *testing.T) {
+	machines, history := testbed(t, 16, 11)
+	base := CampaignConfig{
+		Machines:        machines,
+		History:         history,
+		Link:            ckptnet.CampusLink(),
+		CheckpointMB:    500,
+		SamplesPerModel: 4,
+		Seed:            11,
+	}
+	full, err := RunCampaign(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltaCfg := base
+	deltaCfg.Delta = DeltaPolicy{Enabled: true, DirtyRate: 0.001}
+	delta, err := RunCampaign(deltaCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fullMB, fullCkpts, fullDeltas := totalsOf(full)
+	deltaMB, deltaCkpts, deltaDeltas := totalsOf(delta)
+	if fullDeltas != 0 {
+		t.Errorf("full campaign counted %d delta checkpoints", fullDeltas)
+	}
+	if fullCkpts == 0 || deltaCkpts == 0 {
+		t.Fatalf("degenerate campaigns: %d vs %d checkpoints", fullCkpts, deltaCkpts)
+	}
+	if deltaDeltas == 0 {
+		t.Error("delta campaign shipped no deltas")
+	}
+	if deltaMB >= fullMB {
+		t.Errorf("delta campaign moved %.0f MB, full moved %.0f MB; expected a reduction", deltaMB, fullMB)
+	}
+
+	// Work still gets done: sessions commit work at comparable (or
+	// better — cheaper checkpoints) efficiency.
+	effOf := func(c *Campaign) float64 {
+		var work, sess float64
+		for _, s := range c.Samples {
+			work += s.CommittedWork
+			sess += s.SessionSec
+		}
+		return work / sess
+	}
+	if effOf(delta) < 0.8*effOf(full) {
+		t.Errorf("delta efficiency %.3f collapsed vs full %.3f", effOf(delta), effOf(full))
+	}
+}
+
+// TestRunCampaignDeltaDeterminism extends the replay contract to the
+// delta path: wire sizing is a pure function of the session's work
+// history, so two runs of the same config are bit-identical.
+func TestRunCampaignDeltaDeterminism(t *testing.T) {
+	machines, history := testbed(t, 12, 7)
+	run := func(variable bool) *Campaign {
+		c, err := RunCampaign(CampaignConfig{
+			Machines:        machines,
+			History:         history,
+			Link:            ckptnet.CampusLink(),
+			SamplesPerModel: 3,
+			Seed:            7,
+			Delta:           DeltaPolicy{Enabled: true, VariableCost: variable},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	for _, variable := range []bool{false, true} {
+		a, b := run(variable), run(variable)
+		for i := range a.Samples {
+			if a.Samples[i].MBMoved != b.Samples[i].MBMoved ||
+				a.Samples[i].SessionSec != b.Samples[i].SessionSec ||
+				a.Samples[i].DeltaCheckpoints != b.Samples[i].DeltaCheckpoints {
+				t.Fatalf("variable=%v: campaign not deterministic at sample %d", variable, i)
+			}
+		}
+	}
+}
+
+// TestRunCampaignVariableCostSchedules checks the C(T) curve actually
+// reaches the optimizer: scheduling with the interval-dependent cost
+// changes the chosen intervals relative to constant-cost delta.
+func TestRunCampaignVariableCostSchedules(t *testing.T) {
+	machines, history := testbed(t, 12, 5)
+	run := func(variable bool) *Campaign {
+		c, err := RunCampaign(CampaignConfig{
+			Machines:        machines,
+			History:         history,
+			Link:            ckptnet.CampusLink(),
+			CheckpointMB:    500,
+			SamplesPerModel: 3,
+			Seed:            5,
+			Delta:           DeltaPolicy{Enabled: true, DirtyRate: 0.001, VariableCost: variable},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	constC, varC := run(false), run(true)
+	same := true
+	for i := range constC.Samples {
+		if constC.Samples[i].Intervals != varC.Samples[i].Intervals ||
+			constC.Samples[i].CommittedWork != varC.Samples[i].CommittedWork {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("variable-cost scheduling produced identical campaigns; curve never reached the optimizer")
+	}
+	// And it must still commit work.
+	var work float64
+	for _, s := range varC.Samples {
+		work += s.CommittedWork
+	}
+	if work <= 0 {
+		t.Error("variable-cost campaign committed no work")
+	}
+}
+
+func TestRunCampaignVariableCostRequiresDelta(t *testing.T) {
+	machines, history := testbed(t, 8, 3)
+	_, err := RunCampaign(CampaignConfig{
+		Machines:        machines,
+		History:         history,
+		Link:            ckptnet.CampusLink(),
+		SamplesPerModel: 1,
+		Seed:            3,
+		Delta:           DeltaPolicy{VariableCost: true},
+	})
+	if err == nil {
+		t.Fatal("VariableCost without Enabled should be rejected")
+	}
+}

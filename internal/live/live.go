@@ -38,6 +38,7 @@ package live
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -103,6 +104,12 @@ type CampaignConfig struct {
 	// TracePidBase offsets this campaign's trace lanes so several
 	// campaigns can share one tracer without colliding pids.
 	TracePidBase uint64
+	// Delta configures content-addressed delta checkpointing (the
+	// ckptnet image store, DESIGN.md §16): after the first full image
+	// lands at the manager, each checkpoint ships only the chunks the
+	// interval's work dirtied. The zero value disables delta entirely
+	// and leaves the campaign bit-identical to earlier builds.
+	Delta DeltaPolicy
 	// Predict configures the oracle fault predictor (DESIGN.md §13):
 	// each session draws its alarms from a private stream derived from
 	// (Seed, sample index) via predict.StreamSeed, so enabling
@@ -114,9 +121,41 @@ type CampaignConfig struct {
 	Policy predict.Policy
 }
 
+// DeltaPolicy configures delta checkpointing for a campaign. The
+// dirtying law matches internal/imagestore: each chunk is touched by
+// an independent Poisson process, so after T seconds of uncommitted
+// work a fraction 1−exp(−DirtyRate·T) of the image is dirty. Wire
+// volume per checkpoint is the dirty chunk count rounded to whole
+// chunks — a deterministic function of the session's work history, so
+// enabling delta adds no RNG draws and preserves the campaign's
+// bit-identical replay contract.
+type DeltaPolicy struct {
+	// Enabled turns delta checkpointing on.
+	Enabled bool
+	// ChunkKB is the dedup chunk size in KiB (default 64, matching
+	// imagestore.DefaultChunkSize).
+	ChunkKB int
+	// DirtyRate is the per-chunk dirtying rate in 1/seconds (default
+	// 0.002: a chunk's expected untouched lifetime is ~8 minutes).
+	DirtyRate float64
+	// VariableCost schedules with the interval-dependent cost curve
+	// C(T) built from forecast.CostModel over the session's bandwidth
+	// estimate, instead of the constant last-measured cost. Requires
+	// Enabled.
+	VariableCost bool
+}
+
 func (c *CampaignConfig) setDefaults() {
 	if c.MinHistory <= 0 {
 		c.MinHistory = trace.DefaultTrainingSize
+	}
+	if c.Delta.Enabled {
+		if c.Delta.ChunkKB <= 0 {
+			c.Delta.ChunkKB = 64
+		}
+		if c.Delta.DirtyRate <= 0 {
+			c.Delta.DirtyRate = 0.002
+		}
 	}
 	if c.RequiresMB <= 0 {
 		c.RequiresMB = 512
@@ -152,6 +191,10 @@ type Sample struct {
 	// completed checkpoint transfers; Heartbeats counts heartbeat
 	// messages.
 	Intervals, Checkpoints, Heartbeats int
+	// DeltaCheckpoints counts completed checkpoint transfers that
+	// shipped as deltas (strictly fewer bytes than the full image);
+	// zero unless the campaign enabled DeltaPolicy.
+	DeltaCheckpoints int
 	// MeasuredCs are the per-transfer measured costs (recovery first).
 	MeasuredCs []float64
 	// Retries counts transfer attempts re-tried after a torn transfer
@@ -300,6 +343,9 @@ func RunCampaign(cfg CampaignConfig) (*Campaign, error) {
 	}
 	if err := cfg.Predict.Validate(); err != nil {
 		return nil, fmt.Errorf("live: %w", err)
+	}
+	if cfg.Delta.VariableCost && !cfg.Delta.Enabled {
+		return nil, errors.New("live: Delta.VariableCost requires Delta.Enabled")
 	}
 
 	fits, err := newFitCache(cfg.History, cfg.MinHistory)
@@ -498,6 +544,36 @@ func runSession(cfg CampaignConfig, chaos chaosLink, fits *fitCache, predictor *
 	sessionLen := al.evictAt - al.start
 	bytes := int64(cfg.CheckpointMB * ckptnet.MB)
 
+	// Delta checkpointing state: hasBase becomes true once a full image
+	// has landed at the manager (the recovery transfer), after which
+	// checkpoints ship only dirty chunks. The wire size is a
+	// deterministic function of the uncommitted-work window, so the
+	// delta path draws exactly the same RNG sequence as the full path.
+	var (
+		hasBase bool
+		fullSec float64 // last measured full-image transfer time (recovery)
+	)
+	chunkBytes := int64(cfg.Delta.ChunkKB) << 10
+	var numChunks int64
+	if cfg.Delta.Enabled && chunkBytes > 0 {
+		numChunks = (bytes + chunkBytes - 1) / chunkBytes
+	}
+	// deltaWire is the expected bytes-on-wire for a checkpoint taken
+	// after workSec seconds of uncommitted work, rounded to whole
+	// chunks (at least one: the manifest always moves something).
+	deltaWire := func(workSec float64) int64 {
+		f := -math.Expm1(-cfg.Delta.DirtyRate * workSec)
+		dirty := int64(math.Round(float64(numChunks) * f))
+		if dirty < 1 {
+			dirty = 1
+		}
+		wire := dirty * chunkBytes
+		if wire > bytes {
+			wire = bytes
+		}
+		return wire
+	}
+
 	d, fitErr := fits.fitFor(al.machine.Name, model)
 	if fitErr != nil {
 		// Unreachable in practice: the allocation pre-pass validated
@@ -535,11 +611,6 @@ func runSession(cfg CampaignConfig, chaos chaosLink, fits *fitCache, predictor *
 		}
 	}
 
-	observe := func(sec float64) {
-		if predictor != nil {
-			predictor.Observe(bytes, sec)
-		}
-	}
 	planningC := func() float64 {
 		if predictor != nil {
 			if sec, err := predictor.PredictTransferSec(bytes); err == nil {
@@ -547,6 +618,22 @@ func runSession(cfg CampaignConfig, chaos chaosLink, fits *fitCache, predictor *
 			}
 		}
 		return measuredC
+	}
+	// bandwidthEst anchors the variable-cost curve: the shared forecast
+	// when one is running, else the session's own full-image recovery
+	// measurement (delta transfer times are the wrong anchor — their
+	// size varies with the interval, which is the very thing the curve
+	// models).
+	bandwidthEst := func() float64 {
+		if predictor != nil {
+			if bw, err := predictor.Bandwidth(); err == nil {
+				return bw
+			}
+		}
+		if fullSec > 0 {
+			return float64(bytes) / fullSec
+		}
+		return 0
 	}
 	// ageNow is the hosting resource's age: phases are contiguous in
 	// virtual time (including retry backoff), so age is always the
@@ -577,27 +664,46 @@ func runSession(cfg CampaignConfig, chaos chaosLink, fits *fitCache, predictor *
 
 	doTransfer = func(kind phase, attempt int, onDone, onFail func(sec float64)) {
 		t0 := clock.Now()
+		// Size the transfer: checkpoints over an established base ship
+		// only the chunks dirtied since the last commit. Retries recompute
+		// the same size (pendingWork is untouched during backoff).
+		xfer, mb := bytes, cfg.CheckpointMB
+		isDelta := false
+		if kind == phaseCheckpointing && cfg.Delta.Enabled && hasBase {
+			xfer = deltaWire(pendingWork)
+			mb = float64(xfer) / ckptnet.MB
+			isDelta = xfer < bytes
+		}
+		committed := func(sec float64) {
+			if isDelta {
+				s.DeltaCheckpoints++
+			}
+			if predictor != nil {
+				_ = predictor.Observe(xfer, sec) // sized and timed here, so never invalid
+			}
+			onDone(sec)
+		}
 		if chaos == nil {
-			dur := cfg.Link.TransferTime(bytes, rng)
+			dur := cfg.Link.TransferTime(xfer, rng)
 			ph, phaseT0, phaseDur = kind, t0, dur
 			pending = clock.Schedule(dur, func() {
 				s.TransferSec += dur
-				s.MBMoved += cfg.CheckpointMB
+				s.MBMoved += mb
 				tr.SpanAt(pid, 1, transferName(kind), abs(t0), dur,
-					obs.AttrStr("outcome", "done"), obs.AttrFloat("mb", cfg.CheckpointMB))
-				onDone(dur)
+					obs.AttrStr("outcome", "done"), obs.AttrFloat("mb", mb))
+				committed(dur)
 			})
 			return
 		}
-		a := chaos.Attempt(bytes, rng)
+		a := chaos.Attempt(xfer, rng)
 		ph, phaseT0, phaseDur = kind, t0, a.FullSec
 		if !a.Torn {
 			pending = clock.Schedule(a.Sec, func() {
 				s.TransferSec += a.Sec
-				s.MBMoved += cfg.CheckpointMB
+				s.MBMoved += mb
 				tr.SpanAt(pid, 1, transferName(kind), abs(t0), a.Sec,
-					obs.AttrStr("outcome", "done"), obs.AttrFloat("mb", cfg.CheckpointMB))
-				onDone(a.Sec)
+					obs.AttrStr("outcome", "done"), obs.AttrFloat("mb", mb))
+				committed(a.Sec)
 			})
 			return
 		}
@@ -605,7 +711,7 @@ func runSession(cfg CampaignConfig, chaos chaosLink, fits *fitCache, predictor *
 			s.Torn++
 			s.TransferSec += a.Sec
 			if a.FullSec > 0 {
-				s.MBMoved += cfg.CheckpointMB * a.Sec / a.FullSec
+				s.MBMoved += mb * a.Sec / a.FullSec
 			}
 			tr.SpanAt(pid, 1, transferName(kind), abs(t0), a.Sec,
 				obs.AttrStr("outcome", "torn"), obs.AttrInt("attempt", int64(attempt)))
@@ -645,6 +751,16 @@ func runSession(cfg CampaignConfig, chaos chaosLink, fits *fitCache, predictor *
 		} else {
 			costs := markov.Costs{C: planC, R: planC, L: planC}
 			m := markov.Model{Avail: d, Costs: costs}
+			if cfg.Delta.VariableCost {
+				// Schedule against the interval-dependent delta cost
+				// C(T): a longer interval dirties more chunks and ships
+				// more bytes. A nil curve (no bandwidth anchor yet)
+				// falls back to the constant measured cost.
+				m.CostFn = forecast.CostModel{
+					FullBytes: bytes,
+					DirtyRate: cfg.Delta.DirtyRate,
+				}.Curve(bandwidthEst())
+			}
 			var err error
 			topt, _, err = m.Topt(age, markov.OptimizeOptions{})
 			if err != nil {
@@ -678,7 +794,6 @@ func runSession(cfg CampaignConfig, chaos chaosLink, fits *fitCache, predictor *
 			s.Checkpoints++
 			s.MeasuredCs = append(s.MeasuredCs, sec)
 			measuredC = sec
-			observe(sec)
 			beginWork()
 		}, func(est float64) {
 			// Checkpoint abandoned after bounded retries: keep
@@ -764,7 +879,6 @@ func runSession(cfg CampaignConfig, chaos chaosLink, fits *fitCache, predictor *
 			pendingWork = 0
 			s.MeasuredCs = append(s.MeasuredCs, sec)
 			measuredC = sec
-			observe(sec)
 			if migrating {
 				// The image is at the destination: the process leaves
 				// the doomed machine and the session ends here.
@@ -798,7 +912,8 @@ func runSession(cfg CampaignConfig, chaos chaosLink, fits *fitCache, predictor *
 	// Initial recovery transfer, timed by the process.
 	doTransfer(phaseRecovering, 1, func(sec float64) {
 		measuredC = sec
-		observe(sec)
+		fullSec = sec
+		hasBase = true // the manager holds the full image we just fetched
 		s.MeasuredCs = append(s.MeasuredCs, sec)
 		beginWork()
 	}, func(est float64) {

@@ -48,12 +48,22 @@ type Costs struct {
 	L float64
 }
 
+// ErrZeroCost reports a degenerate zero (or negative/non-finite)
+// checkpoint cost. A zero C breaks the optimizer's bracket geometry
+// (At assumes span0 = C + T has a positive cost component, and Γ/T
+// degenerates toward "checkpoint continuously for free"), and in
+// practice a measured zero means a fully deduped delta transfer — a
+// lucky sample, not a cost model. Callers with measured costs should
+// floor them (see forecast.CostModel) before building Costs.
+var ErrZeroCost = errors.New("markov: checkpoint cost must be positive")
+
 // NewCosts builds Costs with the paper's conventions: if r < 0 it
 // defaults to c (the paper's "C = R" assumption), and if l < 0 it
-// defaults to c (sequential checkpointing).
+// defaults to c (sequential checkpointing). c must be strictly
+// positive and finite; zero is rejected with ErrZeroCost.
 func NewCosts(c, r, l float64) (Costs, error) {
-	if c < 0 {
-		return Costs{}, fmt.Errorf("markov: negative checkpoint cost %g", c)
+	if c <= 0 || math.IsInf(c, 0) || math.IsNaN(c) {
+		return Costs{}, fmt.Errorf("%w: got %g", ErrZeroCost, c)
 	}
 	if r < 0 {
 		r = c
@@ -64,6 +74,20 @@ func NewCosts(c, r, l float64) (Costs, error) {
 	return Costs{C: c, R: r, L: l}, nil
 }
 
+// CostFunc maps a work-interval length T (seconds) to the checkpoint
+// cost C(T) (seconds). Delta checkpointing makes the cost genuinely
+// interval-dependent: a longer interval dirties more chunks, so more
+// bytes cross the wire. The function must be deterministic — the
+// optimizer probes it dozens of times per age and the schedule-cache
+// contracts assume identical inputs give identical schedules.
+type CostFunc func(T float64) float64
+
+// minVariableCost floors sanitized CostFunc values. A measured or
+// modeled cost can legitimately approach zero (a fully deduped delta),
+// but the optimizer's bracket geometry needs a positive cost span —
+// the same degeneracy NewCosts rejects for constant C.
+const minVariableCost = 1e-3
+
 // Model evaluates the Markov chain for one availability distribution
 // and one set of overhead costs.
 type Model struct {
@@ -72,6 +96,35 @@ type Model struct {
 	Avail dist.Distribution
 	// Costs are the checkpoint/recovery/latency overheads.
 	Costs Costs
+	// CostFn, when non-nil, generalizes the constant checkpoint cost
+	// to C(T): every place the chain consumes Costs.C (and Costs.L,
+	// since sequential checkpointing keeps latency equal to overhead)
+	// evaluates CostFn(T) instead, sanitized by costAt. Costs.R is
+	// untouched — recovery always re-fetches a full image, so its cost
+	// does not shrink with delta encoding. A nil CostFn reproduces the
+	// constant-C arithmetic bit for bit.
+	CostFn CostFunc
+}
+
+// costAt resolves the checkpoint cost and latency for interval T.
+// With no cost curve configured it returns the constant Costs values
+// unchanged — the loads feed the exact same expressions as before, so
+// the constant path stays bitwise identical to the pre-CostFn model.
+// With a curve, non-finite or non-positive values fall back to the
+// constant C (the curve is advisory; the constant is the contract),
+// and finite positive values are floored at minVariableCost.
+func (m Model) costAt(T float64) (c, l float64) {
+	if m.CostFn == nil {
+		return m.Costs.C, m.Costs.L
+	}
+	v := m.CostFn(T)
+	if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+		v = m.Costs.C
+	}
+	if v < minVariableCost {
+		v = minVariableCost
+	}
+	return v, v
 }
 
 // Transitions holds the transition probabilities P_ij and expected
@@ -89,9 +142,10 @@ type Transitions struct {
 func (m Model) At(T, age float64) Transitions {
 	var tr Transitions
 	c := dist.NewConditional(m.Avail, age)
+	ckptC, ckptL := m.costAt(T)
 
 	// State 0 under the future-lifetime distribution.
-	span0 := m.Costs.C + T
+	span0 := ckptC + T
 	tr.P01 = c.Survival(span0)
 	tr.K01 = span0
 	tr.P02 = 1 - tr.P01
@@ -100,7 +154,7 @@ func (m Model) At(T, age float64) Transitions {
 	}
 
 	// State 2 under the unconditional distribution (age has reset).
-	span2 := m.Costs.L + m.Costs.R + T
+	span2 := ckptL + m.Costs.R + T
 	tr.P21 = m.Avail.Survival(span2)
 	tr.K21 = span2
 	tr.P22 = 1 - tr.P21
@@ -294,10 +348,11 @@ func (e gammaEvaluator) gamma(T float64) float64 {
 		return math.Inf(1)
 	}
 	m := e.m
+	ckptC, ckptL := m.costAt(T)
 
 	// State 0 under the future-lifetime distribution. span0 > 0, so
 	// the x<=0 guards of dist.Conditional never fire here.
-	span0 := m.Costs.C + T
+	span0 := ckptC + T
 	var P01 float64
 	if e.sAge > 0 {
 		P01 = m.Avail.Survival(e.age+span0) / e.sAge
@@ -315,7 +370,7 @@ func (e gammaEvaluator) gamma(T float64) float64 {
 	}
 
 	// State 2 under the unconditional distribution (age has reset).
-	span2 := m.Costs.L + m.Costs.R + T
+	span2 := ckptL + m.Costs.R + T
 	P21 := m.Avail.Survival(span2)
 	if P21 <= 0 {
 		return math.Inf(1)
