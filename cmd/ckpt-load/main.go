@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"github.com/cycleharvest/ckptsched/internal/cliflag"
+	"github.com/cycleharvest/ckptsched/internal/obs"
 	"github.com/cycleharvest/ckptsched/internal/serve"
 )
 
@@ -127,6 +128,15 @@ type result struct {
 	notFound            int // 404 (cold keys)
 	other               int
 	p50, p99, p999, max time.Duration
+	// series is the per-second breakdown: completions binned by the wall
+	// second (relative to the common epoch) each response came back in.
+	series []second
+}
+
+// second is one wall-second of the measured phase.
+type second struct {
+	done     int // responses completed in this second
+	p50, p99 time.Duration
 }
 
 func (r result) report() string {
@@ -137,7 +147,53 @@ func (r result) report() string {
 	fmt.Fprintf(&b, "  latency from scheduled arrival: p50 %v  p99 %v  p999 %v  max %v\n",
 		r.p50.Round(time.Microsecond), r.p99.Round(time.Microsecond),
 		r.p999.Round(time.Microsecond), r.max.Round(time.Microsecond))
+	if len(r.series) > 1 {
+		rates := make([]float64, len(r.series))
+		for i, s := range r.series {
+			rates[i] = float64(s.done)
+		}
+		fmt.Fprintf(&b, "  per-second throughput: %s\n", obs.Sparkline(rates, len(rates)))
+		fmt.Fprintf(&b, "  %4s %10s %12s %12s\n", "sec", "done", "p50", "p99")
+		for i, s := range r.series {
+			fmt.Fprintf(&b, "  %4d %10d %12v %12v\n", i, s.done,
+				s.p50.Round(time.Microsecond), s.p99.Round(time.Microsecond))
+		}
+	}
 	return b.String()
+}
+
+// buildSeries bins completion times (offset from the common epoch) into
+// whole seconds and computes each second's latency quantiles. doneAt
+// and lats are parallel.
+func buildSeries(doneAt []time.Duration, lats []time.Duration) []second {
+	if len(doneAt) == 0 {
+		return nil
+	}
+	maxAt := doneAt[0]
+	for _, d := range doneAt {
+		if d > maxAt {
+			maxAt = d
+		}
+	}
+	bins := make([][]time.Duration, int(maxAt/time.Second)+1)
+	for i, d := range doneAt {
+		b := int(d / time.Second)
+		if b < 0 {
+			b = 0
+		}
+		bins[b] = append(bins[b], lats[i])
+	}
+	out := make([]second, len(bins))
+	for i, lat := range bins {
+		out[i].done = len(lat)
+		if len(lat) == 0 {
+			continue
+		}
+		sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+		q := func(p float64) time.Duration { return lat[min(int(p*float64(len(lat))), len(lat)-1)] }
+		out[i].p50, out[i].p99 = q(0.50), q(0.99)
+	}
+	return out
 }
 
 func run(cfg config) (result, error) {
@@ -292,7 +348,7 @@ func load(addr string, cfg config) (result, error) {
 
 	var res result
 	res.offered = cfg.rate
-	var all []time.Duration
+	var all, doneAt []time.Duration
 	for i := range results {
 		r := &results[i]
 		if r.err != nil {
@@ -302,6 +358,11 @@ func load(addr string, cfg config) (result, error) {
 		res.shed += r.shed
 		res.notFound += r.nf
 		res.other += r.other
+		// A response's completion offset from the epoch is its scheduled
+		// arrival plus its measured latency.
+		for j, l := range r.lat {
+			doneAt = append(doneAt, work[i].offs[j]+l)
+		}
 		all = append(all, r.lat...)
 	}
 	res.completed = len(all)
@@ -311,6 +372,7 @@ func load(addr string, cfg config) (result, error) {
 	// Wall time of the measured phase: the schedule spans total/rate
 	// seconds; completions past that are the backlog draining.
 	res.achieved = float64(res.completed) / time.Since(start).Seconds()
+	res.series = buildSeries(doneAt, all)
 	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
 	q := func(p float64) time.Duration { return all[min(int(p*float64(len(all))), len(all)-1)] }
 	res.p50, res.p99, res.p999, res.max = q(0.50), q(0.99), q(0.999), all[len(all)-1]

@@ -47,6 +47,45 @@ func TestLoadSmoke(t *testing.T) {
 			t.Errorf("report missing %q:\n%s", want, rep)
 		}
 	}
+
+	// The per-second series accounts for every completion.
+	sum := 0
+	for _, s := range res.series {
+		sum += s.done
+		if s.done > 0 && (s.p50 <= 0 || s.p99 < s.p50) {
+			t.Errorf("second quantiles implausible: %+v", s)
+		}
+	}
+	if sum != res.completed {
+		t.Errorf("series sums to %d completions, want %d", sum, res.completed)
+	}
+}
+
+// TestBuildSeries pins the binning: completions land in the wall
+// second they finished in, and each bin's quantiles come from that
+// bin alone.
+func TestBuildSeries(t *testing.T) {
+	ms := time.Millisecond
+	doneAt := []time.Duration{100 * ms, 900 * ms, 1100 * ms, 2500 * ms, 2600 * ms}
+	lats := []time.Duration{1 * ms, 2 * ms, 3 * ms, 10 * ms, 20 * ms}
+	s := buildSeries(doneAt, lats)
+	if len(s) != 3 {
+		t.Fatalf("len = %d, want 3", len(s))
+	}
+	if s[0].done != 2 || s[1].done != 1 || s[2].done != 2 {
+		t.Fatalf("bin counts = %d,%d,%d", s[0].done, s[1].done, s[2].done)
+	}
+	// Quantile convention matches the aggregate report: index int(p*n),
+	// so p50 of a 2-element bin is the upper element.
+	if s[2].p50 != 20*ms || s[2].p99 != 20*ms {
+		t.Errorf("bin 2 quantiles p50=%v p99=%v", s[2].p50, s[2].p99)
+	}
+	if s[1].p50 != 3*ms {
+		t.Errorf("bin 1 p50=%v", s[1].p50)
+	}
+	if buildSeries(nil, nil) != nil {
+		t.Error("empty input should give a nil series")
+	}
 }
 
 // TestPickKeysDeterministic pins the key sequence to the seed so load

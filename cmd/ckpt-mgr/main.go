@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -67,6 +68,8 @@ func main() {
 	faultEvery := flag.Int("fault-reset-every", 1, "fault injection: arm the reset on every Nth connection")
 	faultSeed := flag.Int64("fault-seed", 1, "fault injection: deterministic seed")
 	metricsAddr := flag.String("metrics", "", "serve Prometheus /metrics, expvar /debug/vars, /healthz and /debug/trace/snapshot on this address (e.g. 127.0.0.1:9090)")
+	historyWindow := flag.Duration("history-window", time.Second, "windowed-metrics scrape cadence for /metrics/history (0 disables; needs -metrics)")
+	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the -metrics address")
 	flag.Parse()
 
 	opts := ckptnet.Options{
@@ -95,13 +98,21 @@ func main() {
 	}
 	var ms *metricsServer
 	if *metricsAddr != "" {
+		var hist *obs.History
+		if *historyWindow > 0 {
+			hist = obs.NewHistory(obs.HistoryOptions{
+				Registry: reg,
+				Window:   historyWindow.Seconds(),
+			})
+			obs.NewRuntimeCollector(reg).Attach(hist)
+		}
 		var err error
-		ms, err = startMetricsServer(*metricsAddr, reg, opts.Tracer)
+		ms, err = startMetricsServer(*metricsAddr, reg, opts.Tracer, hist, *pprofOn)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ckpt-mgr: metrics listener:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("metrics on http://%s/metrics (expvar at /debug/vars, liveness at /healthz, flight recorder at /debug/trace/snapshot)\n", ms.Addr())
+		fmt.Printf("metrics on http://%s/metrics (windowed history at /metrics/history, expvar at /debug/vars, liveness at /healthz, flight recorder at /debug/trace/snapshot)\n", ms.Addr())
 	}
 	if *faultDrop > 0 || *faultCorrupt > 0 || *faultReset > 0 {
 		fi := ckptnet.NewFaultInjector(ckptnet.FaultConfig{
@@ -121,18 +132,23 @@ func main() {
 }
 
 // metricsServer is the optional observability HTTP server; it lives
-// until Shutdown, which drains in-flight scrapes before returning.
+// until Shutdown, which drains in-flight scrapes (and the history
+// self-scraper) before returning.
 type metricsServer struct {
-	srv  *http.Server
-	ln   net.Listener
-	done chan struct{}
+	srv         *http.Server
+	ln          net.Listener
+	done        chan struct{}
+	stopScraper func()
 }
 
 // startMetricsServer binds addr and serves the observability mux:
-// Prometheus /metrics, expvar /debug/vars, a /healthz liveness probe,
-// and (when a tracer is attached) the flight recorder's ring as
-// Chrome-trace JSON at /debug/trace/snapshot.
-func startMetricsServer(addr string, reg *obs.Registry, tracer *obs.Tracer) (*metricsServer, error) {
+// Prometheus /metrics, windowed series at /metrics/history (when a
+// history is attached — its wall-clock self-scraper starts here and
+// stops with the server), expvar /debug/vars, a /healthz liveness
+// probe, (when a tracer is attached) the flight recorder's ring as
+// Chrome-trace JSON at /debug/trace/snapshot, and optionally
+// net/http/pprof under /debug/pprof/.
+func startMetricsServer(addr string, reg *obs.Registry, tracer *obs.Tracer, hist *obs.History, pprofOn bool) (*metricsServer, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.Handler())
 	mux.Handle("/debug/vars", expvar.Handler())
@@ -143,14 +159,30 @@ func startMetricsServer(addr string, reg *obs.Registry, tracer *obs.Tracer) (*me
 	if tracer != nil {
 		mux.Handle("/debug/trace/snapshot", tracer.SnapshotHandler())
 	}
+	var stopScraper func()
+	if hist != nil {
+		mux.Handle("/metrics/history", hist.Handler())
+		stopScraper = hist.StartScraper()
+	}
+	if pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
+		if stopScraper != nil {
+			stopScraper()
+		}
 		return nil, err
 	}
 	ms := &metricsServer{
-		srv:  &http.Server{Handler: mux},
-		ln:   ln,
-		done: make(chan struct{}),
+		srv:         &http.Server{Handler: mux},
+		ln:          ln,
+		done:        make(chan struct{}),
+		stopScraper: stopScraper,
 	}
 	go func() {
 		defer close(ms.done)
@@ -168,6 +200,9 @@ func (ms *metricsServer) Addr() net.Addr { return ms.ln.Addr() }
 // requests drain until ctx expires, and the serve goroutine has exited
 // by the time it returns.
 func (ms *metricsServer) Shutdown(ctx context.Context) error {
+	if ms.stopScraper != nil {
+		ms.stopScraper()
+	}
 	err := ms.srv.Shutdown(ctx)
 	<-ms.done
 	return err

@@ -36,11 +36,37 @@ func TestMetricsServerEndpoints(t *testing.T) {
 	tracer := obs.NewTracer(obs.TracerOptions{Metrics: reg})
 	tracer.Event(1, 1, "probe")
 
-	ms, err := startMetricsServer("127.0.0.1:0", reg, tracer)
+	hist := obs.NewHistory(obs.HistoryOptions{Registry: reg, Window: 0.01, Capacity: 32})
+	obs.NewRuntimeCollector(reg).Attach(hist)
+	ms, err := startMetricsServer("127.0.0.1:0", reg, tracer, hist, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	base := "http://" + ms.Addr().String()
+
+	// The self-scraper needs one baseline plus one window before the
+	// history carries series.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, body := get(t, base+"/metrics/history")
+		var snap obs.HistorySnapshot
+		if err := json.Unmarshal([]byte(body), &snap); err != nil {
+			t.Fatalf("/metrics/history is not a snapshot: %v\n%s", err, body)
+		}
+		if snap.Windows > 0 {
+			if _, ok := snap.Counters["ckptnet_test_total"]; !ok {
+				t.Errorf("history missing ckptnet_test_total: %s", body)
+			}
+			if _, ok := snap.Gauges["go_goroutines"]; !ok {
+				t.Errorf("history missing runtime metrics: %s", body)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("history never accumulated a window")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 
 	if code, body := get(t, base+"/healthz"); code != http.StatusOK || strings.TrimSpace(body) != "ok" {
 		t.Errorf("/healthz = %d %q", code, body)
@@ -79,7 +105,7 @@ func TestMetricsServerEndpoints(t *testing.T) {
 // TestMetricsServerNoTracer pins the degraded mux: without a tracer
 // the snapshot route 404s while the rest stays up.
 func TestMetricsServerNoTracer(t *testing.T) {
-	ms, err := startMetricsServer("127.0.0.1:0", obs.NewRegistry(), nil)
+	ms, err := startMetricsServer("127.0.0.1:0", obs.NewRegistry(), nil, nil, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,6 +8,13 @@
 //
 //	ckpt-report -log sessions.jsonl [-persession]
 //	ckpt-report timeline -trace out.json [-pid 3] [-width 60] [-markdown]
+//	ckpt-report watch -url http://127.0.0.1:7420 [-interval 1s] [-width 60] [-once]
+//
+// The watch subcommand is a live terminal dashboard: it polls the
+// server's /metrics/history endpoint (ckpt-served, or ckpt-mgr with
+// -metrics) and renders request rate, p99 latency, bytes-on-wire,
+// goroutines and SLO error-budget burn as sparklines, refreshed each
+// poll. -once prints a single frame and exits (scripts, tests).
 //
 // The timeline subcommand replays an execution trace (Chrome-trace
 // JSON or compact JSONL, as written by the -trace flag of ckpt-mgr,
@@ -20,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"github.com/cycleharvest/ckptsched/internal/ckptnet"
 	"github.com/cycleharvest/ckptsched/internal/fit"
@@ -36,6 +44,20 @@ func main() {
 		fs.Parse(os.Args[2:])
 		if err := runTimeline(opts, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "ckpt-report timeline:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "watch" {
+		fs := flag.NewFlagSet("watch", flag.ExitOnError)
+		var opts watchOptions
+		fs.StringVar(&opts.url, "url", "", "base URL of a server exposing /metrics/history")
+		fs.DurationVar(&opts.interval, "interval", time.Second, "poll cadence")
+		fs.IntVar(&opts.width, "width", 60, "sparkline width, columns")
+		fs.BoolVar(&opts.once, "once", false, "print one frame and exit")
+		fs.Parse(os.Args[2:])
+		if err := runWatch(opts, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "ckpt-report watch:", err)
 			os.Exit(1)
 		}
 		return

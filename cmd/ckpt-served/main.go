@@ -15,7 +15,8 @@
 //	POST /v1/schedule                     {"key","model","data"|"params","c","r","telapsed","horizon","replace"}
 //	GET  /v1/schedule/{key}               full stored schedule
 //	GET  /v1/schedule/{key}/interval?age= current work interval, O(1)
-//	GET  /healthz, /metrics, /debug/vars, /debug/trace/snapshot
+//	GET  /healthz, /metrics, /metrics/history, /debug/vars, /debug/trace/snapshot
+//	GET  /debug/pprof/* (with -pprof)
 //
 // Overloaded routes shed with 429 + Retry-After; SIGINT/SIGTERM drains
 // gracefully and, with -trace, writes the request timeline on the way
@@ -48,6 +49,9 @@ func main() {
 	intervalQueue := flag.Int("interval-queue", 1024, "interval-route admission: max queued requests")
 	intervalWait := flag.Duration("interval-wait", 5*time.Millisecond, "interval-route admission: max queue wait")
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After advised on 429 responses")
+	historyWindow := flag.Duration("history-window", time.Second, "windowed-metrics scrape cadence for /metrics/history (0 disables)")
+	historyWindows := flag.Int("history-windows", 512, "windows retained by /metrics/history")
+	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	tracePath := flag.String("trace", "", "write the request timeline here on shutdown (.json Chrome trace, .jsonl compact)")
 	flag.Parse()
 
@@ -56,22 +60,44 @@ func main() {
 	ck.NonNegativeInt("max-fits", *maxFits)
 	ck.PositiveInt("interval-inflight", *intervalInflight)
 	ck.NonNegativeInt("interval-queue", *intervalQueue)
+	ck.PositiveInt("history-windows", *historyWindows)
 	if err := ck.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "ckpt-served:", err)
 		os.Exit(1)
 	}
 
-	if err := run(*addr, *fastAddr, *maxSchedules, *maxFits, *intervalInflight, *intervalQueue,
-		*intervalWait, *retryAfter, *tracePath); err != nil {
+	cfg := serviceConfig{
+		maxSchedules:     *maxSchedules,
+		maxFits:          *maxFits,
+		intervalInflight: *intervalInflight,
+		intervalQueue:    *intervalQueue,
+		intervalWait:     *intervalWait,
+		retryAfter:       *retryAfter,
+		historyWindow:    *historyWindow,
+		historyWindows:   *historyWindows,
+		pprof:            *pprofOn,
+		fullTrace:        *tracePath != "",
+	}
+	if err := run(*addr, *fastAddr, cfg, *tracePath); err != nil {
 		fmt.Fprintln(os.Stderr, "ckpt-served:", err)
 		os.Exit(1)
 	}
 }
 
+// serviceConfig is the wiring knob set newService consumes.
+type serviceConfig struct {
+	maxSchedules, maxFits           int
+	intervalInflight, intervalQueue int
+	intervalWait, retryAfter        time.Duration
+	historyWindow                   time.Duration // 0 disables /metrics/history
+	historyWindows                  int
+	pprof                           bool
+	fullTrace                       bool
+}
+
 // newService wires the observability stack and builds the server —
 // split from run so the smoke test can start one without signals.
-func newService(maxSchedules, maxFits, intervalInflight, intervalQueue int,
-	intervalWait, retryAfter time.Duration, fullTrace bool) (*serve.Server, *obs.Tracer) {
+func newService(cfg serviceConfig) (*serve.Server, *obs.Tracer, *obs.History) {
 	reg := obs.NewRegistry()
 	fit.Instrument(reg)
 	markov.Instrument(reg)
@@ -79,10 +105,20 @@ func newService(maxSchedules, maxFits, intervalInflight, intervalQueue int,
 		obs.PublishExpvar("ckptsched", reg)
 	}
 	tracer := obs.NewTracer(obs.TracerOptions{
-		FullFidelity: fullTrace,
+		FullFidelity: cfg.fullTrace,
 		Metrics:      reg,
 	})
+	var hist *obs.History
+	if cfg.historyWindow > 0 {
+		hist = obs.NewHistory(obs.HistoryOptions{
+			Registry: reg,
+			Window:   cfg.historyWindow.Seconds(),
+			Capacity: cfg.historyWindows,
+		})
+		obs.NewRuntimeCollector(reg).Attach(hist)
+	}
 
+	maxSchedules, maxFits := cfg.maxSchedules, cfg.maxFits
 	if maxSchedules == 0 {
 		maxSchedules = -1 // serve: negative means unbounded
 	}
@@ -92,22 +128,24 @@ func newService(maxSchedules, maxFits, intervalInflight, intervalQueue int,
 	s := serve.New(serve.Options{
 		Registry:     reg,
 		Tracer:       tracer,
+		History:      hist,
+		Pprof:        cfg.pprof,
 		MaxFits:      maxFits,
 		MaxSchedules: maxSchedules,
 		Interval: serve.RouteLimit{
-			MaxInFlight: intervalInflight,
-			MaxQueued:   intervalQueue,
-			MaxWait:     intervalWait,
+			MaxInFlight: cfg.intervalInflight,
+			MaxQueued:   cfg.intervalQueue,
+			MaxWait:     cfg.intervalWait,
 		},
-		RetryAfter: retryAfter,
+		RetryAfter: cfg.retryAfter,
 	})
-	return s, tracer
+	return s, tracer, hist
 }
 
-func run(addr, fastAddr string, maxSchedules, maxFits, intervalInflight, intervalQueue int,
-	intervalWait, retryAfter time.Duration, tracePath string) error {
-	s, tracer := newService(maxSchedules, maxFits, intervalInflight, intervalQueue,
-		intervalWait, retryAfter, tracePath != "")
+func run(addr, fastAddr string, cfg serviceConfig, tracePath string) error {
+	s, tracer, hist := newService(cfg)
+	stopScraper := hist.StartScraper()
+	defer stopScraper()
 	rn, err := s.Start(addr)
 	if err != nil {
 		return err

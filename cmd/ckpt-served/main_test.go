@@ -13,7 +13,12 @@ import (
 // walks the API over real HTTP: build a schedule, look up an interval,
 // scrape metrics, drain.
 func TestServiceSmoke(t *testing.T) {
-	s, _ := newService(1<<10, 1<<10, 256, 1024, 5*time.Millisecond, time.Second, false)
+	s, _, _ := newService(serviceConfig{
+		maxSchedules: 1 << 10, maxFits: 1 << 10,
+		intervalInflight: 256, intervalQueue: 1024,
+		intervalWait: 5 * time.Millisecond, retryAfter: time.Second,
+		historyWindow: time.Second, historyWindows: 64,
+	})
 	rn, err := s.Start("127.0.0.1:0")
 	if err != nil {
 		t.Fatalf("start: %v", err)
@@ -51,7 +56,7 @@ func TestServiceSmoke(t *testing.T) {
 		t.Fatalf("interval T = %g, want > 0", iv.T)
 	}
 
-	for _, path := range []string{"/healthz", "/metrics", "/debug/vars", "/debug/trace/snapshot"} {
+	for _, path := range []string{"/healthz", "/metrics", "/metrics/history", "/debug/vars", "/debug/trace/snapshot"} {
 		resp, err := http.Get(base + path)
 		if err != nil {
 			t.Fatalf("GET %s: %v", path, err)

@@ -32,19 +32,25 @@ import (
 
 // options collects the run parameters of one ckpt-sim invocation.
 type options struct {
-	availPath  string
-	tracePath  string
-	c, size    float64
-	train      int
-	minRec     int
-	perMachine bool
-	seed       int64
+	availPath   string
+	tracePath   string
+	historyPath string
+	historyWin  float64
+	historyCap  int
+	c, size     float64
+	train       int
+	minRec      int
+	perMachine  bool
+	seed        int64
 }
 
 func main() {
 	var opts options
 	flag.StringVar(&opts.availPath, "avail", "", "availability trace CSV (default: synthetic pool from -seed)")
 	flag.StringVar(&opts.tracePath, "trace", "", "write an execution timeline to this file (.json Chrome trace, .jsonl compact)")
+	flag.StringVar(&opts.historyPath, "history", "", "write per-run windowed metric history (virtual clock) to this JSON file")
+	flag.Float64Var(&opts.historyWin, "history-window", 3600, "history window width, simulated seconds")
+	flag.IntVar(&opts.historyCap, "history-windows", 512, "history ring capacity, windows")
 	flag.Float64Var(&opts.c, "c", 500, "checkpoint/recovery cost, seconds")
 	flag.Float64Var(&opts.size, "size", 500, "checkpoint image size, MB")
 	flag.IntVar(&opts.train, "train", trace.DefaultTrainingSize, "training-prefix length")
@@ -164,6 +170,14 @@ func run(opts options) error {
 	}
 	fmt.Printf("simulating %d machines, C=R=%g s, %g MB checkpoints\n\n", len(traces), opts.c, opts.size)
 
+	// Each (model, machine) replay starts its virtual clock at zero, so
+	// every run gets its own history ring; the export maps run keys to
+	// DESIGN.md §17 snapshots.
+	var histories map[string]obs.HistorySnapshot
+	if opts.historyPath != "" {
+		histories = make(map[string]obs.HistorySnapshot)
+	}
+
 	for mi, model := range fit.Models {
 		var effs, mbs []float64
 		if opts.perMachine {
@@ -178,9 +192,21 @@ func run(opts options) error {
 			// sequential, so the export is deterministic for a fixed
 			// workload at any GOMAXPROCS.
 			cfg.TracePid = uint64(mi*len(traces)+ti) + 1
+			var hist *obs.History
+			if histories != nil {
+				hist = obs.NewHistory(obs.HistoryOptions{
+					Registry: obs.NewRegistry(),
+					Window:   opts.historyWin,
+					Capacity: opts.historyCap,
+				})
+			}
+			cfg.History = hist
 			run, err := sim.RunModel(tdata, test, model, cfg)
 			if err != nil {
 				return fmt.Errorf("%s under %v: %w", tr.Machine, model, err)
+			}
+			if hist != nil {
+				histories[fmt.Sprintf("%v/%s", model, tr.Machine)] = hist.Snapshot()
 			}
 			effs = append(effs, run.Result.Efficiency())
 			mbs = append(mbs, run.Result.MBTransferred)
@@ -201,5 +227,26 @@ func run(opts options) error {
 		fmt.Printf("%-12s efficiency %.3f ± %.3f   bandwidth %.0f ± %.0f MB\n",
 			model, effCI.Mean, effCI.HalfWidth, mbCI.Mean, mbCI.HalfWidth)
 	}
+	if histories != nil {
+		if err := writeHistories(opts.historyPath, histories); err != nil {
+			return err
+		}
+	}
 	return tracer.WriteFile(opts.tracePath)
+}
+
+// writeHistories dumps the per-run history snapshots as one JSON
+// object keyed by "model/machine".
+func writeHistories(path string, histories map[string]obs.HistorySnapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(histories); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -82,7 +82,11 @@ func TestManagerTracing(t *testing.T) {
 			t.Errorf("%q span missing seq attr", e.Name)
 			continue
 		}
-		seq := int64(v.(float64))
+		seq, ok := v.(int64)
+		if !ok {
+			t.Errorf("%q seq attr is %T, want int64 (AttrInt must round-trip)", e.Name, v)
+			continue
+		}
 		if seq < 1 || seq > int64(len(log.Events)) {
 			t.Errorf("%q seq %d out of log range 1..%d", e.Name, seq, len(log.Events))
 			continue

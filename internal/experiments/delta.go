@@ -33,6 +33,9 @@ type DeltaConfig struct {
 	Tracer *obs.Tracer
 	// TracePidBase is the first campaign's lane base.
 	TracePidBase uint64
+	// WireBins sizes the per-campaign bytes-on-wire time series
+	// (default 48 bins over the campaign's virtual span).
+	WireBins int
 }
 
 // DeltaResult compares the three paired campaigns.
@@ -52,6 +55,10 @@ type DeltaResult struct {
 	DeltaCheckpoints, VarCostCheckpoints int
 	// Sessions is the number of completed sessions per campaign.
 	Sessions int
+	// FullWire, DeltaWire and VarCostWire are the three campaigns'
+	// bytes-on-wire time series — network overhead vs virtual time,
+	// the figure the paper's bandwidth argument is about.
+	FullWire, DeltaWire, VarCostWire *obs.ByteSeries
 }
 
 // SavingsPct is the delta campaign's bytes-on-wire saving relative to
@@ -87,6 +94,9 @@ func RunDelta(cfg DeltaConfig) (*DeltaResult, error) {
 	if cfg.DirtyRate <= 0 {
 		cfg.DirtyRate = 0.001
 	}
+	if cfg.WireBins <= 0 {
+		cfg.WireBins = 48
+	}
 
 	runOne := func(name string, lane uint64, delta live.DeltaPolicy) (*LiveTable, *live.Campaign, error) {
 		return RunLiveTable(name, LiveCampaignConfig{
@@ -97,6 +107,7 @@ func RunDelta(cfg DeltaConfig) (*DeltaResult, error) {
 			Tracer:          cfg.Tracer,
 			TracePidBase:    cfg.TracePidBase + lane*TraceCampaignStride,
 			Delta:           delta,
+			WireBins:        cfg.WireBins,
 		})
 	}
 	fullTable, fullCamp, err := runOne("full", 0, live.DeltaPolicy{})
@@ -128,6 +139,9 @@ func RunDelta(cfg DeltaConfig) (*DeltaResult, error) {
 	res.FullMB, _ = campaignWire(fullCamp)
 	res.DeltaMB, res.DeltaCheckpoints = campaignWire(deltaCamp)
 	res.VarCostMB, res.VarCostCheckpoints = campaignWire(varCamp)
+	res.FullWire = fullCamp.Wire
+	res.DeltaWire = deltaCamp.Wire
+	res.VarCostWire = varCamp.Wire
 	return res, nil
 }
 

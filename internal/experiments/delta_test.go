@@ -54,9 +54,24 @@ func TestRunDeltaExperiment(t *testing.T) {
 		t.Errorf("savings = %.1f%%", r.SavingsPct())
 	}
 
+	// The wire series must exist for all three campaigns and agree with
+	// the sample-sum accounting to within bin rounding (every Add rounds
+	// fractional transfers to whole bytes).
+	if r.FullWire == nil || r.DeltaWire == nil || r.VarCostWire == nil {
+		t.Fatal("missing wire series")
+	}
+	fullMB := float64(r.FullWire.Total()) / ckptnet.MB
+	if diff := fullMB - r.FullMB; diff > 1 || diff < -1 {
+		t.Errorf("wire series total %.1f MB, samples sum %.1f MB", fullMB, r.FullMB)
+	}
+	deltaMB := float64(r.DeltaWire.Total()) / ckptnet.MB
+	if deltaMB >= fullMB {
+		t.Errorf("delta wire series %.1f MB not below full %.1f MB", deltaMB, fullMB)
+	}
+
 	out := RenderDelta(r)
 	for _, want := range []string{"Delta experiment", "Bytes on wire", "Delta checkpoints",
-		"delta+variable-C", "Wire savings vs full"} {
+		"delta+variable-C", "Wire savings vs full", "Network overhead vs time"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("render missing %q:\n%s", want, out)
 		}

@@ -68,6 +68,9 @@ type LiveCampaignConfig struct {
 	// Delta enables content-addressed delta checkpointing for every
 	// session of the campaign (passes through to live.CampaignConfig).
 	Delta live.DeltaPolicy
+	// WireBins, when positive, records the campaign's bytes-on-wire as
+	// a time series with this many bins (returned on Campaign.Wire).
+	WireBins int
 }
 
 // TraceCampaignStride is the pid-lane stride callers should leave
@@ -97,6 +100,7 @@ func RunLiveTable(name string, cfg LiveCampaignConfig) (*LiveTable, *live.Campai
 		Predict:         cfg.Predict,
 		Policy:          cfg.Policy,
 		Delta:           cfg.Delta,
+		WireBins:        cfg.WireBins,
 	})
 	if err != nil {
 		return nil, nil, err

@@ -6,6 +6,7 @@ import (
 
 	"github.com/cycleharvest/ckptsched/internal/fit"
 	"github.com/cycleharvest/ckptsched/internal/live"
+	"github.com/cycleharvest/ckptsched/internal/obs"
 )
 
 // modelHeaders are the column titles in the paper's order.
@@ -166,7 +167,35 @@ func RenderDelta(r *DeltaResult) string {
 		"Delta checkpoints", "-", r.DeltaCheckpoints, r.VarCostCheckpoints)
 	fmt.Fprintf(&b, "\nWire savings vs full: delta %.1f%%, delta+variable-C %.1f%%\n",
 		r.SavingsPct(), r.VarCostSavingsPct())
+	if r.FullWire != nil {
+		fmt.Fprintf(&b, "\nNetwork overhead vs time (%.0f s bins, MB/s):\n", r.FullWire.Width())
+		writeWireRow(&b, "full", r.FullWire)
+		writeWireRow(&b, "delta", r.DeltaWire)
+		writeWireRow(&b, "delta+var-C", r.VarCostWire)
+	}
 	return b.String()
+}
+
+// writeWireRow renders one campaign's bytes-on-wire series as a
+// sparkline with its peak and mean rate.
+func writeWireRow(b *strings.Builder, label string, w *obs.ByteSeries) {
+	if w == nil {
+		return
+	}
+	rates := w.MBPerSec()
+	peak, sum := 0.0, 0.0
+	for _, v := range rates {
+		if v > peak {
+			peak = v
+		}
+		sum += v
+	}
+	mean := 0.0
+	if len(rates) > 0 {
+		mean = sum / float64(len(rates))
+	}
+	fmt.Fprintf(b, "%-14s %s  peak %.2f  mean %.2f\n",
+		label, obs.Sparkline(rates, len(rates)), peak, mean)
 }
 
 // RenderChaos renders the fault-injection experiment: clean vs chaos

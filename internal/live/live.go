@@ -104,6 +104,17 @@ type CampaignConfig struct {
 	// TracePidBase offsets this campaign's trace lanes so several
 	// campaigns can share one tracer without colliding pids.
 	TracePidBase uint64
+	// Wire, when set, receives every byte that crosses the link, binned
+	// by virtual campaign time (allocation start + session time) — the
+	// network-overhead-vs-time series the paper plots. ByteSeries bins
+	// are commuting integer atomics, so the series is deterministic
+	// even when sessions replay in parallel.
+	Wire *obs.ByteSeries
+	// WireBins, when positive and Wire is nil, has RunCampaign size the
+	// series itself: the allocation pre-pass fixes the campaign's
+	// virtual span before any session runs, so the bin width is
+	// span/WireBins. The filled series comes back on Campaign.Wire.
+	WireBins int
 	// Delta configures content-addressed delta checkpointing (the
 	// ckptnet image store, DESIGN.md §16): after the first full image
 	// lands at the manager, each checkpoint ships only the chunks the
@@ -238,6 +249,9 @@ type Campaign struct {
 	Samples []Sample
 	// LinkName echoes the link profile.
 	LinkName string
+	// Wire is the bytes-on-wire time series (nil unless the config set
+	// Wire or WireBins).
+	Wire *obs.ByteSeries
 }
 
 // ByModel groups the samples by model family.
@@ -357,6 +371,17 @@ func RunCampaign(cfg CampaignConfig) (*Campaign, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Wire == nil && cfg.WireBins > 0 {
+		span := 0.0
+		for _, al := range allocs {
+			if al.evictAt > span {
+				span = al.evictAt
+			}
+		}
+		if span > 0 {
+			cfg.Wire = obs.NewByteSeries(span/float64(cfg.WireBins), cfg.WireBins)
+		}
+	}
 
 	total := len(allocs)
 	samples := make([]Sample, total)
@@ -376,7 +401,7 @@ func RunCampaign(cfg CampaignConfig) (*Campaign, error) {
 			}
 			samples[idx] = s
 		}
-		return &Campaign{LinkName: cfg.Link.Name(), Samples: samples}, nil
+		return &Campaign{LinkName: cfg.Link.Name(), Samples: samples, Wire: cfg.Wire}, nil
 	}
 
 	// Sessions are independent: fan out over a bounded worker pool.
@@ -406,7 +431,7 @@ func RunCampaign(cfg CampaignConfig) (*Campaign, error) {
 			return nil, err
 		}
 	}
-	return &Campaign{LinkName: cfg.Link.Name(), Samples: samples}, nil
+	return &Campaign{LinkName: cfg.Link.Name(), Samples: samples, Wire: cfg.Wire}, nil
 }
 
 // allocation is one sample's placement, learned by the pre-pass: which
@@ -689,6 +714,7 @@ func runSession(cfg CampaignConfig, chaos chaosLink, fits *fitCache, predictor *
 			pending = clock.Schedule(dur, func() {
 				s.TransferSec += dur
 				s.MBMoved += mb
+				cfg.Wire.Add(abs(clock.Now()), xfer)
 				tr.SpanAt(pid, 1, transferName(kind), abs(t0), dur,
 					obs.AttrStr("outcome", "done"), obs.AttrFloat("mb", mb))
 				committed(dur)
@@ -701,6 +727,7 @@ func runSession(cfg CampaignConfig, chaos chaosLink, fits *fitCache, predictor *
 			pending = clock.Schedule(a.Sec, func() {
 				s.TransferSec += a.Sec
 				s.MBMoved += mb
+				cfg.Wire.Add(abs(clock.Now()), xfer)
 				tr.SpanAt(pid, 1, transferName(kind), abs(t0), a.Sec,
 					obs.AttrStr("outcome", "done"), obs.AttrFloat("mb", mb))
 				committed(a.Sec)
@@ -712,6 +739,7 @@ func runSession(cfg CampaignConfig, chaos chaosLink, fits *fitCache, predictor *
 			s.TransferSec += a.Sec
 			if a.FullSec > 0 {
 				s.MBMoved += mb * a.Sec / a.FullSec
+				cfg.Wire.Add(abs(clock.Now()), int64(float64(xfer)*a.Sec/a.FullSec+0.5))
 			}
 			tr.SpanAt(pid, 1, transferName(kind), abs(t0), a.Sec,
 				obs.AttrStr("outcome", "torn"), obs.AttrInt("attempt", int64(attempt)))
@@ -823,6 +851,7 @@ func runSession(cfg CampaignConfig, chaos chaosLink, fits *fitCache, predictor *
 			s.TransferSec += elapsed
 			if phaseDur > 0 {
 				s.MBMoved += cfg.CheckpointMB * elapsed / phaseDur
+				cfg.Wire.Add(abs(at), int64(cfg.CheckpointMB*ckptnet.MB*elapsed/phaseDur+0.5))
 			}
 			if ph == phaseCheckpointing {
 				s.LostWork += pendingWork

@@ -113,6 +113,57 @@ func TestRunCampaignDeterminism(t *testing.T) {
 	}
 }
 
+// TestRunCampaignWireSeries pins the bytes-on-wire series: RunCampaign
+// sizes it from the planned span, every completed or partial transfer
+// lands in a bin, and the bins are bit-identical across parallel runs
+// (integer atomic adds commute, so worker interleaving cannot show).
+func TestRunCampaignWireSeries(t *testing.T) {
+	machines, history := testbed(t, 12, 7)
+	run := func(procs int) *Campaign {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		c, err := RunCampaign(CampaignConfig{
+			Machines:        machines,
+			History:         history,
+			Link:            ckptnet.CampusLink(),
+			SamplesPerModel: 3,
+			Seed:            7,
+			WireBins:        32,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	a := run(runtime.GOMAXPROCS(0))
+	if a.Wire == nil {
+		t.Fatal("WireBins set but Campaign.Wire is nil")
+	}
+	if got := len(a.Wire.Bins()); got != 32 {
+		t.Fatalf("bins = %d, want 32", got)
+	}
+	// The series total agrees with the per-sample accounting to within
+	// rounding (each partial transfer rounds to whole bytes).
+	var sampleMB float64
+	for _, s := range a.Samples {
+		sampleMB += s.MBMoved
+	}
+	seriesMB := float64(a.Wire.Total()) / ckptnet.MB
+	if d := seriesMB - sampleMB; d > 1 || d < -1 {
+		t.Errorf("wire series %.2f MB vs samples %.2f MB", seriesMB, sampleMB)
+	}
+	b := run(1)
+	if !bytes.Equal(fmtBins(a.Wire.Bins()), fmtBins(b.Wire.Bins())) {
+		t.Fatalf("wire series not deterministic:\n%v\nvs\n%v", a.Wire.Bins(), b.Wire.Bins())
+	}
+}
+
+// fmtBins renders bins for byte comparison.
+func fmtBins(bins []int64) []byte {
+	out, _ := json.Marshal(bins)
+	return out
+}
+
 // TestRunCampaignTraceDeterminism pins the trace contract: one session
 // span per sample on pid = sample index+1, with timestamps on the
 // campaign's virtual pool clock, byte-identical at any GOMAXPROCS

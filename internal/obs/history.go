@@ -1,0 +1,453 @@
+package obs
+
+// This file is the windowed time-series half of the metrics layer: the
+// Registry answers "how much so far", the History answers "how much
+// per second, over the last N windows". A History periodically scrapes
+// its registry, differences the cumulative state against the previous
+// scrape, and appends one fixed-width window of aggregates per metric
+// to a fixed-capacity ring:
+//
+//   - counters    → per-second rate (delta / window duration)
+//   - gauges      → last value (int and float gauges alike)
+//   - histograms  → observation rate plus p50/p99/p999 estimated from
+//     the window's bucket deltas by the same linear interpolation
+//     Prometheus' histogram_quantile uses
+//
+// Two properties are contractual, mirroring the rest of the package:
+//
+//   - Write paths untouched. The History never hooks metric mutation;
+//     counters, gauges and histograms stay single atomic operations
+//     whether or not a History is attached. All cost is paid at scrape
+//     time and is O(registered metrics) per window
+//     (BenchmarkHistoryScrape gates it; BenchmarkHistoryNil pins the
+//     nil off switch allocation-free).
+//
+//   - Clock-agnostic and deterministic. Scrape takes an explicit
+//     timestamp: servers drive it from a wall-clock ticker
+//     (StartScraper), simulators call it at virtual-time window
+//     boundaries. Given deterministic metric state at each scrape, the
+//     exported series is byte-identical at any GOMAXPROCS — the same
+//     discipline as trace export (DESIGN.md §17 states the rules).
+//
+// The first scrape is a baseline: it records cumulative state and
+// emits no window (a counter has no delta yet). Windows appear from
+// the second scrape on. A metric that first appears mid-history reads
+// zero in every window before its first scrape.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// HistoryOptions configures NewHistory. The zero value (with a
+// registry) gives 1-second windows and a 512-window ring.
+type HistoryOptions struct {
+	// Registry is the metric source the history scrapes.
+	Registry *Registry
+	// Window is the nominal window width in seconds (default 1). Rates
+	// are computed against the actual inter-scrape gap, so a jittery
+	// ticker skews no rates; Window is the advertised cadence.
+	Window float64
+	// Capacity is how many windows the ring retains (default 512).
+	Capacity int
+}
+
+// History is a fixed-capacity ring of windowed aggregates per metric.
+// Build with NewHistory; a nil *History no-ops on every method, so
+// call sites stay unconditional (the off switch, like a nil Registry).
+type History struct {
+	reg    *Registry
+	window float64
+	cap    int
+
+	mu     sync.Mutex
+	hooks  []func(ts float64) // run before each scrape, in registration order
+	primed bool               // a baseline scrape has happened
+	lastTs float64            // timestamp of the previous scrape
+	total  uint64             // windows emitted since creation
+	times  []float64
+	series map[string]*histSeries
+}
+
+// histSeries is one metric's ring. vals is always allocated; the
+// quantile rings only for histograms.
+type histSeries struct {
+	kind           kind
+	vals           []float64 // counter rate, gauge last-value, histogram rate
+	p50, p99, p999 []float64
+	prevCounts     []uint64 // histogram bucket baseline from the previous scrape
+	prevCounterVal uint64   // counter baseline from the previous scrape
+}
+
+// NewHistory builds a history over opts.Registry.
+func NewHistory(opts HistoryOptions) *History {
+	w := opts.Window
+	if w <= 0 {
+		w = 1
+	}
+	c := opts.Capacity
+	if c <= 0 {
+		c = 512
+	}
+	return &History{
+		reg:    opts.Registry,
+		window: w,
+		cap:    c,
+		times:  make([]float64, c),
+		series: make(map[string]*histSeries),
+	}
+}
+
+// Registry returns the scraped registry (nil for a nil history) — the
+// hook subsystems use to register their metrics next to the history
+// that will serialize them.
+func (h *History) Registry() *Registry {
+	if h == nil {
+		return nil
+	}
+	return h.reg
+}
+
+// Window returns the nominal window width in seconds (zero for nil).
+func (h *History) Window() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.window
+}
+
+// OnScrape registers f to run at the start of every Scrape with the
+// scrape timestamp, before the registry is read — the seam runtime
+// collectors and SLO burn-rate updaters use to refresh their gauges so
+// the same window that triggered them also records them. Hooks run in
+// registration order, outside the history lock.
+func (h *History) OnScrape(f func(ts float64)) {
+	if h == nil || f == nil {
+		return
+	}
+	h.mu.Lock()
+	h.hooks = append(h.hooks, f)
+	h.mu.Unlock()
+}
+
+// Scrape closes one window at timestamp ts (seconds on the caller's
+// clock): it runs the OnScrape hooks, snapshots the registry, and
+// appends per-metric aggregates for the interval since the previous
+// scrape. The first call records the baseline and emits nothing; a
+// call with ts not after the previous scrape is ignored (no window of
+// zero or negative width). Nil-safe.
+func (h *History) Scrape(ts float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	hooks := h.hooks
+	h.mu.Unlock()
+	for _, f := range hooks {
+		f(ts)
+	}
+
+	snap := h.reg.Snapshot()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.primed {
+		h.lastTs, h.primed = ts, true
+		h.seedBaselines(snap)
+		return
+	}
+	dt := ts - h.lastTs
+	if dt <= 0 {
+		return
+	}
+	pos := int(h.total % uint64(h.cap))
+	h.times[pos] = ts
+
+	for name, v := range snap.Counters {
+		s := h.lookupSeries(name, kindCounter)
+		delta := v - s.prevCounterVal // counters are monotone; a fresh series baselines at 0
+		s.prevCounterVal = v
+		s.vals[pos] = float64(delta) / dt
+	}
+	for name, v := range snap.Gauges {
+		h.lookupSeries(name, kindGauge).vals[pos] = float64(v)
+	}
+	for name, v := range snap.FloatGauges {
+		h.lookupSeries(name, kindFloatGauge).vals[pos] = v
+	}
+	for name, hs := range snap.Histograms {
+		s := h.lookupSeries(name, kindHistogram)
+		if len(s.prevCounts) != len(hs.Counts) {
+			s.prevCounts = make([]uint64, len(hs.Counts))
+		}
+		deltas := make([]uint64, len(hs.Counts))
+		var n uint64
+		for i, c := range hs.Counts {
+			d := c - s.prevCounts[i]
+			s.prevCounts[i] = c
+			deltas[i] = d
+			n += d
+		}
+		s.vals[pos] = float64(n) / dt
+		s.p50[pos] = bucketQuantile(0.50, hs.Bounds, deltas, n)
+		s.p99[pos] = bucketQuantile(0.99, hs.Bounds, deltas, n)
+		s.p999[pos] = bucketQuantile(0.999, hs.Bounds, deltas, n)
+	}
+	h.lastTs = ts
+	h.total++
+}
+
+// seedBaselines pre-registers a series for every metric in the
+// baseline snapshot so counter deltas difference against the baseline
+// value, not zero — a counter at 10⁹ before the first window must not
+// show a 10⁹/s spike in it.
+func (h *History) seedBaselines(snap Snapshot) {
+	for name, v := range snap.Counters {
+		h.lookupSeries(name, kindCounter).prevCounterVal = v
+	}
+	for name := range snap.Gauges {
+		h.lookupSeries(name, kindGauge)
+	}
+	for name := range snap.FloatGauges {
+		h.lookupSeries(name, kindFloatGauge)
+	}
+	for name, hs := range snap.Histograms {
+		s := h.lookupSeries(name, kindHistogram)
+		s.prevCounts = make([]uint64, len(hs.Counts))
+		copy(s.prevCounts, hs.Counts)
+	}
+}
+
+// lookupSeries returns the ring for name, creating it zero-filled on
+// first sight. Caller holds h.mu.
+func (h *History) lookupSeries(name string, k kind) *histSeries {
+	s, ok := h.series[name]
+	if ok {
+		return s
+	}
+	s = &histSeries{kind: k, vals: make([]float64, h.cap)}
+	if k == kindHistogram {
+		s.p50 = make([]float64, h.cap)
+		s.p99 = make([]float64, h.cap)
+		s.p999 = make([]float64, h.cap)
+	}
+	h.series[name] = s
+	return s
+}
+
+// bucketQuantile estimates quantile q from one window's bucket deltas
+// by linear interpolation inside the containing bucket — the estimator
+// Prometheus' histogram_quantile applies to the same data. Windows
+// with no observations report 0 (NaN does not survive JSON); values in
+// the +Inf overflow bucket clamp to the highest finite bound.
+func bucketQuantile(q float64, bounds []float64, deltas []uint64, n uint64) float64 {
+	if n == 0 || len(bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(n)
+	var cum float64
+	for i, d := range deltas {
+		if d == 0 {
+			continue
+		}
+		next := cum + float64(d)
+		if next >= rank {
+			if i >= len(bounds) {
+				return bounds[len(bounds)-1] // +Inf bucket: clamp
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = bounds[i-1]
+			}
+			hi := bounds[i]
+			return lo + (hi-lo)*(rank-cum)/float64(d)
+		}
+		cum = next
+	}
+	return bounds[len(bounds)-1]
+}
+
+// HistogramHistory is one histogram's windowed series: observation
+// rate per second plus estimated quantiles, parallel to
+// HistorySnapshot.Times.
+type HistogramHistory struct {
+	Rate []float64 `json:"rate"`
+	P50  []float64 `json:"p50"`
+	P99  []float64 `json:"p99"`
+	P999 []float64 `json:"p999"`
+}
+
+// HistorySnapshot is the exported state of a History: the retained
+// windows, oldest first, every series aligned with Times. It
+// JSON-encodes deterministically (maps marshal in key order).
+type HistorySnapshot struct {
+	// WindowSeconds is the nominal scrape cadence.
+	WindowSeconds float64 `json:"window_seconds"`
+	// Windows is how many windows are retained (= len(Times)); Total
+	// counts windows emitted since creation, so Total - Windows is how
+	// much history the ring has evicted.
+	Windows int    `json:"windows"`
+	Total   uint64 `json:"total_windows"`
+	// Times holds each retained window's end timestamp, oldest first,
+	// on whatever clock drove Scrape.
+	Times []float64 `json:"times"`
+	// Counters maps metric name to per-second rates; Gauges to
+	// last-in-window values (integer and float gauges both).
+	Counters map[string][]float64 `json:"counters,omitempty"`
+	Gauges   map[string][]float64 `json:"gauges,omitempty"`
+	// Histograms maps metric name to rate + quantile series.
+	Histograms map[string]HistogramHistory `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the retained windows out, oldest first. A nil
+// history yields the zero snapshot.
+func (h *History) Snapshot() HistorySnapshot {
+	var out HistorySnapshot
+	if h == nil {
+		return out
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out.WindowSeconds = h.window
+	out.Total = h.total
+	n := h.cap
+	if h.total < uint64(n) {
+		n = int(h.total)
+	}
+	out.Windows = n
+	out.Times = h.ringOut(h.times, n)
+	for name, s := range h.series {
+		switch s.kind {
+		case kindCounter:
+			if out.Counters == nil {
+				out.Counters = make(map[string][]float64)
+			}
+			out.Counters[name] = h.ringOut(s.vals, n)
+		case kindGauge, kindFloatGauge:
+			if out.Gauges == nil {
+				out.Gauges = make(map[string][]float64)
+			}
+			out.Gauges[name] = h.ringOut(s.vals, n)
+		case kindHistogram:
+			if out.Histograms == nil {
+				out.Histograms = make(map[string]HistogramHistory)
+			}
+			out.Histograms[name] = HistogramHistory{
+				Rate: h.ringOut(s.vals, n),
+				P50:  h.ringOut(s.p50, n),
+				P99:  h.ringOut(s.p99, n),
+				P999: h.ringOut(s.p999, n),
+			}
+		}
+	}
+	return out
+}
+
+// ringOut copies the last n windows of ring into a fresh slice, oldest
+// first. Caller holds h.mu.
+func (h *History) ringOut(ring []float64, n int) []float64 {
+	out := make([]float64, n)
+	pos := int(h.total % uint64(h.cap)) // next write slot = oldest when full
+	if h.total < uint64(h.cap) {
+		copy(out, ring[:n])
+		return out
+	}
+	m := copy(out, ring[pos:])
+	copy(out[m:], ring[:pos])
+	return out
+}
+
+// WriteJSON writes the snapshot as one JSON document. Byte-identical
+// for identical series (encoding/json sorts map keys).
+func (h *History) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(h.Snapshot())
+}
+
+// Handler serves the snapshot as JSON — mount it at /metrics/history.
+// Safe on a nil history (serves an empty document).
+func (h *History) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = h.WriteJSON(w)
+	})
+}
+
+// StartScraper drives Scrape from a wall-clock ticker at the history's
+// window cadence — the self-scraper long-lived servers run. Timestamps
+// are Unix seconds. The returned stop function halts the ticker and
+// waits for the scrape goroutine to exit; it is safe to call once.
+// Nil-safe (returns a no-op stop).
+func (h *History) StartScraper() (stop func()) {
+	if h == nil {
+		return func() {}
+	}
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	interval := time.Duration(h.window * float64(time.Second))
+	if interval <= 0 {
+		interval = time.Second
+	}
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case now := <-t.C:
+				h.Scrape(float64(now.UnixNano()) / 1e9)
+			case <-quit:
+				return
+			}
+		}
+	}()
+	return func() {
+		close(quit)
+		<-done
+	}
+}
+
+// sparkRunes is the eight-level bar alphabet Sparkline renders with.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders vals as a fixed-width ASCII-art strip, scaling
+// linearly from the series minimum (lowest bar) to its maximum (full
+// bar). More values than width keeps the most recent; fewer pads the
+// left with spaces so the newest sample always lands in the rightmost
+// column. An all-equal series renders as lowest bars.
+func Sparkline(vals []float64, width int) string {
+	if width <= 0 {
+		return ""
+	}
+	if len(vals) > width {
+		vals = vals[len(vals)-width:]
+	}
+	lo, hi := 0.0, 0.0
+	for i, v := range vals {
+		if i == 0 || v < lo {
+			lo = v
+		}
+		if i == 0 || v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for i := len(vals); i < width; i++ {
+		b.WriteByte(' ')
+	}
+	span := hi - lo
+	for _, v := range vals {
+		idx := 0
+		if span > 0 {
+			idx = int((v - lo) / span * float64(len(sparkRunes)))
+			if idx >= len(sparkRunes) {
+				idx = len(sparkRunes) - 1
+			}
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}

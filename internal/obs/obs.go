@@ -101,6 +101,29 @@ func (g *Gauge) Value() int64 {
 	return g.v.Load()
 }
 
+// FloatGauge is an instantaneous float64 value — the shape burn rates,
+// ratios, and estimated quantiles take, which the integer Gauge cannot
+// carry. The zero value is ready to use; a nil *FloatGauge no-ops.
+type FloatGauge struct {
+	v atomic.Uint64 // float64 bits
+}
+
+// Set stores v.
+func (g *FloatGauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(math.Float64bits(v))
+}
+
+// Value returns the current value (zero for a nil gauge).
+func (g *FloatGauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.v.Load())
+}
+
 // DefBuckets is the default histogram bucket layout for durations in
 // seconds: 1 ms heartbeat jitter through 5-minute idle timeouts.
 var DefBuckets = []float64{
@@ -152,6 +175,27 @@ func (h *Histogram) Observe(v float64) {
 	for {
 		old := h.sum.Load()
 		val := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, val) {
+			return
+		}
+	}
+}
+
+// observeN folds n identical observations of v into the histogram in
+// O(1) — the bulk-import path the runtime collector uses to mirror the
+// Go runtime's own bucketed distributions (scheduler latency) without
+// n individual Observe calls.
+func (h *Histogram) observeN(v float64, n uint64) {
+	if h == nil || n == 0 {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(n)
+	h.count.Add(n)
+	add := v * float64(n)
+	for {
+		old := h.sum.Load()
+		val := math.Float64bits(math.Float64frombits(old) + add)
 		if h.sum.CompareAndSwap(old, val) {
 			return
 		}

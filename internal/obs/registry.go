@@ -16,6 +16,7 @@ type kind int
 const (
 	kindCounter kind = iota
 	kindGauge
+	kindFloatGauge
 	kindHistogram
 )
 
@@ -23,7 +24,9 @@ func (k kind) String() string {
 	switch k {
 	case kindCounter:
 		return "counter"
-	case kindGauge:
+	case kindGauge, kindFloatGauge:
+		// Prometheus has a single gauge type; the int/float split is an
+		// internal storage decision, not a wire-format one.
 		return "gauge"
 	case kindHistogram:
 		return "histogram"
@@ -37,6 +40,7 @@ type metric struct {
 	kind       kind
 	c          *Counter
 	g          *Gauge
+	fg         *FloatGauge
 	h          *Histogram
 }
 
@@ -99,6 +103,17 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	}).g
 }
 
+// FloatGauge returns the float gauge registered under name, creating
+// it on first use. Returns nil (a valid no-op gauge) on a nil registry.
+func (r *Registry) FloatGauge(name, help string) *FloatGauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, kindFloatGauge, func() *metric {
+		return &metric{fg: &FloatGauge{}}
+	}).fg
+}
+
 // Histogram returns the histogram registered under name, creating it
 // with the given bucket bounds on first use (later calls reuse the
 // original bounds). Returns nil (a valid no-op histogram) on a nil
@@ -140,9 +155,10 @@ type HistogramSnapshot struct {
 // by name. It JSON-encodes deterministically (Go marshals maps in key
 // order), which is what the CLIs' -stats dumps rely on.
 type Snapshot struct {
-	Counters   map[string]uint64            `json:"counters,omitempty"`
-	Gauges     map[string]int64             `json:"gauges,omitempty"`
-	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Counters    map[string]uint64            `json:"counters,omitempty"`
+	Gauges      map[string]int64             `json:"gauges,omitempty"`
+	FloatGauges map[string]float64           `json:"float_gauges,omitempty"`
+	Histograms  map[string]HistogramSnapshot `json:"histograms,omitempty"`
 }
 
 // Snapshot captures the current value of every metric. A nil registry
@@ -164,6 +180,11 @@ func (r *Registry) Snapshot() Snapshot {
 				s.Gauges = make(map[string]int64)
 			}
 			s.Gauges[m.name] = m.g.Value()
+		case kindFloatGauge:
+			if s.FloatGauges == nil {
+				s.FloatGauges = make(map[string]float64)
+			}
+			s.FloatGauges[m.name] = m.fg.Value()
 		case kindHistogram:
 			if s.Histograms == nil {
 				s.Histograms = make(map[string]HistogramSnapshot)
@@ -204,6 +225,10 @@ func (r *Registry) WriteText(w io.Writer) error {
 			}
 		case kindGauge:
 			if _, err := fmt.Fprintf(w, "%s %d\n", m.name, m.g.Value()); err != nil {
+				return err
+			}
+		case kindFloatGauge:
+			if _, err := fmt.Fprintf(w, "%s %s\n", m.name, fmtFloat(m.fg.Value())); err != nil {
 				return err
 			}
 		case kindHistogram:

@@ -53,6 +53,7 @@ const (
 	attrFloat = iota
 	attrStr
 	attrBool
+	attrInt
 )
 
 // Attr is one key/value span or event attribute. Construct with
@@ -61,6 +62,7 @@ type Attr struct {
 	Key  string
 	kind uint8
 	f    float64
+	i    int64
 	s    string
 	b    bool
 }
@@ -68,9 +70,10 @@ type Attr struct {
 // AttrFloat returns a numeric attribute.
 func AttrFloat(key string, v float64) Attr { return Attr{Key: key, kind: attrFloat, f: v} }
 
-// AttrInt returns a numeric attribute from an integer (rendered
-// without an exponent; exact up to 2⁵³).
-func AttrInt(key string, v int64) Attr { return Attr{Key: key, kind: attrFloat, f: float64(v)} }
+// AttrInt returns an integer attribute. Integers keep their own kind
+// (not a float64 in disguise) so values beyond 2⁵³ — byte totals on a
+// busy link clear it — survive export and re-import exactly.
+func AttrInt(key string, v int64) Attr { return Attr{Key: key, kind: attrInt, i: v} }
 
 // AttrStr returns a string attribute.
 func AttrStr(key, v string) Attr { return Attr{Key: key, kind: attrStr, s: v} }
@@ -85,6 +88,8 @@ func (a Attr) Value() any {
 		return a.s
 	case attrBool:
 		return a.b
+	case attrInt:
+		return a.i
 	}
 	return a.f
 }
@@ -462,7 +467,16 @@ func fromChrome(ce chromeEvent) (TraceEvent, error) {
 				ev.Attrs = append(ev.Attrs, AttrBool(k, v))
 			case float64:
 				ev.Attrs = append(ev.Attrs, AttrFloat(k, v))
+			case int64:
+				ev.Attrs = append(ev.Attrs, AttrInt(k, v))
 			case json.Number:
+				// Integers re-import as integers (ReadTrace decodes with
+				// UseNumber so they arrive here undamaged); anything with a
+				// fraction or exponent is a float.
+				if i, err := v.Int64(); err == nil {
+					ev.Attrs = append(ev.Attrs, AttrInt(k, i))
+					continue
+				}
 				f, err := v.Float64()
 				if err != nil {
 					return TraceEvent{}, fmt.Errorf("obs: trace arg %q: %w", k, err)
@@ -545,7 +559,12 @@ sniffed:
 	switch first {
 	case '[':
 		var ces []chromeEvent
-		if err := json.NewDecoder(br).Decode(&ces); err != nil {
+		dec := json.NewDecoder(br)
+		// Numbers land in the any-typed Args as json.Number, not float64,
+		// so integer attributes re-import exactly (fromChrome splits the
+		// kinds back apart).
+		dec.UseNumber()
+		if err := dec.Decode(&ces); err != nil {
 			return nil, fmt.Errorf("obs: chrome trace: %w", err)
 		}
 		out := make([]TraceEvent, 0, len(ces))
@@ -559,6 +578,7 @@ sniffed:
 		return out, nil
 	case '{':
 		dec := json.NewDecoder(br)
+		dec.UseNumber()
 		var out []TraceEvent
 		for i := 0; ; i++ {
 			var ce chromeEvent

@@ -221,3 +221,45 @@ func TestSnapshotHandlerServesRing(t *testing.T) {
 		t.Errorf("snapshot round trip: evs=%v err=%v", evs, err)
 	}
 }
+
+// TestAttrIntExactRoundTrip pins that integer attributes survive both
+// export formats exactly, including values a float64 cannot represent
+// (above 2^53 — the bug this test regresses: AttrInt used to store its
+// value as a float).
+func TestAttrIntExactRoundTrip(t *testing.T) {
+	const big = int64(1)<<60 + 1 // rounds if it ever passes through float64
+	tr := NewTracer(TracerOptions{FullFidelity: true, Clock: func() float64 { return 0 }})
+	tr.SpanAt(1, 1, "transfer", 0, 1,
+		AttrInt("bytes", big), AttrInt("neg", -big), AttrFloat("ratio", 0.25))
+	want := tr.Events()
+	if got := want[0].Attrs[0].Value(); got != any(big) {
+		t.Fatalf("in-memory attr = %v (%T), want %d (int64)", got, got, big)
+	}
+
+	for name, write := range map[string]func(*bytes.Buffer) error{
+		"chrome": func(b *bytes.Buffer) error { return WriteChromeTrace(b, want) },
+		"jsonl":  func(b *bytes.Buffer) error { return WriteTraceJSONL(b, want) },
+	} {
+		var buf bytes.Buffer
+		if err := write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if s := buf.String(); strings.Contains(s, "e+") || strings.Contains(s, "E+") {
+			t.Errorf("%s: integer attr rendered with an exponent: %s", name, s)
+		}
+		got, err := ReadTrace(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		attrs := got[0].Attrs // fromChrome sorts by key: bytes, neg, ratio
+		if v := attrs[0].Value(); v != any(big) {
+			t.Errorf("%s: bytes = %v (%T), want %d (int64)", name, v, v, big)
+		}
+		if v := attrs[1].Value(); v != any(-big) {
+			t.Errorf("%s: neg = %v (%T), want %d (int64)", name, v, v, -big)
+		}
+		if v := attrs[2].Value(); v != any(0.25) {
+			t.Errorf("%s: ratio = %v (%T), want 0.25 (float64)", name, v, v)
+		}
+	}
+}

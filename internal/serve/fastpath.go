@@ -211,6 +211,7 @@ func (fr *FastRunning) serveConn(c net.Conn) {
 			bw.Write(fast400)
 			bw.Flush()
 			s.m.errors.Inc()
+			s.sloInterval.Observe(time.Since(start).Seconds(), false)
 			return
 		}
 		if !s.limInterval.acquire() {
@@ -218,6 +219,7 @@ func (fr *FastRunning) serveConn(c net.Conn) {
 			bw.Write(fast429Prefix)
 			bw.WriteString(s.retryAfterSec)
 			bw.Write(fast429Body)
+			s.sloInterval.Observe(time.Since(start).Seconds(), false)
 			continue
 		}
 		e := s.store.getBytes(key)
@@ -235,13 +237,16 @@ func (fr *FastRunning) serveConn(c net.Conn) {
 		if body == nil {
 			bw.Write(fast404)
 			s.m.errors.Inc()
+			s.sloInterval.Observe(time.Since(start).Seconds(), false)
 			continue
 		}
 		bw.Write(fastOKPrefix)
 		bw.Write(strconv.AppendInt(lenScratch[:0], int64(len(body)), 10))
 		bw.WriteString("\r\n\r\n")
 		bw.Write(body)
-		s.m.intervalLat.Observe(time.Since(start).Seconds())
+		elapsed := time.Since(start).Seconds()
+		s.m.intervalLat.Observe(elapsed)
+		s.sloInterval.Observe(elapsed, true)
 	}
 }
 

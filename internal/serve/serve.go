@@ -9,7 +9,8 @@
 //	POST /v1/schedule                     fit (or take params) and build a checkpoint schedule
 //	GET  /v1/schedule/{key}               the stored schedule, in full
 //	GET  /v1/schedule/{key}/interval?age= the O(1) interval lookup — the hot path
-//	GET  /healthz, /metrics, /debug/vars, /debug/trace/snapshot
+//	GET  /healthz, /metrics, /metrics/history, /debug/vars, /debug/trace/snapshot
+//	GET  /debug/pprof/* (behind Options.Pprof)
 //
 // Three layers make it sustain load (cmd/ckpt-load drives ≥100k
 // lookups/sec against one process):
@@ -43,6 +44,7 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"strings"
@@ -87,6 +89,40 @@ type Options struct {
 	// RetryAfter is the advisory Retry-After on 429 responses,
 	// rounded up to whole seconds; 0 means 1 s.
 	RetryAfter time.Duration
+	// History, when set, is served at /metrics/history and receives the
+	// per-route SLO burn-rate updates on its scrape cycle. Build it over
+	// the same Registry so the slo_* gauges ride both expositions.
+	// Starting the self-scraper remains the caller's job.
+	History *obs.History
+	// FitSLO, ScheduleSLO, IntervalSLO override the per-route
+	// service-level objectives (zero fields keep route defaults: 2.5 s
+	// at 99% for the heavy routes, 10 ms at 99.9% for interval).
+	FitSLO, ScheduleSLO, IntervalSLO SLOTarget
+	// Pprof mounts net/http/pprof under /debug/pprof/ — off by default
+	// because profiling endpoints do not belong on an exposed port
+	// unasked.
+	Pprof bool
+}
+
+// SLOTarget overrides one route's service-level objective. Zero fields
+// keep the route's default.
+type SLOTarget struct {
+	// Latency is the per-request bound in seconds; a slower success
+	// still burns error budget.
+	Latency float64
+	// Objective is the availability target in (0,1), e.g. 0.999.
+	Objective float64
+}
+
+// withDefaults fills zero fields from d.
+func (t SLOTarget) withDefaults(d SLOTarget) SLOTarget {
+	if t.Latency <= 0 {
+		t.Latency = d.Latency
+	}
+	if t.Objective <= 0 || t.Objective >= 1 {
+		t.Objective = d.Objective
+	}
+	return t
 }
 
 // Server routes and serves the scheduling API. Build with New; it is
@@ -98,6 +134,7 @@ type Server struct {
 	store                         *scheduleStore
 	m                             serveMetrics
 	limFit, limSched, limInterval *limiter
+	sloFit, sloSched, sloInterval *obs.SLO
 	retryAfterSec                 string
 
 	// hookAdmitted, when set (tests only), runs after a request passes
@@ -141,6 +178,19 @@ func New(opts Options) *Server {
 		ra = time.Second
 	}
 	s.retryAfterSec = strconv.Itoa(int((ra + time.Second - 1) / time.Second))
+
+	heavySLO := SLOTarget{Latency: 2.5, Objective: 0.99}
+	fitSLO := opts.FitSLO.withDefaults(heavySLO)
+	schedSLO := opts.ScheduleSLO.withDefaults(heavySLO)
+	intSLO := opts.IntervalSLO.withDefaults(SLOTarget{Latency: 0.01, Objective: 0.999})
+	s.sloFit = obs.NewSLO(opts.Registry, "fit", fitSLO.Latency, fitSLO.Objective)
+	s.sloSched = obs.NewSLO(opts.Registry, "schedule", schedSLO.Latency, schedSLO.Objective)
+	s.sloInterval = obs.NewSLO(opts.Registry, "interval", intSLO.Latency, intSLO.Objective)
+	if h := opts.History; h != nil {
+		s.sloFit.Attach(h)
+		s.sloSched.Attach(h)
+		s.sloInterval.Attach(h)
+	}
 	return s
 }
 
@@ -172,6 +222,27 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.m.inflight.Add(1)
 	defer s.m.inflight.Add(-1)
 	path := r.URL.Path
+	if strings.HasPrefix(path, "/debug/pprof") {
+		if !s.opts.Pprof {
+			s.errorf(w, http.StatusNotFound, "profiling is not enabled")
+			return
+		}
+		switch path {
+		case "/debug/pprof/cmdline":
+			pprof.Cmdline(w, r)
+		case "/debug/pprof/profile":
+			pprof.Profile(w, r)
+		case "/debug/pprof/symbol":
+			pprof.Symbol(w, r)
+		case "/debug/pprof/trace":
+			pprof.Trace(w, r)
+		default:
+			// Index also serves the named runtime profiles
+			// (/debug/pprof/heap, /goroutine, ...).
+			pprof.Index(w, r)
+		}
+		return
+	}
 	if strings.HasPrefix(path, "/v1/schedule/") {
 		rest := path[len("/v1/schedule/"):]
 		if i := strings.IndexByte(rest, '/'); i >= 0 {
@@ -196,6 +267,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok\n")
 	case "/metrics":
 		s.opts.Registry.Handler().ServeHTTP(w, r)
+	case "/metrics/history":
+		if s.opts.History == nil {
+			s.errorf(w, http.StatusNotFound, "history is not enabled")
+			return
+		}
+		s.opts.History.Handler().ServeHTTP(w, r)
 	case "/debug/vars":
 		expvar.Handler().ServeHTTP(w, r)
 	case "/debug/trace/snapshot":
@@ -265,21 +342,29 @@ type fitResponse struct {
 	N      int       `json:"n"`
 }
 
+// handleFit classifies the request against the fit SLO on every exit
+// path: serveFit reports whether the client got a 2xx, and anything
+// else — including a shed — burns error budget.
 func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	ok := s.serveFit(w, r, start)
+	s.sloFit.Observe(time.Since(start).Seconds(), ok)
+}
+
+func (s *Server) serveFit(w http.ResponseWriter, r *http.Request, start time.Time) bool {
 	s.m.fitReqs.Inc()
 	if r.Method != http.MethodPost {
 		s.errorf(w, http.StatusMethodNotAllowed, "POST only")
-		return
+		return false
 	}
 	if !s.limFit.acquire() {
 		s.shed(w, "fit")
-		return
+		return false
 	}
 	defer s.limFit.release()
 	if s.hookAdmitted != nil {
 		s.hookAdmitted("fit")
 	}
-	start := time.Now()
 	var sp *obs.Span
 	if t := s.opts.Tracer; t != nil {
 		sp = t.StartSpan(servePid, 1, "serve.fit")
@@ -289,7 +374,7 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 	var req fitRequest
 	if err := s.decodeBody(r, &req); err != nil {
 		s.errorf(w, http.StatusBadRequest, "%v", err)
-		return
+		return false
 	}
 	var ck cliflag.Checker
 	if req.Key == "" {
@@ -302,7 +387,7 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := ck.Err(); err != nil {
 		s.errorf(w, http.StatusBadRequest, "%v", err)
-		return
+		return false
 	}
 	sp.SetAttr(obs.AttrStr("key", req.Key), obs.AttrStr("model", req.Model))
 
@@ -310,18 +395,19 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case errors.Is(err, fit.ErrKeyReuse):
 		s.errorf(w, http.StatusConflict, "%v", err)
-		return
+		return false
 	case err != nil:
 		s.errorf(w, http.StatusUnprocessableEntity, "fit: %v", err)
-		return
+		return false
 	}
 	_, params, err := core.ParamsOf(d)
 	if err != nil {
 		s.errorf(w, http.StatusInternalServerError, "%v", err)
-		return
+		return false
 	}
 	s.writeJSON(w, fitResponse{Key: req.Key, Model: model.String(), Params: params, N: len(req.Data)})
 	s.m.fitLat.Observe(time.Since(start).Seconds())
+	return true
 }
 
 type scheduleRequest struct {
@@ -353,21 +439,28 @@ type scheduleResponse struct {
 	Cached    bool    `json:"cached"`
 }
 
+// handleSchedule classifies the request against the schedule SLO on
+// every exit path, the same wrapper shape as handleFit.
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	ok := s.serveSchedule(w, r, start)
+	s.sloSched.Observe(time.Since(start).Seconds(), ok)
+}
+
+func (s *Server) serveSchedule(w http.ResponseWriter, r *http.Request, start time.Time) bool {
 	s.m.schedReqs.Inc()
 	if r.Method != http.MethodPost {
 		s.errorf(w, http.StatusMethodNotAllowed, "POST only")
-		return
+		return false
 	}
 	if !s.limSched.acquire() {
 		s.shed(w, "schedule")
-		return
+		return false
 	}
 	defer s.limSched.release()
 	if s.hookAdmitted != nil {
 		s.hookAdmitted("schedule")
 	}
-	start := time.Now()
 	var sp *obs.Span
 	if t := s.opts.Tracer; t != nil {
 		sp = t.StartSpan(servePid, 1, "serve.schedule")
@@ -377,7 +470,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	var req scheduleRequest
 	if err := s.decodeBody(r, &req); err != nil {
 		s.errorf(w, http.StatusBadRequest, "%v", err)
-		return
+		return false
 	}
 	var ck cliflag.Checker
 	if req.Key == "" {
@@ -404,12 +497,12 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	ck.NonNegativeInt("max_intervals", req.MaxIntervals)
 	if err := ck.Err(); err != nil {
 		s.errorf(w, http.StatusBadRequest, "%v", err)
-		return
+		return false
 	}
 	costs, err := markov.NewCosts(req.C, rCost, -1)
 	if err != nil {
 		s.errorf(w, http.StatusBadRequest, "%v", err)
-		return
+		return false
 	}
 	sp.SetAttr(obs.AttrStr("key", req.Key), obs.AttrStr("model", req.Model))
 
@@ -420,21 +513,22 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		e.wait()
 		if e.err != nil {
 			s.errorf(w, http.StatusUnprocessableEntity, "schedule: %v", e.err)
-			return
+			return false
 		}
 		s.respondSchedule(w, req.Key, "", e.sched, true)
 		s.m.schedLat.Observe(time.Since(start).Seconds())
-		return
+		return true
 	}
 
 	sched, err := s.buildSchedule(req, model, costs)
 	s.store.complete(e, sched, err)
 	if err != nil {
 		s.errorf(w, http.StatusUnprocessableEntity, "schedule: %v", err)
-		return
+		return false
 	}
 	s.respondSchedule(w, req.Key, model.String(), sched, false)
 	s.m.schedLat.Observe(time.Since(start).Seconds())
+	return true
 }
 
 // buildSchedule resolves the availability distribution (explicit
@@ -504,17 +598,24 @@ func (s *Server) handleGetSchedule(w http.ResponseWriter, r *http.Request, key s
 }
 
 // handleInterval is the hot path: an O(1) quantized schedule lookup
-// rendered without encoding/json or url.Values.
+// rendered without encoding/json or url.Values. The SLO wrapper stays
+// closure-free (serveInterval returns success) so the route's
+// allocation budget is untouched.
 func (s *Server) handleInterval(w http.ResponseWriter, r *http.Request, key string) {
 	start := time.Now()
+	ok := s.serveInterval(w, r, key, start)
+	s.sloInterval.Observe(time.Since(start).Seconds(), ok)
+}
+
+func (s *Server) serveInterval(w http.ResponseWriter, r *http.Request, key string, start time.Time) bool {
 	s.m.intervalReqs.Inc()
 	if r.Method != http.MethodGet {
 		s.errorf(w, http.StatusMethodNotAllowed, "GET only")
-		return
+		return false
 	}
 	if !s.limInterval.acquire() {
 		s.shed(w, "interval")
-		return
+		return false
 	}
 	defer s.limInterval.release()
 	if s.hookAdmitted != nil {
@@ -523,39 +624,31 @@ func (s *Server) handleInterval(w http.ResponseWriter, r *http.Request, key stri
 	age, ok := ageFromQuery(r.URL.RawQuery)
 	if !ok {
 		s.errorf(w, http.StatusBadRequest, "age: must be a finite number ≥ 0")
-		return
+		return false
 	}
 	e := s.store.get(key)
 	if e == nil {
 		s.errorf(w, http.StatusNotFound, "no schedule for key %q", key)
-		return
+		return false
 	}
 	e.wait()
 	if e.err != nil {
 		s.errorf(w, http.StatusUnprocessableEntity, "schedule: %v", e.err)
-		return
+		return false
 	}
 	T, idx, extended, ok := e.sched.LookupFrom(age, int(e.hint.Load()))
 	if !ok {
 		s.errorf(w, http.StatusUnprocessableEntity, "schedule for %q is empty", key)
-		return
+		return false
 	}
 	e.hint.Store(int32(idx))
 
 	var buf [96]byte
-	b := append(buf[:0], `{"t":`...)
-	b = strconv.AppendFloat(b, T, 'g', -1, 64)
-	b = append(b, `,"index":`...)
-	b = strconv.AppendInt(b, int64(idx), 10)
-	if extended {
-		b = append(b, `,"extended":true}`...)
-	} else {
-		b = append(b, `,"extended":false}`...)
-	}
-	b = append(b, '\n')
+	b := appendIntervalBody(buf[:0], T, idx, extended)
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(b)
 	s.m.intervalLat.Observe(time.Since(start).Seconds())
+	return true
 }
 
 // ageFromQuery extracts the age parameter from a raw query string.

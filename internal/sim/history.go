@@ -1,0 +1,137 @@
+package sim
+
+// Virtual-clock history: when Config.History is set, the run registers
+// sim_* metrics on the history's registry and closes its windows at
+// fixed boundaries of simulated time — the exact analogue of the
+// wall-clock self-scraper in the servers, driven by the event loop
+// instead of a ticker. The paper's headline quantity (network overhead
+// over time) falls out as the sim_bytes_moved_total rate series.
+//
+// Determinism is structural: Run is a single goroutine consuming a
+// fixed event sequence, every Scrape happens at a virtual timestamp
+// computed from that sequence, and bytes are accounted in integer
+// units — so the exported series is byte-identical at any GOMAXPROCS
+// (pinned by TestSimHistoryDeterministic).
+
+import "github.com/cycleharvest/ckptsched/internal/obs"
+
+// simObs bundles the sim_* metrics with the window-boundary scraper.
+// A nil *simObs no-ops everywhere, so Run's accounting sites stay
+// unconditional (the same off-switch shape as the rest of obs).
+type simObs struct {
+	h    *obs.History
+	win  float64
+	next float64 // next virtual-time window boundary to scrape
+
+	bytes      *obs.Counter
+	commits    *obs.Counter
+	evictions  *obs.Counter
+	useful     *obs.FloatGauge
+	efficiency *obs.FloatGauge
+}
+
+// mbBytes converts checkpoint megabytes to whole bytes — counters are
+// integers, and integer accounting is what keeps series exact.
+func mbBytes(mb float64) uint64 {
+	if mb <= 0 {
+		return 0
+	}
+	return uint64(mb*(1<<20) + 0.5)
+}
+
+// newSimObs primes the history at virtual t=0 and registers the sim_*
+// metrics (DESIGN.md §17). Returns nil when h is nil.
+func newSimObs(h *obs.History) *simObs {
+	if h == nil {
+		return nil
+	}
+	reg := h.Registry()
+	o := &simObs{
+		h:    h,
+		win:  h.Window(),
+		next: h.Window(),
+		bytes: reg.Counter("sim_bytes_moved_total",
+			"Bytes moved over the simulated network (checkpoints, recoveries, migrations)."),
+		commits: reg.Counter("sim_commits_total",
+			"Completed work-interval+checkpoint cycles."),
+		evictions: reg.Counter("sim_evictions_total",
+			"Transfers or intervals interrupted by eviction."),
+		useful: reg.FloatGauge("sim_useful_seconds",
+			"Cumulative committed work time, virtual seconds."),
+		efficiency: reg.FloatGauge("sim_efficiency",
+			"Running useful-work fraction of elapsed virtual time."),
+	}
+	h.Scrape(0) // baseline: windows start at virtual zero
+	return o
+}
+
+// addMB charges a transfer to the wire series.
+func (o *simObs) addMB(mb float64) {
+	if o == nil {
+		return
+	}
+	o.bytes.Add(mbBytes(mb))
+}
+
+func (o *simObs) commit() {
+	if o == nil {
+		return
+	}
+	o.commits.Inc()
+}
+
+func (o *simObs) evict() {
+	if o == nil {
+		return
+	}
+	o.evictions.Inc()
+}
+
+// advanceBefore closes every window boundary strictly earlier than t.
+// Run calls it with an event's completion time just before accounting
+// the event, so an event completing at time t lands in the window
+// whose end is the first boundary >= t — never an earlier one.
+func (o *simObs) advanceBefore(t float64) {
+	if o == nil {
+		return
+	}
+	for o.next < t {
+		o.h.Scrape(o.next)
+		o.next += o.win
+	}
+}
+
+// advance closes every boundary up to and including t — the inclusive
+// variant periodEnd uses once all of a period's events are accounted.
+func (o *simObs) advance(t float64) {
+	if o == nil {
+		return
+	}
+	for o.next <= t {
+		o.h.Scrape(o.next)
+		o.next += o.win
+	}
+}
+
+// periodEnd refreshes the progress gauges and closes any windows the
+// eviction jump crossed.
+func (o *simObs) periodEnd(t float64, res *Result) {
+	if o == nil {
+		return
+	}
+	o.useful.Set(res.UsefulWork)
+	if t > 0 {
+		o.efficiency.Set(res.UsefulWork / t)
+	}
+	o.advance(t)
+}
+
+// finish closes the final partial window so the last events are never
+// silently dropped from the series (a no-op when t already sits on a
+// scraped boundary — Scrape ignores non-advancing timestamps).
+func (o *simObs) finish(t float64) {
+	if o == nil {
+		return
+	}
+	o.h.Scrape(t)
+}

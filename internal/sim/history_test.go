@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"encoding/json"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"github.com/cycleharvest/ckptsched/internal/obs"
+)
+
+// histCfg is cfg(100) plus a virtual-clock history.
+func histCfg(c, window float64, capacity int) (Config, *obs.History) {
+	h := obs.NewHistory(obs.HistoryOptions{
+		Registry: obs.NewRegistry(),
+		Window:   window,
+		Capacity: capacity,
+	})
+	conf := cfg(c)
+	conf.History = h
+	return conf, h
+}
+
+// TestSimHistoryHandArithmetic replays the TestRunHandArithmetic
+// timeline (availability 1000, C=R=100, T=200) against 500 s windows
+// and checks each window's series by hand: recovery transfer done at
+// 100, commits at 400, 700, 1000 — so window (0,500] carries the
+// recovery plus one commit and window (500,1000] two commits.
+func TestSimHistoryHandArithmetic(t *testing.T) {
+	conf, h := histCfg(100, 500, 8)
+	res, err := Run([]float64{1000}, FixedInterval(200), conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := h.Snapshot()
+	if snap.Windows != 2 {
+		t.Fatalf("windows = %d, want 2 (times %v)", snap.Windows, snap.Times)
+	}
+	if !reflect.DeepEqual(snap.Times, []float64{500, 1000}) {
+		t.Fatalf("times = %v", snap.Times)
+	}
+	// Bytes: window 1 moves recovery 500 MB + commit-at-400 500 MB over
+	// 500 s; window 2 moves the commits at 700 and 1000.
+	mb := 500 * float64(1<<20)
+	wantRate := 2 * mb / 500
+	bytes := snap.Counters["sim_bytes_moved_total"]
+	if bytes[0] != wantRate || bytes[1] != wantRate {
+		t.Errorf("bytes rates = %v, want [%g %g]", bytes, wantRate, wantRate)
+	}
+	commits := snap.Counters["sim_commits_total"]
+	if commits[0] != 1.0/500 || commits[1] != 2.0/500 {
+		t.Errorf("commit rates = %v", commits)
+	}
+	// The final window's gauges carry the period-end progress.
+	useful := snap.Gauges["sim_useful_seconds"]
+	if useful[1] != res.UsefulWork {
+		t.Errorf("useful[-1] = %g, want %g", useful[1], res.UsefulWork)
+	}
+	eff := snap.Gauges["sim_efficiency"]
+	if eff[1] != res.Efficiency() {
+		t.Errorf("efficiency[-1] = %g, want %g", eff[1], res.Efficiency())
+	}
+}
+
+// TestSimHistoryEvictionWindow pins eviction accounting: availability
+// 450 loses 50 s of work at t=450, which must land in the window
+// closed by the period end — and the final partial window must exist.
+func TestSimHistoryEvictionWindow(t *testing.T) {
+	conf, h := histCfg(100, 400, 8)
+	if _, err := Run([]float64{450}, FixedInterval(200), conf); err != nil {
+		t.Fatal(err)
+	}
+	snap := h.Snapshot()
+	// Boundaries: 400 (regular), 450 (final partial from periodEnd).
+	if !reflect.DeepEqual(snap.Times, []float64{400, 450}) {
+		t.Fatalf("times = %v", snap.Times)
+	}
+	ev := snap.Counters["sim_evictions_total"]
+	if ev[0] != 0 || ev[1] == 0 {
+		t.Errorf("eviction rates = %v, want the eviction in the final window", ev)
+	}
+}
+
+// TestSimHistoryDeterministic pins the determinism contract from
+// DESIGN.md §17: the JSON-encoded history of a fixed workload is
+// byte-identical across runs and GOMAXPROCS settings (Run is a single
+// goroutine on a virtual clock; bytes are integer-accounted).
+func TestSimHistoryDeterministic(t *testing.T) {
+	avail := []float64{1000, 450, 650, 2000, 137.5}
+	render := func() []byte {
+		conf, h := histCfg(100, 300, 16)
+		if _, err := Run(avail, FixedInterval(200), conf); err != nil {
+			t.Fatal(err)
+		}
+		var buf []byte
+		buf, err := json.Marshal(h.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf
+	}
+
+	base := render()
+	for _, procs := range []int{1, 4} {
+		old := runtime.GOMAXPROCS(procs)
+		got := render()
+		runtime.GOMAXPROCS(old)
+		if string(got) != string(base) {
+			t.Fatalf("history diverged at GOMAXPROCS=%d:\n%s\nvs\n%s", procs, got, base)
+		}
+	}
+}
+
+// TestSimHistoryOffByDefault: a zero Config records nothing and the
+// accounting sites all no-op.
+func TestSimHistoryOffByDefault(t *testing.T) {
+	if newSimObs(nil) != nil {
+		t.Fatal("nil history should give a nil simObs")
+	}
+	var o *simObs
+	o.addMB(5)
+	o.commit()
+	o.evict()
+	o.advanceBefore(10)
+	o.advance(10)
+	o.periodEnd(10, &Result{})
+	o.finish(10)
+}
+
+// TestMBBytes pins the MB→bytes conversion used by the wire counter.
+func TestMBBytes(t *testing.T) {
+	if got := mbBytes(1); got != 1<<20 {
+		t.Errorf("mbBytes(1) = %d", got)
+	}
+	if got := mbBytes(0.5); got != 1<<19 {
+		t.Errorf("mbBytes(0.5) = %d", got)
+	}
+	if got := mbBytes(-3); got != 0 {
+		t.Errorf("mbBytes(-3) = %d", got)
+	}
+}

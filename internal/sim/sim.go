@@ -99,6 +99,13 @@ type Config struct {
 	// PredictSeed seeds the predictor's private RNG stream (salted via
 	// predict.StreamSeed so it never collides with consumer streams).
 	PredictSeed int64
+	// History, when set, is scraped on the run's virtual clock: sim_*
+	// metrics register on History.Registry() and one window closes at
+	// each multiple of the history's window width in simulated seconds
+	// (plus a final partial window at the end of the trace). The run is
+	// single-threaded, so the exported series is byte-identical at any
+	// GOMAXPROCS. Nil disables windowing at zero cost.
+	History *obs.History
 }
 
 // Result accumulates the outcome of a simulated job.
@@ -234,6 +241,7 @@ func Run(avail []float64, planner Planner, cfg Config) (Result, error) {
 	if tr != nil && pid == 0 {
 		pid = 1
 	}
+	so := newSimObs(cfg.History)
 	var res Result
 	elapsed := 0.0
 	for idx, a := range avail {
@@ -308,17 +316,23 @@ func Run(avail []float64, planner Planner, cfg Config) (Result, error) {
 				res.RecoveryTime += remaining
 				res.FailedRecoveries++
 				res.MBTransferred += charged
+				so.advanceBefore(elapsed)
+				so.addMB(charged)
+				so.evict()
 				if tr != nil {
 					tr.SpanAt(pid, 1, "transfer.recovery", now, remaining,
 						obs.AttrStr("outcome", "interrupted"), obs.AttrFloat("mb", charged))
 					tr.EventAt(pid, 1, "evicted", start+a)
 				}
 				endPeriod()
+				so.periodEnd(elapsed, &res)
 				continue
 			}
 			res.RecoveryTime += R
 			res.Recoveries++
 			res.MBTransferred += cfg.CheckpointMB
+			so.advanceBefore(now + R)
+			so.addMB(cfg.CheckpointMB)
 			if tr != nil {
 				tr.SpanAt(pid, 1, "transfer.recovery", now, R,
 					obs.AttrStr("outcome", "done"), obs.AttrFloat("mb", cfg.CheckpointMB))
@@ -368,6 +382,8 @@ func Run(avail []float64, planner Planner, cfg Config) (Result, error) {
 					res.UsefulWork += w
 					res.CheckpointTime += C
 					res.MBTransferred += cfg.CheckpointMB
+					so.advanceBefore(now + w + C)
+					so.addMB(cfg.CheckpointMB)
 					if tr != nil {
 						tr.SpanAt(pid, 1, kind, now+w, C,
 							obs.AttrStr("outcome", "done"),
@@ -401,6 +417,9 @@ func Run(avail []float64, planner Planner, cfg Config) (Result, error) {
 					res.CheckpointTime += partial
 					res.FailedCheckpoints++
 					res.MBTransferred += charged
+					so.advanceBefore(elapsed)
+					so.addMB(charged)
+					so.evict()
 					if tr != nil {
 						tr.SpanAt(pid, 1, kind, now+w, partial,
 							obs.AttrStr("outcome", "interrupted"), obs.AttrFloat("mb", charged))
@@ -411,6 +430,8 @@ func Run(avail []float64, planner Planner, cfg Config) (Result, error) {
 					// Evicted at the alarm instant itself.
 					res.LostWork += w
 					res.FailedIntervals++
+					so.advanceBefore(elapsed)
+					so.evict()
 					if tr != nil {
 						tr.EventAt(pid, 1, "evicted", start+a)
 					}
@@ -425,6 +446,9 @@ func Run(avail []float64, planner Planner, cfg Config) (Result, error) {
 				res.CheckpointTime += C
 				res.MBTransferred += cfg.CheckpointMB
 				res.Commits++
+				so.advanceBefore(now + T + C)
+				so.addMB(cfg.CheckpointMB)
+				so.commit()
 				if tr != nil {
 					tr.SpanAt(pid, 1, "transfer.checkpoint", now+T, C,
 						obs.AttrStr("outcome", "done"),
@@ -443,6 +467,9 @@ func Run(avail []float64, planner Planner, cfg Config) (Result, error) {
 				res.CheckpointTime += partial
 				res.FailedCheckpoints++
 				res.MBTransferred += charged
+				so.advanceBefore(elapsed)
+				so.addMB(charged)
+				so.evict()
 				if tr != nil {
 					tr.SpanAt(pid, 1, "transfer.checkpoint", now+T, partial,
 						obs.AttrStr("outcome", "interrupted"), obs.AttrFloat("mb", charged))
@@ -453,6 +480,8 @@ func Run(avail []float64, planner Planner, cfg Config) (Result, error) {
 				// Evicted mid-computation.
 				res.LostWork += remaining
 				res.FailedIntervals++
+				so.advanceBefore(elapsed)
+				so.evict()
 				if tr != nil {
 					tr.EventAt(pid, 1, "evicted", start+a)
 				}
@@ -463,6 +492,8 @@ func Run(avail []float64, planner Planner, cfg Config) (Result, error) {
 			}
 		}
 		endPeriod()
+		so.periodEnd(elapsed, &res)
 	}
+	so.finish(elapsed)
 	return res, nil
 }
